@@ -1,0 +1,43 @@
+// Shared helpers for the experiment binaries: standard algorithm rosters
+// and ratio measurement over seeded trials.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/competitive.hpp"
+#include "analysis/experiment.hpp"
+#include "baseline/per_commodity.hpp"
+#include "core/pd_omflp.hpp"
+#include "core/rand_omflp.hpp"
+#include "cost/cost_models.hpp"
+
+namespace omflp::bench {
+
+/// Mean competitive ratio of `make_algorithm(seed)` on `make_instance(seed)`
+/// over `trials` seeds, trials running in parallel.
+inline Summary ratio_over_trials(
+    std::size_t trials,
+    const std::function<Instance(std::uint64_t)>& make_instance,
+    const std::function<std::unique_ptr<OnlineAlgorithm>(std::uint64_t)>&
+        make_algorithm,
+    const OptEstimateOptions& opt_options = {}) {
+  return run_trials(trials, [&](std::size_t trial) {
+    const Instance instance = make_instance(trial);
+    auto algorithm = make_algorithm(trial);
+    return measure_ratio(*algorithm, instance, opt_options).ratio;
+  });
+}
+
+/// "mean ± half-width" cell for result tables.
+inline std::string mean_ci(const Summary& summary) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f ± %.3f", summary.mean(),
+                summary.ci95_halfwidth());
+  return buffer;
+}
+
+}  // namespace omflp::bench

@@ -1,0 +1,41 @@
+// Figure 2 — the paper's only quantitative figure.
+//
+// Regenerates both curves for |S| = 10^4 (the paper's choice):
+//   upper:  √|S|^{(2x−x²)/2}          (Theorem 18 upper bound factor)
+//   lower:  min{√|S|^{(2−x)/2}, √|S|^{x/2}}   (Theorem 18 lower bound)
+// Expected anchors (stated in the paper's Figure 2 caption): the curves
+// agree at x ∈ {0, 1, 2} and both peak at ⁴√|S| = 10 for x = 1.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace omflp;
+  print_bench_header(
+      "Figure 2 — Theorem 18 bound curves",
+      "Figure 2 (|S| = 10^4), Theorem 18",
+      "curves equal at x in {0,1,2}; both peak at |S|^(1/4) = 10 at x = 1");
+
+  const double s = 10000.0;
+  const double step = bench_pick(0.1, 0.05);
+  TableWriter table({"x", "upper sqrt(S)^((2x-x^2)/2)",
+                     "lower min{sqrt(S)^((2-x)/2), sqrt(S)^(x/2)}",
+                     "upper/lower"});
+  for (const Fig2Row& row : figure2_series(s, step)) {
+    table.begin_row()
+        .add(row.x)
+        .add(row.upper)
+        .add(row.lower)
+        .add(row.lower > 0 ? row.upper / row.lower : 0.0);
+  }
+  table.write_markdown(std::cout);
+
+  std::cout << "\nAnchors: upper(0)=" << theorem18_upper_factor(0.0, s)
+            << " upper(1)=" << theorem18_upper_factor(1.0, s)
+            << " upper(2)=" << theorem18_upper_factor(2.0, s)
+            << " | lower(1)=" << theorem18_lower_factor(1.0, s)
+            << " (paper: 1, 10, 1, 10)\n";
+  return 0;
+}

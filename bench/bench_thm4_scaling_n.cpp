@@ -1,0 +1,85 @@
+// Theorem 4, n-dependence — PD-OMFLP's ratio grows at most like log n.
+//
+// Workload: clustered line instances (well-separated clusters with a home
+// commodity bundle each), whose generator certificate is a near-exact OPT
+// upper bound. n doubles across rows at fixed |S| and cluster structure.
+//
+// Expected shape: the measured ratio grows slowly (≾ H_n) — the
+// "ratio/H_n" column should be flat or shrinking — and stays far below
+// the explicit 15·√|S|·H_n budget. The per-commodity baseline column
+// shows the constant-factor penalty for ignoring bundling even on mild
+// workloads.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "instance/generators.hpp"
+#include "support/harmonic.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace omflp;
+  using namespace omflp::bench;
+  print_bench_header(
+      "Theorem 4 — ratio vs sequence length n",
+      "Theorem 4: Cost(PD) <= 15*sqrt(|S|)*H_n*OPT",
+      "PD ratio grows at most logarithmically in n (ratio/H_n flat)");
+
+  const CommodityId s = 16;
+  const std::size_t trials = bench_pick<std::size_t>(6, 20);
+  std::vector<std::size_t> lengths = {64, 128, 256, 512};
+  if (bench_full_scale()) {
+    lengths.push_back(1024);
+    lengths.push_back(2048);
+  }
+
+  TableWriter table({"n", "PD ratio (mean±ci)", "PD/H_n",
+                     "RAND ratio (mean±ci)", "PerCommodity[Fotakis]",
+                     "thm4 budget 15*sqrt(S)*H_n"});
+  for (const std::size_t n : lengths) {
+    auto make_instance = [&, n](std::uint64_t seed) {
+      Rng rng(seed * 104729 + n);
+      ClusteredConfig cfg;
+      cfg.num_clusters = 8;
+      cfg.requests_per_cluster = n / cfg.num_clusters;
+      cfg.num_commodities = s;
+      cfg.commodities_per_cluster = 4;
+      auto cost = std::make_shared<PolynomialCostModel>(s, 1.0, 4.0);
+      return make_clustered_line(cfg, cost, rng);
+    };
+    // The certificate is the OPT bound here (local search would dominate
+    // the runtime at these sizes without changing the shape).
+    OptEstimateOptions opt;
+    opt.allow_local_search = false;
+
+    const Summary pd = ratio_over_trials(
+        trials, make_instance,
+        [](std::uint64_t) { return std::make_unique<PdOmflp>(); }, opt);
+    const Summary rand = ratio_over_trials(
+        trials, make_instance,
+        [](std::uint64_t seed) {
+          return std::make_unique<RandOmflp>(RandOptions{.seed = seed + 1});
+        },
+        opt);
+    const Summary per_comm = ratio_over_trials(
+        trials, make_instance,
+        [](std::uint64_t) {
+          return std::unique_ptr<OnlineAlgorithm>(
+              PerCommodityAdapter::fotakis());
+        },
+        opt);
+
+    table.begin_row()
+        .add(static_cast<long long>(n))
+        .add(mean_ci(pd))
+        .add(pd.mean() / harmonic(n))
+        .add(mean_ci(rand))
+        .add(per_comm.mean())
+        .add(theorem4_bound(s, n));
+  }
+  table.write_markdown(std::cout);
+  std::cout << "\nNote: OPT here is the generator's certificate (a feasible "
+               "offline solution), so ratios are conservative "
+               "under-estimates of the true competitive ratio.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Cost-model explorer — Theorem 18 hands-on.
+//
+// For a chosen |S|, sweeps the class-C exponent x and prints, side by
+// side: the analytic Figure 2 factors, and the *measured* PD / RAND
+// ratios on the adaptive adversarial distribution. Also verifies
+// Condition 1 and subadditivity for each model instance, since the
+// theorems only apply when they hold.
+//
+//   $ ./examples/cost_model_explorer [|S|] [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "omflp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omflp;
+  const CommodityId s =
+      argc > 1 ? static_cast<CommodityId>(std::atoi(argv[1])) : 144;
+  const std::size_t trials =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+
+  std::cout << "Cost class C = { g_x(|σ|) = |σ|^(x/2) } on |S| = " << s
+            << ", Theorem 2 sequence, OPT exact, " << trials
+            << " trials per x.\n\n";
+
+  TableWriter table({"x", "cond1 ok", "subadd ok", "PD ratio",
+                     "RAND ratio", "fig2 upper", "fig2 lower"});
+  for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}) {
+    // Verify the paper's assumptions hold for this member of C.
+    PolynomialCostModel probe(s, x);
+    Rng check_rng(1);
+    const bool cond1 =
+        !check_condition1_sampled(probe, 1, 400, check_rng).has_value();
+    const bool subadd =
+        !check_subadditivity_sampled(probe, 1, 400, check_rng).has_value();
+
+    Summary pd_ratios, rand_ratios;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      Rng rng(trial * 977 + static_cast<std::uint64_t>(x * 100) + 11);
+      Theorem18Config cfg;
+      cfg.num_commodities = s;
+      cfg.exponent_x = x;
+      const Instance instance = make_theorem18_instance(cfg, rng);
+
+      PdOmflp pd;
+      pd_ratios.add(measure_ratio(pd, instance).ratio);
+      RandOmflp rand{RandOptions{.seed = trial + 1}};
+      rand_ratios.add(measure_ratio(rand, instance).ratio);
+    }
+
+    table.begin_row()
+        .add(x)
+        .add(cond1 ? "yes" : "NO")
+        .add(subadd ? "yes" : "NO")
+        .add(pd_ratios.mean())
+        .add(rand_ratios.mean())
+        .add(theorem18_upper_factor(x, static_cast<double>(s)))
+        .add(theorem18_lower_factor(x, static_cast<double>(s)));
+  }
+  table.write_markdown(std::cout);
+  std::cout << "\nReading: measured ratios follow Figure 2's unimodal "
+               "shape — worst near x = 1 (prediction matters most), easy "
+               "at the endpoints (constant / linear costs).\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/harmonic.hpp"
+
+namespace omflp {
+
+double theorem18_upper_factor(double x, double num_commodities) {
+  OMFLP_REQUIRE(x >= 0.0 && x <= 2.0, "theorem18_upper_factor: x in [0,2]");
+  OMFLP_REQUIRE(num_commodities >= 1.0,
+                "theorem18_upper_factor: |S| must be >= 1");
+  const double sqrt_s = std::sqrt(num_commodities);
+  return std::pow(sqrt_s, (2.0 * x - x * x) / 2.0);
+}
+
+double theorem18_lower_factor(double x, double num_commodities) {
+  OMFLP_REQUIRE(x >= 0.0 && x <= 2.0, "theorem18_lower_factor: x in [0,2]");
+  OMFLP_REQUIRE(num_commodities >= 1.0,
+                "theorem18_lower_factor: |S| must be >= 1");
+  const double sqrt_s = std::sqrt(num_commodities);
+  return std::min(std::pow(sqrt_s, (2.0 - x) / 2.0),
+                  std::pow(sqrt_s, x / 2.0));
+}
+
+double theorem4_bound(std::size_t num_commodities, std::size_t n) {
+  return 15.0 * std::sqrt(static_cast<double>(num_commodities)) *
+         harmonic(n);
+}
+
+double theorem2_bound(std::size_t num_commodities) {
+  return std::sqrt(static_cast<double>(num_commodities)) / 16.0;
+}
+
+std::vector<Fig2Row> figure2_series(double num_commodities, double step) {
+  OMFLP_REQUIRE(step > 0.0 && step <= 2.0, "figure2_series: bad step");
+  std::vector<Fig2Row> rows;
+  for (double x = 0.0; x <= 2.0 + 1e-12; x += step) {
+    const double clamped = std::min(x, 2.0);
+    rows.push_back(Fig2Row{clamped,
+                           theorem18_upper_factor(clamped, num_commodities),
+                           theorem18_lower_factor(clamped, num_commodities)});
+    if (clamped == 2.0) break;
+  }
+  return rows;
+}
+
+}  // namespace omflp

@@ -1,0 +1,41 @@
+// The paper's bound curves as code (Theorems 2, 4, 18, 19; Figure 2).
+//
+// Figure 2 plots, for |S| = 10^4 and x ∈ [0, 2], the |S|-dependent factor
+// of the deterministic upper bound,  √|S|^{(2x−x²)/2},  against the lower
+// bound,  min{ √|S|^{(2−x)/2}, √|S|^{x/2} }.  The two agree at
+// x ∈ {0, 1, 2} and both peak at ⁴√|S| for x = 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace omflp {
+
+/// √|S|^{(2x−x²)/2} — the |S|-factor of PD-OMFLP's competitive ratio for
+/// the class-C cost g_x (Theorem 18, upper bound; Figure 2's blue curve).
+double theorem18_upper_factor(double x, double num_commodities);
+
+/// min{√|S|^{(2−x)/2}, √|S|^{x/2}} — the corresponding lower bound
+/// (Theorem 18; Figure 2's orange curve).
+double theorem18_lower_factor(double x, double num_commodities);
+
+/// √|S|·H_n with the analysis' constant 15 (Theorem 4's explicit bound:
+/// Cost(PD-OMFLP) ≤ 15·√|S|·H_n·OPT).
+double theorem4_bound(std::size_t num_commodities, std::size_t n);
+
+/// √|S| / 16 — Theorem 2's lower bound on the expected competitive ratio
+/// of any randomized algorithm on the adversarial single-point
+/// distribution (the proof's explicit constant).
+double theorem2_bound(std::size_t num_commodities);
+
+/// One row of the Figure 2 data series.
+struct Fig2Row {
+  double x = 0.0;
+  double upper = 0.0;
+  double lower = 0.0;
+};
+
+/// The full Figure 2 series: x = 0, step, 2·step, ..., 2.
+std::vector<Fig2Row> figure2_series(double num_commodities, double step);
+
+}  // namespace omflp

@@ -1,0 +1,138 @@
+#include "analysis/c_ordered_covering.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+COrderedInstance::COrderedInstance(
+    std::vector<std::vector<std::size_t>> b_members, double c)
+    : b_(std::move(b_members)), c_(c) {
+  OMFLP_REQUIRE(c_ > 0.0, "COrderedInstance: weight c must be positive");
+  for (auto& b : b_) std::sort(b.begin(), b.end());
+  validate();
+}
+
+const std::vector<std::size_t>& COrderedInstance::b_members(
+    std::size_t i) const {
+  OMFLP_REQUIRE(i < b_.size(), "COrderedInstance: element out of range");
+  return b_[i];
+}
+
+std::vector<std::size_t> COrderedInstance::a_members(std::size_t i) const {
+  const std::vector<std::size_t>& b = b_members(i);
+  std::vector<std::size_t> a;
+  a.reserve(i - b.size());
+  std::size_t bi = 0;
+  for (std::size_t j = 0; j < i; ++j) {
+    if (bi < b.size() && b[bi] == j) {
+      ++bi;
+    } else {
+      a.push_back(j);
+    }
+  }
+  return a;
+}
+
+void COrderedInstance::validate() const {
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    const auto& b = b_[i];
+    for (std::size_t j = 0; j + 1 < b.size(); ++j)
+      OMFLP_REQUIRE(b[j] < b[j + 1],
+                    "COrderedInstance: B_i must have distinct members");
+    for (std::size_t member : b)
+      OMFLP_REQUIRE(member < i,
+                    "COrderedInstance: B_i must be a subset of {0..i-1}");
+    if (i > 0)
+      OMFLP_REQUIRE(std::includes(b.begin(), b.end(), b_[i - 1].begin(),
+                                  b_[i - 1].end()),
+                    "COrderedInstance: nesting B_{i-1} ⊆ B_i violated");
+  }
+}
+
+COrderedInstance::CoverResult COrderedInstance::cover() const {
+  const std::size_t n = b_.size();
+  CoverResult result;
+  if (n == 0) return result;
+
+  std::vector<std::size_t> live(n);
+  for (std::size_t i = 0; i < n; ++i) live[i] = i;
+
+  std::vector<char> in_b(n, 0);  // scratch membership bitmap
+
+  while (!live.empty()) {
+    const std::size_t last = live.back();
+    const std::size_t b = b_[last].size();
+
+    // The last block: the maximal live suffix with |B_i| = |B_last|
+    // (nesting makes equal sizes mean equal sets).
+    std::size_t block_begin = live.size();
+    while (block_begin > 0 && b_[live[block_begin - 1]].size() == b)
+      --block_begin;
+    const std::size_t block_len = live.size() - block_begin;
+
+    // Option 1 covers every live element coped by `last` plus `last`
+    // itself; since removed elements never appear in remaining B-sets,
+    // that is live.size() − |B_last| elements at weight c.
+    const std::size_t covered1 = live.size() - b;
+    const double per1 = c_ / static_cast<double>(covered1);
+    // Option 2 covers the block via singletons at weight c/(|B|+1) each.
+    const double per2 = c_ / static_cast<double>(b + 1);
+
+    if (per1 <= per2) {
+      for (std::size_t member : b_[last]) in_b[member] = 1;
+      std::vector<std::size_t> covered;
+      std::vector<std::size_t> remaining;
+      covered.reserve(covered1);
+      remaining.reserve(b);
+      for (std::size_t e : live) {
+        if (e != last && in_b[e])
+          remaining.push_back(e);
+        else
+          covered.push_back(e);
+      }
+      for (std::size_t member : b_[last]) in_b[member] = 0;
+      OMFLP_CHECK(covered.size() == covered1,
+                  "c-ordered cover: removed elements leaked into a B-set");
+      result.total_weight += c_;
+      result.sets.push_back(std::move(covered));
+      live = std::move(remaining);
+    } else {
+      for (std::size_t i = block_begin; i < live.size(); ++i) {
+        result.total_weight += per2;
+        result.sets.push_back({live[i]});
+      }
+      live.resize(live.size() - block_len);
+    }
+  }
+  return result;
+}
+
+COrderedInstance COrderedInstance::random_instance(std::size_t n, double c,
+                                                   double growth, Rng& rng) {
+  OMFLP_REQUIRE(growth >= 0.0 && growth <= 1.0,
+                "random_instance: growth probability in [0,1]");
+  std::vector<std::vector<std::size_t>> members(n);
+  std::vector<std::size_t> current;  // the growing nested B (sorted)
+  std::vector<char> in_b(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && rng.bernoulli(growth)) {
+      // Add one uniformly random non-member < i to the chain.
+      std::vector<std::size_t> candidates;
+      for (std::size_t j = 0; j < i; ++j)
+        if (!in_b[j]) candidates.push_back(j);
+      if (!candidates.empty()) {
+        const std::size_t pick =
+            candidates[rng.uniform_index(candidates.size())];
+        in_b[pick] = 1;
+        current.insert(
+            std::lower_bound(current.begin(), current.end(), pick), pick);
+      }
+    }
+    members[i] = current;
+  }
+  return COrderedInstance(std::move(members), c);
+}
+
+}  // namespace omflp

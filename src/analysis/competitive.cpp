@@ -1,0 +1,39 @@
+#include "analysis/competitive.hpp"
+
+#include <stdexcept>
+
+#include "solution/verifier.hpp"
+#include "support/assert.hpp"
+
+namespace omflp {
+
+RatioResult measure_ratio(OnlineAlgorithm& algorithm,
+                          const Instance& instance, const OptEstimate& opt) {
+  const SolutionLedger ledger = run_online(algorithm, instance);
+  if (const auto violation = verify_solution(instance, ledger))
+    throw std::logic_error("measure_ratio: " + algorithm.name() +
+                           " produced an invalid solution: " +
+                           violation->what);
+  OMFLP_REQUIRE(opt.cost > 0.0,
+                "measure_ratio: OPT must be positive for a ratio");
+  RatioResult result;
+  result.algorithm = algorithm.name();
+  result.algorithm_cost = ledger.total_cost();
+  result.opening_cost = ledger.opening_cost();
+  result.connection_cost = ledger.connection_cost();
+  result.facilities_opened = ledger.num_facilities();
+  result.opt_cost = opt.cost;
+  result.opt_exact = opt.exact;
+  result.opt_method = opt.method;
+  result.ratio = ledger.total_cost() / opt.cost;
+  return result;
+}
+
+RatioResult measure_ratio(OnlineAlgorithm& algorithm,
+                          const Instance& instance,
+                          const OptEstimateOptions& opt_options) {
+  return measure_ratio(algorithm, instance,
+                       estimate_opt(instance, opt_options));
+}
+
+}  // namespace omflp

@@ -1,0 +1,36 @@
+// Competitive-ratio measurement: run an online algorithm against an
+// instance, verify the produced solution, estimate OPT, report the ratio.
+#pragma once
+
+#include <string>
+
+#include "core/online_algorithm.hpp"
+#include "offline/opt_estimate.hpp"
+
+namespace omflp {
+
+struct RatioResult {
+  std::string algorithm;
+  double algorithm_cost = 0.0;
+  double opening_cost = 0.0;
+  double connection_cost = 0.0;
+  std::size_t facilities_opened = 0;
+  double opt_cost = 0.0;
+  bool opt_exact = false;
+  std::string opt_method;
+  double ratio = 0.0;  // algorithm_cost / opt_cost
+};
+
+/// Runs, verifies (throws std::logic_error on a verifier failure — a
+/// measurement against an invalid solution is meaningless), estimates OPT
+/// and returns the ratio.
+RatioResult measure_ratio(OnlineAlgorithm& algorithm,
+                          const Instance& instance,
+                          const OptEstimateOptions& opt_options = {});
+
+/// Variant reusing a precomputed OPT estimate (e.g. when several
+/// algorithms run on the same instance).
+RatioResult measure_ratio(OnlineAlgorithm& algorithm,
+                          const Instance& instance, const OptEstimate& opt);
+
+}  // namespace omflp

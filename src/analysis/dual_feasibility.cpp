@@ -1,0 +1,85 @@
+#include "analysis/dual_feasibility.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+std::optional<DualViolation> check_dual_constraint(
+    const Instance& instance, const std::vector<PdDualRecord>& duals,
+    double gamma, PointId m, const CommoditySet& config, double tolerance) {
+  OMFLP_REQUIRE(config.universe_size() == instance.num_commodities(),
+                "check_dual_constraint: config universe mismatch");
+  OMFLP_REQUIRE(!config.empty(), "check_dual_constraint: empty config");
+
+  const MetricSpace& metric = instance.metric();
+  double lhs = 0.0;
+  for (const PdDualRecord& rec : duals) {
+    double scaled = 0.0;
+    for (std::size_t slot = 0; slot < rec.commodities.size(); ++slot)
+      if (config.contains(rec.commodities[slot]))
+        scaled += gamma * rec.duals[slot];
+    const double term = scaled - metric.distance(m, rec.location);
+    if (term > 0.0) lhs += term;
+  }
+  const double rhs = instance.cost().open_cost(m, config);
+  if (lhs > rhs + tolerance * (1.0 + rhs)) {
+    std::ostringstream os;
+    os << "dual constraint violated at m=" << m << ", sigma="
+       << config.to_string() << ": lhs=" << lhs << " > f=" << rhs;
+    return DualViolation{m, config, lhs, rhs, os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<DualViolation> check_dual_feasibility_exhaustive(
+    const Instance& instance, const std::vector<PdDualRecord>& duals,
+    double gamma, double tolerance) {
+  const CommodityId s = instance.num_commodities();
+  OMFLP_REQUIRE(s <= 16, "check_dual_feasibility_exhaustive: |S| too large");
+  const std::size_t points = instance.metric().num_points();
+  for (PointId m = 0; m < points; ++m) {
+    for (std::uint64_t mask = 1; mask < (1ULL << s); ++mask) {
+      CommoditySet config(s);
+      for (CommodityId e = 0; e < s; ++e)
+        if ((mask >> e) & 1ULL) config.add(e);
+      if (auto v = check_dual_constraint(instance, duals, gamma, m, config,
+                                         tolerance))
+        return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DualViolation> check_dual_feasibility_sampled(
+    const Instance& instance, const std::vector<PdDualRecord>& duals,
+    double gamma, std::size_t samples, Rng& rng, double tolerance) {
+  const CommodityId s = instance.num_commodities();
+  const std::size_t points = instance.metric().num_points();
+  for (PointId m = 0; m < points; ++m) {
+    for (CommodityId e = 0; e < s; ++e)
+      if (auto v = check_dual_constraint(instance, duals, gamma, m,
+                                         CommoditySet::singleton(s, e),
+                                         tolerance))
+        return v;
+    if (auto v = check_dual_constraint(instance, duals, gamma, m,
+                                       CommoditySet::full_set(s), tolerance))
+      return v;
+  }
+  for (std::size_t i = 0; i < samples; ++i) {
+    const PointId m = static_cast<PointId>(rng.uniform_index(points));
+    CommoditySet config(s);
+    const double density = rng.uniform(0.05, 0.95);
+    for (CommodityId e = 0; e < s; ++e)
+      if (rng.bernoulli(density)) config.add(e);
+    if (config.empty())
+      config.add(static_cast<CommodityId>(rng.uniform_index(s)));
+    if (auto v = check_dual_constraint(instance, duals, gamma, m, config,
+                                       tolerance))
+      return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace omflp

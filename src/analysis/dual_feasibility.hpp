@@ -1,0 +1,52 @@
+// Empirical verification of the paper's dual-feasibility lemmas.
+//
+// Corollary 17: the duals a_re produced by PD-OMFLP, scaled by
+// γ = 1/(5·√|S|·H_n), form a feasible solution of the dual LP, i.e. for
+// every point m and every configuration σ ⊆ S:
+//
+//     Σ_r ( Σ_{e ∈ s_r ∩ σ} γ·a_re  −  d(m, r) )₊  ≤  f^σ_m.
+//
+// (Lemma 14 proves it for |σ| ≤ √|S|, Lemma 16 for |σ| > √|S|; the sum of
+// positive parts over all requests equals the max over subsets R' ⊆ R, so
+// checking the full sum checks every R'.) Together with weak duality this
+// is the entire Theorem 4; the checker below turns it into a property
+// test: any violation on any instance would falsify the analysis (or,
+// more likely, catch a bug in our PD implementation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pd_omflp.hpp"
+#include "instance/instance.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+struct DualViolation {
+  PointId point = 0;
+  CommoditySet config;
+  double lhs = 0.0;
+  double rhs = 0.0;
+  std::string what;
+};
+
+/// Check the scaled-dual constraint for one (m, σ).
+std::optional<DualViolation> check_dual_constraint(
+    const Instance& instance, const std::vector<PdDualRecord>& duals,
+    double gamma, PointId m, const CommoditySet& config,
+    double tolerance = 1e-7);
+
+/// Exhaustive over all points and all non-empty σ (requires |S| ≤ 16).
+std::optional<DualViolation> check_dual_feasibility_exhaustive(
+    const Instance& instance, const std::vector<PdDualRecord>& duals,
+    double gamma, double tolerance = 1e-7);
+
+/// All singletons, the full S, plus `samples` random configurations per
+/// point — the scalable variant for larger |S|.
+std::optional<DualViolation> check_dual_feasibility_sampled(
+    const Instance& instance, const std::vector<PdDualRecord>& duals,
+    double gamma, std::size_t samples, Rng& rng, double tolerance = 1e-7);
+
+}  // namespace omflp

@@ -1,0 +1,37 @@
+#include "analysis/experiment.hpp"
+
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "support/parallel.hpp"
+
+namespace omflp {
+
+Summary run_trials(std::size_t trials,
+                   const std::function<double(std::size_t)>& trial_fn) {
+  std::vector<double> samples(trials, 0.0);
+  parallel_for(trials,
+               [&](std::size_t i) { samples[i] = trial_fn(i); });
+  Summary summary;
+  for (double s : samples) summary.add(s);
+  return summary;
+}
+
+bool bench_full_scale() {
+  const char* env = std::getenv("OMFLP_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+void print_bench_header(const std::string& title,
+                        const std::string& paper_reference,
+                        const std::string& expectation) {
+  std::cout << "\n## " << title << "\n\n";
+  std::cout << "Paper reference: " << paper_reference << "\n";
+  std::cout << "Expected shape:  " << expectation << "\n";
+  std::cout << "Scale:           "
+            << (bench_full_scale() ? "full (OMFLP_BENCH_FULL=1)" : "fast")
+            << "\n\n";
+}
+
+}  // namespace omflp

@@ -1,0 +1,38 @@
+// Parallel experiment runner for the bench binaries.
+//
+// Every bench is a sweep over parameter points, each measured over several
+// seeded trials. Trials are deterministic functions of the trial index
+// (generators and randomized algorithms derive substreams from it), so
+// runs are reproducible regardless of the thread count.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace omflp {
+
+/// Run `trials` independent trials of `trial_fn(trial_index) -> sample`
+/// in parallel and collect the samples. Exceptions propagate.
+Summary run_trials(std::size_t trials,
+                   const std::function<double(std::size_t)>& trial_fn);
+
+/// Benchmark scale selector: benches run a fast sweep by default and a
+/// larger one when OMFLP_BENCH_FULL=1 is set, so the whole suite stays
+/// usable in CI while still supporting paper-scale runs.
+bool bench_full_scale();
+
+/// Convenience: picks between the fast and full value.
+template <typename T>
+T bench_pick(T fast, T full) {
+  return bench_full_scale() ? full : fast;
+}
+
+/// Standard header benches print before their tables.
+void print_bench_header(const std::string& title,
+                        const std::string& paper_reference,
+                        const std::string& expectation);
+
+}  // namespace omflp

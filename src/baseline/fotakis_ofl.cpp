@@ -1,0 +1,106 @@
+#include "baseline/fotakis_ofl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+inline double positive_part(double x) noexcept { return x > 0.0 ? x : 0.0; }
+}  // namespace
+
+void FotakisOfl::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "FotakisOfl::reset: incomplete context");
+  OMFLP_REQUIRE(context.num_commodities() == 1,
+                "FotakisOfl: single-commodity algorithm; wrap in "
+                "PerCommodityAdapter for |S| > 1");
+  cost_ = context.cost;
+  dist_ = std::make_unique<DistanceOracle>(context.metric);
+  num_points_ = dist_->num_points();
+  facilities_.clear();
+  past_.clear();
+  bids_.assign(num_points_, 0.0);
+  total_dual_ = 0.0;
+  duals_.clear();
+}
+
+void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
+  OMFLP_CHECK(cost_ != nullptr, "FotakisOfl: serve() before reset()");
+  const PointId loc = request.location;
+
+  // Nearest open facility (constraint (1) threshold).
+  double d1 = kInfiniteDistance;
+  FacilityId f1 = kInvalidFacility;
+  for (const OpenRecord& f : facilities_) {
+    const double d = (*dist_)(loc, f.point);
+    if (d < d1) {
+      d1 = d;
+      f1 = f.id;
+    }
+  }
+
+  // First tightness event while raising a_r from 0:
+  //   (1) a_r = d(F, r);
+  //   (3) (a_r − d(m,r))+ + bids_[m] = f_m  ⇒  a_r = d(m,r) + f_m − bids_[m].
+  double best_delta = d1;
+  int best_kind = 1;
+  PointId best_point = kInvalidPoint;
+  const CommoditySet single = CommoditySet::full_set(1);
+  for (PointId m = 0; m < num_points_; ++m) {
+    const double g = positive_part(cost_->open_cost(m, single) - bids_[m]);
+    const double delta = positive_part((*dist_)(m, loc) + g);
+    if (delta < best_delta ||
+        (delta == best_delta && best_kind == 3 && m < best_point)) {
+      best_delta = delta;
+      best_kind = 3;
+      best_point = m;
+    }
+  }
+  OMFLP_CHECK(std::isfinite(best_delta),
+              "FotakisOfl: no constraint can become tight");
+
+  const double a = best_delta;
+  FacilityId serving = f1;
+  if (best_kind == 3) {
+    serving = ledger.open_facility(best_point, single);
+    facilities_.push_back(OpenRecord{best_point, serving});
+    // The new facility may lower past requests' d(F, j); shrink their
+    // outstanding bids accordingly (Lemma 6's reinvestment rule).
+    for (PastRequest& pr : past_) {
+      const double d_new = (*dist_)(best_point, pr.location);
+      if (d_new >= pr.facility_dist) continue;
+      const double v_old = std::min(pr.dual, pr.facility_dist);
+      const double v_new = std::min(pr.dual, d_new);
+      if (v_new < v_old && v_old > 0.0) {
+        for (PointId m = 0; m < num_points_; ++m) {
+          const double dm = (*dist_)(m, pr.location);
+          bids_[m] -= positive_part(v_old - dm) - positive_part(v_new - dm);
+        }
+      }
+      pr.facility_dist = d_new;
+    }
+  }
+  ledger.assign(0, serving);
+
+  // Archive: post this request's bid contributions.
+  PastRequest pr;
+  pr.location = loc;
+  pr.dual = a;
+  pr.facility_dist = kInfiniteDistance;
+  for (const OpenRecord& f : facilities_)
+    pr.facility_dist = std::min(pr.facility_dist, (*dist_)(loc, f.point));
+  const double v = std::min(pr.dual, pr.facility_dist);
+  if (v > 0.0)
+    for (PointId m = 0; m < num_points_; ++m)
+      bids_[m] += positive_part(v - (*dist_)(m, loc));
+  past_.push_back(pr);
+
+  total_dual_ += a;
+  duals_.push_back(a);
+}
+
+}  // namespace omflp

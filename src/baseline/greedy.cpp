@@ -1,0 +1,106 @@
+#include "baseline/greedy.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+void AlwaysOpen::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "AlwaysOpen::reset: incomplete context");
+  num_commodities_ = context.num_commodities();
+}
+
+void AlwaysOpen::serve(const Request& request, SolutionLedger& ledger) {
+  const FacilityId id =
+      ledger.open_facility(request.location, request.commodities);
+  request.commodities.for_each(
+      [&](CommodityId e) { ledger.assign(e, id); });
+}
+
+void NearestOrOpen::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "NearestOrOpen::reset: incomplete context");
+  cost_ = context.cost;
+  dist_ = std::make_unique<DistanceOracle>(context.metric);
+  num_commodities_ = context.num_commodities();
+  offering_.assign(num_commodities_, {});
+}
+
+std::pair<double, FacilityId> NearestOrOpen::nearest_offering(
+    CommodityId e, PointId p) const {
+  double best = kInfiniteDistance;
+  FacilityId best_id = kInvalidFacility;
+  for (const OpenRecord& f : offering_[e]) {
+    const double d = (*dist_)(p, f.point);
+    if (d < best) {
+      best = d;
+      best_id = f.id;
+    }
+  }
+  return {best, best_id};
+}
+
+void NearestOrOpen::serve(const Request& request, SolutionLedger& ledger) {
+  OMFLP_CHECK(cost_ != nullptr, "NearestOrOpen: serve() before reset()");
+  request.commodities.for_each([&](CommodityId e) {
+    const auto [d, id] = nearest_offering(e, request.location);
+    const double open_here = cost_->singleton_cost(request.location, e);
+    if (d <= open_here) {
+      ledger.assign(e, id);
+    } else {
+      const FacilityId nid = ledger.open_facility(
+          request.location, CommoditySet::singleton(num_commodities_, e));
+      offering_[e].push_back(OpenRecord{request.location, nid});
+      ledger.assign(e, nid);
+    }
+  });
+}
+
+void RentOrBuy::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "RentOrBuy::reset: incomplete context");
+  cost_ = context.cost;
+  dist_ = std::make_unique<DistanceOracle>(context.metric);
+  num_commodities_ = context.num_commodities();
+  offering_.assign(num_commodities_, {});
+  rent_account_.assign(num_commodities_, 0.0);
+}
+
+std::pair<double, FacilityId> RentOrBuy::nearest_offering(CommodityId e,
+                                                          PointId p) const {
+  double best = kInfiniteDistance;
+  FacilityId best_id = kInvalidFacility;
+  for (const OpenRecord& f : offering_[e]) {
+    const double d = (*dist_)(p, f.point);
+    if (d < best) {
+      best = d;
+      best_id = f.id;
+    }
+  }
+  return {best, best_id};
+}
+
+void RentOrBuy::serve(const Request& request, SolutionLedger& ledger) {
+  OMFLP_CHECK(cost_ != nullptr, "RentOrBuy: serve() before reset()");
+  request.commodities.for_each([&](CommodityId e) {
+    const auto [d, id] = nearest_offering(e, request.location);
+    const double open_here = cost_->singleton_cost(request.location, e);
+    // Classic ski rental: keep renting (connecting) while the accumulated
+    // rent including this connection stays below the local opening cost;
+    // buy (open here) once it would exceed it.
+    if (id != kInvalidFacility && rent_account_[e] + d <= open_here) {
+      rent_account_[e] += d;
+      ledger.assign(e, id);
+    } else {
+      rent_account_[e] = 0.0;
+      const FacilityId nid = ledger.open_facility(
+          request.location, CommoditySet::singleton(num_commodities_, e));
+      offering_[e].push_back(OpenRecord{request.location, nid});
+      ledger.assign(e, nid);
+    }
+  });
+}
+
+}  // namespace omflp

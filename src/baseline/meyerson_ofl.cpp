@@ -1,0 +1,72 @@
+#include "baseline/meyerson_ofl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+void MeyersonOfl::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "MeyersonOfl::reset: incomplete context");
+  OMFLP_REQUIRE(context.num_commodities() == 1,
+                "MeyersonOfl: single-commodity algorithm; wrap in "
+                "PerCommodityAdapter for |S| > 1");
+  cost_ = context.cost;
+  dist_ = std::make_unique<DistanceOracle>(context.metric);
+  classes_ = std::make_unique<CostClassIndex>(context.metric, context.cost,
+                                              CommoditySet::full_set(1));
+  facilities_.clear();
+  rng_ = Rng(seed_);
+}
+
+void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
+  OMFLP_CHECK(cost_ != nullptr, "MeyersonOfl: serve() before reset()");
+  const PointId loc = request.location;
+
+  double connect = kInfiniteDistance;
+  for (const OpenRecord& f : facilities_)
+    connect = std::min(connect, (*dist_)(loc, f.point));
+  const auto open = classes_->best_open_option(loc);
+  const double budget = std::min(connect, open.cost);
+  OMFLP_CHECK(std::isfinite(budget), "MeyersonOfl: unserviceable request");
+
+  // One coin per cost class, improvements capped at the budget (same
+  // reading as RAND-OMFLP; see core/rand_omflp.hpp).
+  double d_prev = budget;
+  for (std::size_t i = 0; i < classes_->num_classes(); ++i) {
+    const auto [site_dist, site] = classes_->prefix_nearest(i, loc);
+    const double d_i = std::min(budget, site_dist);
+    const double improvement = std::max(0.0, d_prev - d_i);
+    d_prev = d_i;
+    if (improvement <= 0.0) continue;
+    const double c_i = classes_->class_cost(i);
+    const double p = c_i > 0.0 ? std::min(1.0, improvement / c_i) : 1.0;
+    if (p > 0.0 && rng_.bernoulli(p)) {
+      const FacilityId id =
+          ledger.open_facility(site, CommoditySet::full_set(1));
+      facilities_.push_back(OpenRecord{site, id});
+    }
+  }
+
+  // Completion: the request must be serviceable.
+  if (facilities_.empty()) {
+    const FacilityId id =
+        ledger.open_facility(open.point, CommoditySet::full_set(1));
+    facilities_.push_back(OpenRecord{open.point, id});
+  }
+
+  FacilityId best_id = kInvalidFacility;
+  double best_d = kInfiniteDistance;
+  for (const OpenRecord& f : facilities_) {
+    const double d = (*dist_)(loc, f.point);
+    if (d < best_d) {
+      best_d = d;
+      best_id = f.id;
+    }
+  }
+  ledger.assign(0, best_id);
+}
+
+}  // namespace omflp

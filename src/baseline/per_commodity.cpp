@@ -1,0 +1,108 @@
+#include "baseline/per_commodity.hpp"
+
+#include <sstream>
+
+#include "baseline/fotakis_ofl.hpp"
+#include "baseline/meyerson_ofl.hpp"
+#include "support/assert.hpp"
+
+namespace omflp {
+
+RestrictedCostModel::RestrictedCostModel(CostModelPtr base,
+                                         CommodityId commodity)
+    : base_(std::move(base)), commodity_(commodity) {
+  OMFLP_REQUIRE(base_ != nullptr, "RestrictedCostModel: null base");
+  OMFLP_REQUIRE(commodity_ < base_->num_commodities(),
+                "RestrictedCostModel: commodity out of range");
+}
+
+double RestrictedCostModel::open_cost(PointId m,
+                                      const CommoditySet& config) const {
+  const CommodityId size = check_config(config);
+  if (size == 0) return 0.0;
+  return base_->open_cost(
+      m, CommoditySet::singleton(base_->num_commodities(), commodity_));
+}
+
+std::string RestrictedCostModel::description() const {
+  std::ostringstream os;
+  os << "restrict(" << base_->description() << ", e=" << commodity_ << ")";
+  return os.str();
+}
+
+PerCommodityAdapter::PerCommodityAdapter(Factory factory, std::string label)
+    : factory_(std::move(factory)), label_(std::move(label)) {
+  OMFLP_REQUIRE(factory_ != nullptr, "PerCommodityAdapter: null factory");
+}
+
+std::unique_ptr<PerCommodityAdapter> PerCommodityAdapter::fotakis() {
+  return std::make_unique<PerCommodityAdapter>(
+      [](CommodityId) { return std::make_unique<FotakisOfl>(); },
+      "PerCommodity[Fotakis]");
+}
+
+std::unique_ptr<PerCommodityAdapter> PerCommodityAdapter::meyerson(
+    std::uint64_t seed) {
+  return std::make_unique<PerCommodityAdapter>(
+      [seed](CommodityId e) {
+        return std::make_unique<MeyersonOfl>(seed ^ (0x9e3779b97f4a7c15ULL *
+                                                     (e + 1)));
+      },
+      "PerCommodity[Meyerson]");
+}
+
+void PerCommodityAdapter::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "PerCommodityAdapter::reset: incomplete context");
+  context_ = context;
+  subs_.clear();
+  subs_.resize(context.num_commodities());
+}
+
+PerCommodityAdapter::SubInstance& PerCommodityAdapter::sub_for(CommodityId e) {
+  SubInstance& sub = subs_[e];
+  if (!sub.initialized) {
+    auto restricted =
+        std::make_shared<RestrictedCostModel>(context_.cost, e);
+    sub.algorithm = factory_(e);
+    OMFLP_CHECK(sub.algorithm != nullptr,
+                "PerCommodityAdapter: factory returned null");
+    sub.algorithm->reset(ProblemContext{context_.metric, restricted});
+    sub.ledger = std::make_unique<SolutionLedger>(context_.metric, restricted);
+    sub.initialized = true;
+  }
+  return sub;
+}
+
+void PerCommodityAdapter::serve(const Request& request,
+                                SolutionLedger& ledger) {
+  const CommodityId s = context_.num_commodities();
+  request.commodities.for_each([&](CommodityId e) {
+    SubInstance& sub = sub_for(e);
+
+    Request sub_request;
+    sub_request.location = request.location;
+    sub_request.commodities = CommoditySet::full_set(1);
+    sub.ledger->begin_request(sub_request);
+    sub.algorithm->serve(sub_request, *sub.ledger);
+    sub.ledger->finish_request();
+
+    // Mirror any newly opened sub-facilities into the real ledger as
+    // singleton-{e} facilities.
+    while (sub.facility_map.size() < sub.ledger->num_facilities()) {
+      const OpenFacilityRecord& f =
+          sub.ledger->facility(sub.facility_map.size());
+      sub.facility_map.push_back(
+          ledger.open_facility(f.location, CommoditySet::singleton(s, e)));
+    }
+
+    // Mirror the assignment of the sub-request just served.
+    const RequestRecord& rec = sub.ledger->request_records().back();
+    OMFLP_CHECK(rec.served.size() == 1,
+                "PerCommodityAdapter: sub-algorithm must serve exactly one "
+                "commodity");
+    ledger.assign(e, sub.facility_map[rec.served.front().facility]);
+  });
+}
+
+}  // namespace omflp

@@ -1,0 +1,20 @@
+#include "core/online_algorithm.hpp"
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+SolutionLedger run_online(OnlineAlgorithm& algorithm, const Instance& instance,
+                          ConnectionChargePolicy policy) {
+  SolutionLedger ledger(instance.metric_ptr(), instance.cost_ptr(), policy);
+  ProblemContext context{instance.metric_ptr(), instance.cost_ptr()};
+  algorithm.reset(context);
+  for (const Request& request : instance.requests()) {
+    ledger.begin_request(request);
+    algorithm.serve(request, ledger);
+    ledger.finish_request();
+  }
+  return ledger;
+}
+
+}  // namespace omflp

@@ -1,0 +1,48 @@
+// OnlineAlgorithm — the interface every OMFLP algorithm implements, plus
+// the runner that replays an instance's request sequence through an
+// algorithm into a SolutionLedger.
+//
+// The contract mirrors the paper's online model: reset() hands the
+// algorithm everything known beforehand (the metric space, the cost
+// oracle, |S|); serve() reveals one request and must leave it fully
+// covered in the ledger; decisions recorded in the ledger are irrevocable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "instance/instance.hpp"
+#include "solution/solution.hpp"
+
+namespace omflp {
+
+struct ProblemContext {
+  MetricPtr metric;
+  CostModelPtr cost;
+
+  CommodityId num_commodities() const { return cost->num_commodities(); }
+};
+
+class OnlineAlgorithm {
+ public:
+  virtual ~OnlineAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prepare for a fresh instance. Called before the first serve();
+  /// implementations must drop all state from previous runs.
+  virtual void reset(const ProblemContext& context) = 0;
+
+  /// Serve one request: open facilities / record assignments through the
+  /// ledger. run_online() brackets this with begin_request /
+  /// finish_request, so implementations only open and assign.
+  virtual void serve(const Request& request, SolutionLedger& ledger) = 0;
+};
+
+/// Replay the instance through the algorithm; returns the priced ledger.
+SolutionLedger run_online(OnlineAlgorithm& algorithm,
+                          const Instance& instance,
+                          ConnectionChargePolicy policy =
+                              ConnectionChargePolicy::kPerFacility);
+
+}  // namespace omflp

@@ -1,0 +1,606 @@
+#include "core/pd_omflp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+
+inline double positive_part(double x) noexcept { return x > 0.0 ? x : 0.0; }
+
+}  // namespace
+
+PdOmflp::PdOmflp(PdOptions options) : options_(options) {}
+
+std::string PdOmflp::name() const {
+  std::string n = "PD-OMFLP";
+  if (options_.prediction == PdOptions::Prediction::kOff)
+    n += "[no-prediction]";
+  if (options_.large_config == PdOptions::LargeConfig::kSeenUnion)
+    n += "[seen-union]";
+  if (!options_.excluded_from_prediction.empty())
+    n += "[exclude=" +
+         std::to_string(options_.excluded_from_prediction.count()) + "]";
+  if (options_.bid_mode == PdOptions::BidMode::kReference) n += "[reference]";
+  return n;
+}
+
+void PdOmflp::reset(const ProblemContext& context) {
+  OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
+                "PdOmflp::reset: incomplete context");
+  cost_ = context.cost;
+  dist_ = std::make_unique<DistanceOracle>(context.metric);
+  num_commodities_ = cost_->num_commodities();
+  num_points_ = dist_->num_points();
+
+  offering_.assign(num_commodities_, {});
+  larges_.clear();
+  seen_ = CommoditySet(num_commodities_);
+  if (options_.excluded_from_prediction.universe_size() == 0) {
+    excluded_ = CommoditySet(num_commodities_);
+  } else {
+    OMFLP_REQUIRE(options_.excluded_from_prediction.universe_size() ==
+                      num_commodities_,
+                  "PdOmflp: excluded_from_prediction universe mismatch");
+    excluded_ = options_.excluded_from_prediction;
+  }
+  past_.clear();
+  by_commodity_.assign(num_commodities_, {});
+  small_bids_.assign(num_commodities_, {});
+  large_bids_.assign(num_points_, 0.0);
+  total_dual_ = 0.0;
+  dual_records_.clear();
+  trace_.clear();
+}
+
+CommoditySet PdOmflp::current_large_config() const {
+  if (options_.large_config == PdOptions::LargeConfig::kFullS)
+    return CommoditySet::full_set(num_commodities_) - excluded_;
+  return seen_ - excluded_;
+}
+
+std::pair<double, FacilityId> PdOmflp::nearest_large(
+    PointId p, const CommoditySet& eligible_demand) const {
+  double best = kInfiniteDistance;
+  FacilityId best_id = kInvalidFacility;
+  for (const LargeRecord& lf : larges_) {
+    if (!eligible_demand.is_subset_of(lf.config)) continue;
+    const double d = (*dist_)(p, lf.point);
+    if (d < best) {
+      best = d;
+      best_id = lf.id;
+    }
+  }
+  return {best, best_id};
+}
+
+std::pair<double, FacilityId> PdOmflp::nearest_offering(CommodityId e,
+                                                        PointId p) const {
+  double best = kInfiniteDistance;
+  FacilityId best_id = kInvalidFacility;
+  for (const OpenRecord& f : offering_[e]) {
+    const double d = (*dist_)(p, f.point);
+    if (d < best) {
+      best = d;
+      best_id = f.id;
+    }
+  }
+  return {best, best_id};
+}
+
+void PdOmflp::recompute_small_bid_row(CommodityId e,
+                                      std::vector<double>& out) const {
+  out.assign(num_points_, 0.0);
+  for (const auto& [j, slot] : by_commodity_[e]) {
+    const PastRequest& pr = past_[j];
+    // d(F(e), j) from first principles: scan every facility offering e.
+    double dist_e = kInfiniteDistance;
+    for (const OpenRecord& f : offering_[e])
+      dist_e = std::min(dist_e, (*dist_)(pr.location, f.point));
+    const double v = std::min(pr.duals[slot], dist_e);
+    if (v <= 0.0) continue;
+    for (PointId m = 0; m < num_points_; ++m)
+      out[m] += positive_part(v - (*dist_)(m, pr.location));
+  }
+}
+
+void PdOmflp::recompute_large_bid_row(std::vector<double>& out) const {
+  out.assign(num_points_, 0.0);
+  for (const PastRequest& pr : past_) {
+    double dist_large = kInfiniteDistance;
+    for (const LargeRecord& lf : larges_) {
+      bool covers = true;
+      for (CommodityId e : pr.commodities) {
+        if (excluded_.contains(e)) continue;
+        if (!lf.config.contains(e)) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      dist_large = std::min(dist_large, (*dist_)(pr.location, lf.point));
+    }
+    const double v = std::min(pr.dual_sum_large, dist_large);
+    if (v <= 0.0) continue;
+    for (PointId m = 0; m < num_points_; ++m)
+      out[m] += positive_part(v - (*dist_)(m, pr.location));
+  }
+}
+
+void PdOmflp::small_bid_row(CommodityId e, std::vector<double>& out) const {
+  if (options_.bid_mode == PdOptions::BidMode::kReference) {
+    recompute_small_bid_row(e, out);
+    return;
+  }
+  if (small_bids_[e].empty())
+    out.assign(num_points_, 0.0);
+  else
+    out = small_bids_[e];
+}
+
+void PdOmflp::large_bid_row(std::vector<double>& out) const {
+  if (options_.bid_mode == PdOptions::BidMode::kReference) {
+    recompute_large_bid_row(out);
+    return;
+  }
+  out = large_bids_;
+}
+
+void PdOmflp::integrate_facility(PointId point, const CommoditySet& config,
+                                 FacilityId id, bool is_large) {
+  const bool incremental =
+      options_.bid_mode == PdOptions::BidMode::kIncremental;
+  // F̂ is defined by what a facility offers, not how it was opened: with
+  // |S| = 1 a "small" facility covers all of S and belongs to F̂.
+  is_large = is_large || config.is_full();
+
+  config.for_each([&](CommodityId e) {
+    offering_[e].push_back(OpenRecord{point, id});
+    for (const auto& [j, slot] : by_commodity_[e]) {
+      PastRequest& pr = past_[j];
+      const double d_new = (*dist_)(point, pr.location);
+      if (d_new >= pr.small_dist[slot]) continue;
+      if (incremental) {
+        const double v_old = std::min(pr.duals[slot], pr.small_dist[slot]);
+        const double v_new = std::min(pr.duals[slot], d_new);
+        if (v_new < v_old && v_old > 0.0) {
+          auto& row = small_bids_[e];
+          if (!row.empty()) {
+            for (PointId m = 0; m < num_points_; ++m) {
+              const double dm = (*dist_)(m, pr.location);
+              row[m] -= positive_part(v_old - dm) - positive_part(v_new - dm);
+            }
+          }
+        }
+      }
+      pr.small_dist[slot] = d_new;
+    }
+  });
+
+  if (!is_large) return;
+  larges_.push_back(LargeRecord{point, id, config});
+  for (PastRequest& pr : past_) {
+    bool covers = true;
+    for (CommodityId e : pr.commodities) {
+      if (excluded_.contains(e)) continue;
+      if (!config.contains(e)) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) continue;
+    const double d_new = (*dist_)(point, pr.location);
+    if (d_new >= pr.large_dist) continue;
+    if (incremental) {
+      const double v_old = std::min(pr.dual_sum_large, pr.large_dist);
+      const double v_new = std::min(pr.dual_sum_large, d_new);
+      if (v_new < v_old && v_old > 0.0) {
+        for (PointId m = 0; m < num_points_; ++m) {
+          const double dm = (*dist_)(m, pr.location);
+          large_bids_[m] -=
+              positive_part(v_old - dm) - positive_part(v_new - dm);
+        }
+      }
+    }
+    pr.large_dist = d_new;
+  }
+}
+
+void PdOmflp::archive_request(const Request& request,
+                              const std::vector<CommodityId>& commodities,
+                              const std::vector<double>& duals) {
+  const bool incremental =
+      options_.bid_mode == PdOptions::BidMode::kIncremental;
+
+  PastRequest pr;
+  pr.location = request.location;
+  pr.commodities = commodities;
+  pr.duals = duals;
+  pr.small_dist.resize(commodities.size());
+  for (std::size_t slot = 0; slot < commodities.size(); ++slot) {
+    pr.small_dist[slot] =
+        nearest_offering(commodities[slot], request.location).first;
+    if (!excluded_.contains(commodities[slot]))
+      pr.dual_sum_large += duals[slot];
+  }
+  pr.large_dist =
+      nearest_large(request.location, request.commodities - excluded_)
+          .first;
+
+  const std::size_t j = past_.size();
+  for (std::size_t slot = 0; slot < commodities.size(); ++slot) {
+    by_commodity_[commodities[slot]].emplace_back(
+        j, static_cast<std::uint32_t>(slot));
+    if (incremental) {
+      const double v = std::min(pr.duals[slot], pr.small_dist[slot]);
+      if (v > 0.0) {
+        auto& row = small_bids_[commodities[slot]];
+        if (row.empty()) row.assign(num_points_, 0.0);
+        for (PointId m = 0; m < num_points_; ++m)
+          row[m] += positive_part(v - (*dist_)(m, pr.location));
+      }
+    }
+  }
+  if (incremental && prediction_enabled()) {
+    const double v = std::min(pr.dual_sum_large, pr.large_dist);
+    if (v > 0.0) {
+      for (PointId m = 0; m < num_points_; ++m)
+        large_bids_[m] += positive_part(v - (*dist_)(m, pr.location));
+    }
+  }
+  past_.push_back(std::move(pr));
+
+  PdDualRecord record;
+  record.location = request.location;
+  record.commodities = commodities;
+  record.duals = duals;
+  dual_records_.push_back(std::move(record));
+  for (double a : duals) total_dual_ += a;
+}
+
+std::optional<std::string> PdOmflp::audit_state(double tolerance) const {
+  if (cost_ == nullptr) return std::nullopt;  // never reset: nothing to audit
+  std::ostringstream os;
+
+  // 1. Maintained nearest-facility distances vs fresh scans.
+  for (std::size_t j = 0; j < past_.size(); ++j) {
+    const PastRequest& pr = past_[j];
+    for (std::size_t slot = 0; slot < pr.commodities.size(); ++slot) {
+      const double fresh =
+          nearest_offering(pr.commodities[slot], pr.location).first;
+      const bool both_infinite =
+          !std::isfinite(fresh) && !std::isfinite(pr.small_dist[slot]);
+      if (!both_infinite &&
+          std::abs(fresh - pr.small_dist[slot]) > tolerance) {
+        os << "stale small_dist for request " << j << " slot " << slot
+           << ": maintained " << pr.small_dist[slot] << " vs fresh "
+           << fresh;
+        return os.str();
+      }
+    }
+    CommoditySet demand(num_commodities_);
+    for (CommodityId e : pr.commodities) demand.add(e);
+    const double fresh_large =
+        nearest_large(pr.location, demand - excluded_).first;
+    const bool both_infinite =
+        !std::isfinite(fresh_large) && !std::isfinite(pr.large_dist);
+    if (!both_infinite && std::abs(fresh_large - pr.large_dist) > tolerance) {
+      os << "stale large_dist for request " << j << ": maintained "
+         << pr.large_dist << " vs fresh " << fresh_large;
+      return os.str();
+    }
+  }
+
+  // 2. Incremental bid sums vs from-scratch recomputation, plus the
+  //    constraint-(3) invariant Σ_j bids ≤ f^{{e}}_m.
+  std::vector<double> fresh_row;
+  for (CommodityId e = 0; e < num_commodities_; ++e) {
+    if (by_commodity_[e].empty() && small_bids_[e].empty()) continue;
+    recompute_small_bid_row(e, fresh_row);
+    for (PointId m = 0; m < num_points_; ++m) {
+      if (options_.bid_mode == PdOptions::BidMode::kIncremental &&
+          !small_bids_[e].empty() &&
+          std::abs(small_bids_[e][m] - fresh_row[m]) >
+              tolerance * (1.0 + fresh_row[m])) {
+        os << "incremental small bids drifted for e=" << e << " at m=" << m
+           << ": " << small_bids_[e][m] << " vs " << fresh_row[m];
+        return os.str();
+      }
+      const double f = cost_->singleton_cost(m, e);
+      if (fresh_row[m] > f + tolerance * (1.0 + f)) {
+        os << "constraint (3) invariant violated for e=" << e
+           << " at m=" << m << ": bids " << fresh_row[m] << " > f " << f;
+        return os.str();
+      }
+    }
+  }
+
+  // 3. Same for the large side (constraint (4) invariant against the
+  //    *current* large configuration).
+  if (prediction_enabled()) {
+    const CommoditySet large_cfg = current_large_config();
+    recompute_large_bid_row(fresh_row);
+    for (PointId m = 0; m < num_points_; ++m) {
+      if (options_.bid_mode == PdOptions::BidMode::kIncremental &&
+          std::abs(large_bids_[m] - fresh_row[m]) >
+              tolerance * (1.0 + fresh_row[m])) {
+        os << "incremental large bids drifted at m=" << m << ": "
+           << large_bids_[m] << " vs " << fresh_row[m];
+        return os.str();
+      }
+      if (!large_cfg.empty()) {
+        const double f = cost_->open_cost(m, large_cfg);
+        if (fresh_row[m] > f + tolerance * (1.0 + f)) {
+          os << "constraint (4) invariant violated at m=" << m << ": bids "
+             << fresh_row[m] << " > f " << f;
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
+  OMFLP_CHECK(cost_ != nullptr, "PdOmflp: serve() before reset()");
+  const RequestId request_id = ledger.num_requests() - 1;
+  const PointId loc = request.location;
+
+  // The kSeenUnion prediction set includes the current request's demands.
+  seen_ |= request.commodities;
+
+  const std::vector<CommodityId> commodities =
+      request.commodities.to_vector();
+  const std::size_t k = commodities.size();
+
+  std::vector<double> a(k, 0.0);
+  std::vector<bool> served(k, false);
+  std::size_t unserved = k;
+  double raised = 0.0;
+
+  // Eligibility for the large-facility constraints (2)/(4): every slot in
+  // the paper's algorithm, everything outside the excluded set in the §5
+  // heavy-commodity variant.
+  std::vector<bool> eligible(k, false);
+  std::size_t unserved_eligible = 0;
+  for (std::size_t slot = 0; slot < k; ++slot) {
+    eligible[slot] = !excluded_.contains(commodities[slot]);
+    if (eligible[slot]) ++unserved_eligible;
+  }
+  const CommoditySet eligible_demand = request.commodities - excluded_;
+  double sum_eligible = 0.0;  // Σ a_re over eligible slots (frozen or not)
+
+  // Round-start snapshots; permanent facilities do not change mid-round.
+  std::vector<double> dist1(k);
+  std::vector<FacilityId> fac1(k);
+  for (std::size_t slot = 0; slot < k; ++slot) {
+    const auto [d, id] = nearest_offering(commodities[slot], loc);
+    dist1[slot] = d;
+    fac1[slot] = id;
+  }
+  const auto [dhat, near_large_id] =
+      prediction_enabled() && !eligible_demand.empty()
+          ? nearest_large(loc, eligible_demand)
+          : std::pair<double, FacilityId>{kInfiniteDistance,
+                                          kInvalidFacility};
+
+  // Per-slot singleton cost rows and bid rows.
+  std::vector<std::vector<double>> f_small(k);
+  std::vector<std::vector<double>> bids_small_scratch(k);
+  std::vector<const std::vector<double>*> bids_small(k);
+  for (std::size_t slot = 0; slot < k; ++slot) {
+    f_small[slot].resize(num_points_);
+    for (PointId m = 0; m < num_points_; ++m)
+      f_small[slot][m] = cost_->singleton_cost(m, commodities[slot]);
+    if (options_.bid_mode == PdOptions::BidMode::kIncremental &&
+        !small_bids_[commodities[slot]].empty()) {
+      bids_small[slot] = &small_bids_[commodities[slot]];
+    } else {
+      small_bid_row(commodities[slot], bids_small_scratch[slot]);
+      bids_small[slot] = &bids_small_scratch[slot];
+    }
+  }
+
+  CommoditySet large_cfg(num_commodities_);
+  std::vector<double> f_large;
+  std::vector<double> bids_large;
+  const bool can_open_large =
+      prediction_enabled() && unserved_eligible > 0 &&
+      !(large_cfg = current_large_config()).empty();
+  if (can_open_large) {
+    f_large.resize(num_points_);
+    for (PointId m = 0; m < num_points_; ++m)
+      f_large[m] = cost_->open_cost(m, large_cfg);
+    large_bid_row(bids_large);
+  }
+
+  // Round outcome.
+  std::vector<PointId> temp_point(k, kInvalidPoint);  // constraint (3)
+  std::vector<bool> via_existing(k, false);           // constraint (1)
+  std::vector<bool> via_large(k, false);              // constraints (2)/(4)
+  FacilityId large_serving = kInvalidFacility;        // existing (2)
+  PointId new_large_point = kInvalidPoint;            // new (4)
+  bool opened_large = false;
+
+  while (unserved > 0) {
+    // Find the next tightness event. Priority on ties: (2) and (4) end the
+    // round and subsume any simultaneous (1)/(3) event (the pseudocode
+    // processes lines 3-5 then 6-9 in the same instant, with 6-9
+    // overriding), then (1) before (3), smaller slot, smaller point.
+    struct Event {
+      double delta = std::numeric_limits<double>::infinity();
+      int priority = 99;  // 0:(2) 1:(4) 2:(1) 3:(3)
+      std::size_t slot = 0;
+      PointId point = kInvalidPoint;
+    };
+    Event best;
+    auto consider = [&](double delta, int priority, std::size_t slot,
+                        PointId point) {
+      if (delta < best.delta ||
+          (delta == best.delta &&
+           (priority < best.priority ||
+            (priority == best.priority &&
+             (slot < best.slot ||
+              (slot == best.slot && point < best.point)))))) {
+        best = Event{delta, priority, slot, point};
+      }
+    };
+
+    // Constraint (2): the eligible investment reaches d(F̂, r).
+    if (prediction_enabled() && unserved_eligible > 0 &&
+        std::isfinite(dhat))
+      consider(positive_part(dhat - sum_eligible) /
+                   static_cast<double>(unserved_eligible),
+               0, 0, kInvalidPoint);
+
+    // Constraint (4): joint investment pays for a new large facility at m.
+    if (can_open_large && unserved_eligible > 0) {
+      for (PointId m = 0; m < num_points_; ++m) {
+        const double g = positive_part(f_large[m] - bids_large[m]);
+        const double delta =
+            positive_part((*dist_)(m, loc) + g - sum_eligible) /
+            static_cast<double>(unserved_eligible);
+        consider(delta, 1, 0, m);
+      }
+    }
+
+    for (std::size_t slot = 0; slot < k; ++slot) {
+      if (served[slot]) continue;
+      // Constraint (1): a_re reaches the nearest facility offering e.
+      if (std::isfinite(dist1[slot]))
+        consider(positive_part(dist1[slot] - a[slot]), 2, slot,
+                 kInvalidPoint);
+      // Constraint (3): investment pays for a small facility {e} at m.
+      const std::vector<double>& row = *bids_small[slot];
+      for (PointId m = 0; m < num_points_; ++m) {
+        const double g = positive_part(f_small[slot][m] - row[m]);
+        consider(positive_part((*dist_)(m, loc) + g - a[slot]), 3, slot, m);
+      }
+    }
+
+    OMFLP_CHECK(std::isfinite(best.delta),
+                "PdOmflp: no constraint can become tight — facility costs "
+                "must be finite");
+
+    // Advance the duals of all unserved commodities by the event time.
+    if (best.delta > 0.0) {
+      for (std::size_t slot = 0; slot < k; ++slot) {
+        if (served[slot]) continue;
+        a[slot] += best.delta;
+        if (eligible[slot]) sum_eligible += best.delta;
+      }
+      raised += best.delta;
+    }
+
+    // (2)/(4): every eligible commodity of s_r is (re)assigned to the
+    // large facility; temporary facilities of reassigned slots are
+    // discarded (Algorithm 1 lines 7-9). Excluded (heavy) slots continue
+    // through constraints (1)/(3).
+    auto serve_eligible_by_large = [&] {
+      for (std::size_t slot = 0; slot < k; ++slot) {
+        if (!eligible[slot]) continue;
+        if (!served[slot]) --unserved;
+        served[slot] = true;
+        via_large[slot] = true;
+        via_existing[slot] = false;
+        temp_point[slot] = kInvalidPoint;
+      }
+      unserved_eligible = 0;
+    };
+
+    switch (best.priority) {
+      case 0: {  // (2) — connect to the nearest existing large facility.
+        large_serving = near_large_id;
+        serve_eligible_by_large();
+        if (options_.record_trace)
+          trace_.push_back(PdTraceEvent{request_id, 2, kInvalidCommodity,
+                                        ledger.facility(large_serving)
+                                            .location,
+                                        raised});
+        break;
+      }
+      case 1: {  // (4) — open a new large facility at best.point.
+        opened_large = true;
+        new_large_point = best.point;
+        serve_eligible_by_large();
+        if (options_.record_trace)
+          trace_.push_back(PdTraceEvent{request_id, 4, kInvalidCommodity,
+                                        best.point, raised});
+        break;
+      }
+      case 2: {  // (1) — serve e by the nearest existing facility.
+        served[best.slot] = true;
+        via_existing[best.slot] = true;
+        --unserved;
+        if (eligible[best.slot]) --unserved_eligible;
+        if (options_.record_trace)
+          trace_.push_back(PdTraceEvent{request_id, 1,
+                                        commodities[best.slot],
+                                        ledger.facility(fac1[best.slot])
+                                            .location,
+                                        raised});
+        break;
+      }
+      case 3: {  // (3) — temporarily open a small facility {e} at m.
+        served[best.slot] = true;
+        temp_point[best.slot] = best.point;
+        --unserved;
+        if (eligible[best.slot]) --unserved_eligible;
+        if (options_.record_trace)
+          trace_.push_back(PdTraceEvent{request_id, 3,
+                                        commodities[best.slot], best.point,
+                                        raised});
+        break;
+      }
+      default:
+        OMFLP_CHECK(false, "PdOmflp: invalid event");
+    }
+  }
+
+  // Commit the round's decisions to the ledger; temporary facilities are
+  // discarded when the round ended through (2)/(4) (lines 8-9 of
+  // Algorithm 1), otherwise they become permanent (line 10).
+  struct NewFacility {
+    PointId point;
+    CommoditySet config;
+    FacilityId id;
+    bool is_large;
+  };
+  std::vector<NewFacility> committed;
+
+  FacilityId large_id = large_serving;
+  if (opened_large) {
+    large_id = ledger.open_facility(new_large_point, large_cfg);
+    committed.push_back(
+        NewFacility{new_large_point, large_cfg, large_id, true});
+  }
+  for (std::size_t slot = 0; slot < k; ++slot) {
+    if (via_large[slot]) {
+      OMFLP_CHECK(large_id != kInvalidFacility,
+                  "PdOmflp: large assignment without a large facility");
+      ledger.assign(commodities[slot], large_id);
+    } else if (temp_point[slot] != kInvalidPoint) {
+      const CommoditySet single =
+          CommoditySet::singleton(num_commodities_, commodities[slot]);
+      const FacilityId id = ledger.open_facility(temp_point[slot], single);
+      committed.push_back(NewFacility{temp_point[slot], single, id, false});
+      ledger.assign(commodities[slot], id);
+    } else {
+      OMFLP_CHECK(via_existing[slot] && fac1[slot] != kInvalidFacility,
+                  "PdOmflp: slot finished without an assignment");
+      ledger.assign(commodities[slot], fac1[slot]);
+    }
+  }
+
+  for (const NewFacility& nf : committed)
+    integrate_facility(nf.point, nf.config, nf.id, nf.is_large);
+
+  archive_request(request, commodities, a);
+}
+
+}  // namespace omflp

@@ -1,0 +1,213 @@
+// PD-OMFLP — the paper's deterministic primal–dual algorithm (Algorithm 1,
+// Section 3), O(√|S|·log n)-competitive under Condition 1 (Theorem 4).
+//
+// On arrival of request r with demand set s_r, the algorithm raises the
+// dual variables a_re of all not-yet-served commodities e ∈ s_r
+// simultaneously at unit rate and reacts to the first constraint that
+// becomes tight:
+//
+//   (1) a_re = d(F(e), r)                         — connect e to the
+//       nearest open facility offering e (small or large);
+//   (3) (a_re − d(m,r))+ + Σ_j (min{a_je, d(F(e),j)} − d(m,j))+ = f^{e}_m
+//       — enough joint investment at point m: a *small* facility {e}
+//       opens temporarily at m and e is served by it;
+//   (2) Σ_{e∈s_r} a_re = d(F̂, r)                  — the joint investment
+//       reaches the nearest *large* facility: all of s_r is re-assigned to
+//       it and this round's temporary facilities are discarded;
+//   (4) (Σ_e a_re − d(m,r))+ + Σ_j (min{Σ_e a_je, d(F̂,j)} − d(m,j))+ = f^S_m
+//       — enough joint investment for a new large facility at m: it opens
+//       (irrevocably), serves all of s_r, temporary facilities discarded.
+//
+// When the dual-raising finishes without (2)/(4), the temporary small
+// facilities become permanent. Only permanent facilities reach the ledger,
+// so ledger decisions are irrevocable as the model demands.
+//
+// The continuous raising is simulated exactly: all four constraint
+// families are piecewise-linear in the raised amount Δ, so the algorithm
+// computes the tightness time of each candidate event in closed form,
+// advances to the minimum and processes events in a deterministic
+// tie-break order (constraint number, then commodity id, then point id).
+//
+// Bid sums over past requests (the Σ_j terms) are supplied by one of two
+// interchangeable strategies, selectable via PdOptions::bid_mode:
+//   * kReference   — recompute every sum from first principles at each
+//                    arrival (obviously correct; O(n·|M|) per arrival);
+//   * kIncremental — maintain per-(commodity, point) prefix sums, updated
+//                    when duals freeze and when facilities open.
+// Both must produce identical runs; tests/test_pd_omflp.cpp asserts trace
+// equality on randomized instances.
+//
+// Options beyond the paper (all default to the paper's behaviour):
+//   * prediction = kOff disables large facilities entirely (constraints
+//     (2)/(4) never fire). This is the ablation for the §2 discussion that
+//     *without* prediction every algorithm is Ω(|S|)-competitive.
+//   * large_config = kSeenUnion opens "large" facilities with the union of
+//     all commodities seen so far instead of the full S — a natural
+//     future-work variant (the paper's closing remarks discuss restricting
+//     prediction). Constraint (2)/(4) then measure distances to facilities
+//     that cover the *request's* demand set. Requires a monotone cost
+//     model (f^a ≤ f^b for a ⊆ b); all shipped models are monotone.
+//   * excluded_from_prediction implements the §5 closing-remarks recipe
+//     for *heavy* commodities: large facilities carry S minus the excluded
+//     set, constraints (2)/(4) only collect the investment of non-excluded
+//     commodities, and excluded commodities are always served through the
+//     small-facility constraints (1)/(3). Pair with
+//     detect_heavy_commodities() from cost/heavy.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/online_algorithm.hpp"
+#include "metric/distance_oracle.hpp"
+
+namespace omflp {
+
+struct PdOptions {
+  enum class BidMode { kReference, kIncremental };
+  enum class Prediction { kOn, kOff };
+  enum class LargeConfig { kFullS, kSeenUnion };
+
+  BidMode bid_mode = BidMode::kIncremental;
+  Prediction prediction = Prediction::kOn;
+  LargeConfig large_config = LargeConfig::kFullS;
+  /// Commodities kept out of large facilities (§5 heavy commodities).
+  /// Default-constructed (empty universe) means "exclude nothing"; a
+  /// non-empty universe must match the instance's |S|.
+  CommoditySet excluded_from_prediction;
+  /// Record the per-event trace (for equivalence tests / debugging).
+  bool record_trace = false;
+};
+
+/// One (request, commodity) dual variable after its freeze, exported for
+/// the dual-feasibility checker (Lemmas 14/16) and the Corollary 8 test.
+struct PdDualRecord {
+  PointId location = 0;
+  std::vector<CommodityId> commodities;  // s_r in increasing order
+  std::vector<double> duals;             // a_re, aligned with commodities
+};
+
+struct PdTraceEvent {
+  RequestId request = 0;
+  int constraint = 0;          // 1..4, which family fired
+  CommodityId commodity = 0;   // kInvalidCommodity for (2)/(4)
+  PointId point = 0;           // facility point involved
+  double raised = 0.0;         // total Δ raised in the round up to the event
+};
+
+class PdOmflp final : public OnlineAlgorithm {
+ public:
+  explicit PdOmflp(PdOptions options = {});
+
+  std::string name() const override;
+  void reset(const ProblemContext& context) override;
+  void serve(const Request& request, SolutionLedger& ledger) override;
+
+  /// Σ_r Σ_{e∈s_r} a_re — the dual objective before scaling.
+  double total_dual() const noexcept { return total_dual_; }
+
+  /// Deep self-check of the algorithm's internal state (test hook):
+  /// maintained nearest-facility distances against fresh scans, the
+  /// incremental bid sums against from-scratch recomputation, and the
+  /// invariants "Σ_j bids ≤ f^{{e}}_m" (constraint 3) and
+  /// "Σ_j bids ≤ f^{large}_m" (constraint 4) at every point. Returns a
+  /// description of the first inconsistency, or nullopt when clean.
+  /// O(n·|M|·|S|); call after serve()s, not inside hot loops.
+  std::optional<std::string> audit_state(double tolerance = 1e-7) const;
+  const std::vector<PdDualRecord>& dual_records() const noexcept {
+    return dual_records_;
+  }
+  const std::vector<PdTraceEvent>& trace() const noexcept { return trace_; }
+
+  const PdOptions& options() const noexcept { return options_; }
+
+ private:
+  // ---- per-run immutable context ------------------------------------------
+  PdOptions options_;
+  CostModelPtr cost_;
+  std::unique_ptr<DistanceOracle> dist_;
+  CommodityId num_commodities_ = 0;
+  std::size_t num_points_ = 0;
+
+  // ---- facility state -----------------------------------------------------
+  struct OpenRecord {
+    PointId point = 0;
+    FacilityId id = kInvalidFacility;
+  };
+  /// offering_[e]: all permanent facilities whose config contains e.
+  std::vector<std::vector<OpenRecord>> offering_;
+  struct LargeRecord {
+    PointId point = 0;
+    FacilityId id = kInvalidFacility;
+    CommoditySet config;  // full S in kFullS mode; the union in kSeenUnion
+  };
+  std::vector<LargeRecord> larges_;
+  /// Union of commodities demanded so far (kSeenUnion's prediction set).
+  CommoditySet seen_;
+  /// Normalized excluded set (empty set over S when the option is unset).
+  CommoditySet excluded_;
+
+  // ---- past-request state -------------------------------------------------
+  struct PastRequest {
+    PointId location = 0;
+    std::vector<CommodityId> commodities;
+    std::vector<double> duals;       // frozen a_je
+    std::vector<double> small_dist;  // d(F(e), j), maintained per slot
+    double dual_sum_large = 0.0;     // Σ a_je over non-excluded commodities
+    double large_dist = kInfiniteDistance;  // d(F̂, j), maintained
+  };
+  std::vector<PastRequest> past_;
+  /// by_commodity_[e]: (request index, slot in its commodity list).
+  std::vector<std::vector<std::pair<std::size_t, std::uint32_t>>>
+      by_commodity_;
+
+  // ---- incremental bid sums (kIncremental only) ---------------------------
+  /// small_bids_[e][m] = Σ_j (min{a_je, d(F(e),j)} − d(m,j))+ over past j.
+  std::vector<std::vector<double>> small_bids_;
+  /// large_bids_[m] = Σ_j (min{Σ_e a_je, d(F̂,j)} − d(m,j))+ over past j.
+  std::vector<double> large_bids_;
+
+  // ---- outputs -------------------------------------------------------------
+  double total_dual_ = 0.0;
+  std::vector<PdDualRecord> dual_records_;
+  std::vector<PdTraceEvent> trace_;
+
+  // ---- helpers -------------------------------------------------------------
+  bool prediction_enabled() const noexcept {
+    return options_.prediction == PdOptions::Prediction::kOn;
+  }
+  /// The configuration a new large facility would open with right now
+  /// (full S or the seen union, minus the excluded commodities).
+  CommoditySet current_large_config() const;
+  /// Distance from point p to the nearest large facility covering
+  /// `eligible_demand` (the demand minus excluded commodities), and that
+  /// facility.
+  std::pair<double, FacilityId> nearest_large(
+      PointId p, const CommoditySet& eligible_demand) const;
+  /// Distance from p to the nearest facility offering e, and the facility.
+  std::pair<double, FacilityId> nearest_offering(CommodityId e,
+                                                 PointId p) const;
+
+  /// Fill `out[m]` with the constraint-(3) bid sum for commodity e at every
+  /// point m (past requests only), according to the bid mode.
+  void small_bid_row(CommodityId e, std::vector<double>& out) const;
+  /// Same for the constraint-(4) large-facility bid sums.
+  void large_bid_row(std::vector<double>& out) const;
+  void recompute_small_bid_row(CommodityId e, std::vector<double>& out) const;
+  void recompute_large_bid_row(std::vector<double>& out) const;
+
+  /// Registers a newly permanent facility at `point` offering `config`
+  /// with the internal indexes and (kIncremental) adjusts bid sums of past
+  /// requests whose nearest-facility distances improved.
+  void integrate_facility(PointId point, const CommoditySet& config,
+                          FacilityId id, bool is_large);
+
+  /// Appends the finished request to past_ / by_commodity_ and posts its
+  /// contributions to the incremental bid arrays.
+  void archive_request(const Request& request,
+                       const std::vector<CommodityId>& commodities,
+                       const std::vector<double>& duals);
+};
+
+}  // namespace omflp

@@ -1,0 +1,133 @@
+#include "cost/checks.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+
+CommoditySet set_from_mask(CommodityId universe, std::uint64_t mask) {
+  CommoditySet s(universe);
+  for (CommodityId e = 0; e < universe; ++e)
+    if ((mask >> e) & 1ULL) s.add(e);
+  return s;
+}
+
+CommoditySet random_nonempty_subset(CommodityId universe, Rng& rng) {
+  CommoditySet s(universe);
+  // Geometric density so both small and large configurations appear.
+  const double p = rng.uniform(0.05, 0.95);
+  for (CommodityId e = 0; e < universe; ++e)
+    if (rng.bernoulli(p)) s.add(e);
+  if (s.empty()) s.add(static_cast<CommodityId>(rng.uniform_index(universe)));
+  return s;
+}
+
+std::optional<CostViolation> condition1_at(const FacilityCostModel& cost,
+                                           PointId m,
+                                           const CommoditySet& sigma,
+                                           double tol) {
+  const CommodityId s = cost.num_commodities();
+  const double f_sigma = cost.open_cost(m, sigma);
+  const double f_full = cost.open_cost(m, CommoditySet::full_set(s));
+  const double lhs = f_sigma / static_cast<double>(sigma.count());
+  const double rhs = f_full / static_cast<double>(s);
+  if (lhs + tol < rhs) {
+    std::ostringstream os;
+    os << "Condition 1 violated at m=" << m << ", sigma="
+       << sigma.to_string() << ": f/|sigma|=" << lhs << " < f^S/|S|=" << rhs;
+    return CostViolation{os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<CostViolation> subadd_at(const FacilityCostModel& cost,
+                                       PointId m, const CommoditySet& a,
+                                       const CommoditySet& b, double tol) {
+  const CommoditySet u = a | b;
+  if (u.empty()) return std::nullopt;
+  const double fu = cost.open_cost(m, u);
+  const double fa = cost.open_cost(m, a);
+  const double fb = cost.open_cost(m, b);
+  if (fu > fa + fb + tol) {
+    std::ostringstream os;
+    os << "subadditivity violated at m=" << m << ": f(" << u.to_string()
+       << ")=" << fu << " > f(" << a.to_string() << ")+f(" << b.to_string()
+       << ")=" << (fa + fb);
+    return CostViolation{os.str()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CostViolation> check_condition1_exhaustive(
+    const FacilityCostModel& cost, std::size_t num_points, double tolerance) {
+  const CommodityId s = cost.num_commodities();
+  OMFLP_REQUIRE(s <= 20, "check_condition1_exhaustive: |S| too large");
+  OMFLP_REQUIRE(num_points > 0, "check_condition1_exhaustive: no points");
+  const std::size_t points =
+      cost.location_invariant() ? std::size_t{1} : num_points;
+  for (PointId m = 0; m < points; ++m)
+    for (std::uint64_t mask = 1; mask < (1ULL << s); ++mask)
+      if (auto v =
+              condition1_at(cost, m, set_from_mask(s, mask), tolerance))
+        return v;
+  return std::nullopt;
+}
+
+std::optional<CostViolation> check_condition1_sampled(
+    const FacilityCostModel& cost, std::size_t num_points,
+    std::size_t samples, Rng& rng, double tolerance) {
+  OMFLP_REQUIRE(num_points > 0, "check_condition1_sampled: no points");
+  const CommodityId s = cost.num_commodities();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const PointId m = static_cast<PointId>(rng.uniform_index(num_points));
+    if (auto v = condition1_at(cost, m, random_nonempty_subset(s, rng),
+                               tolerance))
+      return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<CostViolation> check_subadditivity_exhaustive(
+    const FacilityCostModel& cost, std::size_t num_points, double tolerance) {
+  const CommodityId s = cost.num_commodities();
+  OMFLP_REQUIRE(s <= 12, "check_subadditivity_exhaustive: |S| too large");
+  OMFLP_REQUIRE(num_points > 0, "check_subadditivity_exhaustive: no points");
+  const std::size_t points =
+      cost.location_invariant() ? std::size_t{1} : num_points;
+  for (PointId m = 0; m < points; ++m) {
+    for (std::uint64_t mask = 1; mask < (1ULL << s); ++mask) {
+      const CommoditySet sigma = set_from_mask(s, mask);
+      // Enumerate submasks a of sigma; b = sigma \ a is the complement,
+      // giving every exact 2-partition (the paper allows overlaps, but a
+      // violation with overlap implies one without).
+      for (std::uint64_t a = mask; a != 0; a = (a - 1) & mask) {
+        const CommoditySet sa = set_from_mask(s, a);
+        const CommoditySet sb = sigma - sa;
+        if (auto v = subadd_at(cost, m, sa, sb, tolerance)) return v;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CostViolation> check_subadditivity_sampled(
+    const FacilityCostModel& cost, std::size_t num_points,
+    std::size_t samples, Rng& rng, double tolerance) {
+  OMFLP_REQUIRE(num_points > 0, "check_subadditivity_sampled: no points");
+  const CommodityId s = cost.num_commodities();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const PointId m = static_cast<PointId>(rng.uniform_index(num_points));
+    const CommoditySet a = random_nonempty_subset(s, rng);
+    const CommoditySet b = random_nonempty_subset(s, rng);
+    if (auto v = subadd_at(cost, m, a, b, tolerance)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace omflp

@@ -1,0 +1,45 @@
+// Empirical verification of the paper's cost-function assumptions.
+//
+// Subadditivity (f^{a∪b}_m ≤ f^a_m + f^b_m for a ∪ b = σ) is WLOG per
+// §1.1; Condition 1 (f^σ_m/|σ| ≥ f^S_m/|S|) is the paper's substantive
+// assumption. Exhaustive checks enumerate all configurations (2^|S|, use
+// for |S| ≤ ~16); sampled checks draw random (σ, a, b, m) tuples.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "cost/cost_model.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+struct CostViolation {
+  std::string what;
+};
+
+/// Exhaustive Condition-1 check over all non-empty σ and all points in
+/// [0, num_points). Requires |S| ≤ 20 (2^|S| enumeration).
+std::optional<CostViolation> check_condition1_exhaustive(
+    const FacilityCostModel& cost, std::size_t num_points,
+    double tolerance = 1e-9);
+
+/// Sampled Condition-1 check (random σ, random point).
+std::optional<CostViolation> check_condition1_sampled(
+    const FacilityCostModel& cost, std::size_t num_points,
+    std::size_t samples, Rng& rng, double tolerance = 1e-9);
+
+/// Exhaustive subadditivity check: for every σ and every 2-partition
+/// (a, σ\a), f^σ ≤ f^a + f^{σ\a}. Enumerates 3^|S| triples; |S| ≤ 12.
+std::optional<CostViolation> check_subadditivity_exhaustive(
+    const FacilityCostModel& cost, std::size_t num_points,
+    double tolerance = 1e-9);
+
+/// Sampled subadditivity check with random covers a ∪ b = σ (a, b may
+/// overlap, the paper's definition allows it).
+std::optional<CostViolation> check_subadditivity_sampled(
+    const FacilityCostModel& cost, std::size_t num_points,
+    std::size_t samples, Rng& rng, double tolerance = 1e-9);
+
+}  // namespace omflp

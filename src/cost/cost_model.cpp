@@ -1,0 +1,21 @@
+#include "cost/cost_model.hpp"
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+double FacilityCostModel::singleton_cost(PointId m, CommodityId e) const {
+  return open_cost(m, CommoditySet::singleton(num_commodities(), e));
+}
+
+double FacilityCostModel::full_cost(PointId m) const {
+  return open_cost(m, CommoditySet::full_set(num_commodities()));
+}
+
+CommodityId FacilityCostModel::check_config(const CommoditySet& config) const {
+  OMFLP_REQUIRE(config.universe_size() == num_commodities(),
+                "FacilityCostModel: configuration universe mismatch");
+  return config.count();
+}
+
+}  // namespace omflp

@@ -1,0 +1,76 @@
+#include "cost/heavy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+HeavyTailCostModel::HeavyTailCostModel(
+    CommodityId num_commodities, std::function<double(CommodityId)> base_g,
+    CommoditySet heavy, std::vector<double> heavy_weights)
+    : s_(num_commodities), heavy_(std::move(heavy)),
+      weights_(std::move(heavy_weights)) {
+  OMFLP_REQUIRE(s_ > 0, "HeavyTailCostModel: |S| must be positive");
+  OMFLP_REQUIRE(base_g != nullptr, "HeavyTailCostModel: null base cost");
+  OMFLP_REQUIRE(heavy_.universe_size() == s_,
+                "HeavyTailCostModel: heavy set universe mismatch");
+  OMFLP_REQUIRE(weights_.size() == s_,
+                "HeavyTailCostModel: need one weight slot per commodity");
+  base_by_size_.resize(s_ + 1);
+  for (CommodityId k = 0; k <= s_; ++k) {
+    base_by_size_[k] = base_g(k);
+    OMFLP_REQUIRE(std::isfinite(base_by_size_[k]) && base_by_size_[k] >= 0.0,
+                  "HeavyTailCostModel: base costs must be non-negative");
+  }
+  OMFLP_REQUIRE(base_by_size_[0] == 0.0, "HeavyTailCostModel: g(0) != 0");
+  heavy_.for_each([&](CommodityId e) {
+    OMFLP_REQUIRE(std::isfinite(weights_[e]) && weights_[e] >= 0.0,
+                  "HeavyTailCostModel: heavy weights must be non-negative");
+  });
+}
+
+double HeavyTailCostModel::open_cost(PointId /*m*/,
+                                     const CommoditySet& config) const {
+  check_config(config);
+  const CommoditySet heavy_part = config & heavy_;
+  double cost = base_by_size_[(config - heavy_).count()];
+  heavy_part.for_each([&](CommodityId e) { cost += weights_[e]; });
+  return cost;
+}
+
+std::string HeavyTailCostModel::description() const {
+  std::ostringstream os;
+  os << "heavy-tail(|S|=" << s_ << ", |H|=" << heavy_.count() << ")";
+  return os.str();
+}
+
+CommoditySet detect_heavy_commodities(const FacilityCostModel& cost,
+                                      std::size_t num_points,
+                                      double factor) {
+  OMFLP_REQUIRE(num_points > 0, "detect_heavy_commodities: no points");
+  OMFLP_REQUIRE(factor >= 1.0,
+                "detect_heavy_commodities: factor below 1 would flag "
+                "commodities of perfectly uniform cost");
+  const CommodityId s = cost.num_commodities();
+  CommoditySet heavy(s);
+  const std::size_t points =
+      cost.location_invariant() ? std::size_t{1} : num_points;
+  std::vector<double> singles(s);
+  for (PointId m = 0; m < points; ++m) {
+    for (CommodityId e = 0; e < s; ++e)
+      singles[e] = cost.singleton_cost(m, e);
+    std::vector<double> sorted = singles;
+    std::nth_element(sorted.begin(), sorted.begin() + s / 2, sorted.end());
+    const double median = sorted[s / 2];
+    if (median <= 0.0) continue;
+    for (CommodityId e = 0; e < s; ++e)
+      if (singles[e] > factor * median) heavy.add(e);
+  }
+  return heavy;
+}
+
+}  // namespace omflp

@@ -1,0 +1,62 @@
+// Heavy commodities — the §5 closing-remarks scenario.
+//
+// Condition 1 "indirectly implies that the costs for single commodities
+// are not too different: i.e., there is no commodity that results in a
+// high increase in the construction cost when added to an existing
+// configuration". The paper suggests that a small number of such *heavy*
+// commodities can be handled by excluding them from prediction: run the
+// algorithms with large facilities carrying all *non-heavy* commodities.
+//
+// This header supplies both halves of that programme:
+//   * HeavyTailCostModel — a subadditive cost with designated heavy
+//     commodities priced additively on top of a size-only base:
+//         f^σ_m = g(|σ \ H|) + Σ_{e ∈ σ∩H} w_e.
+//     With large weights it violates Condition 1 (by design — it is the
+//     regime the paper's analysis excludes).
+//   * detect_heavy_commodities — flags commodities whose singleton cost
+//     exceeds `factor` times the *median* singleton cost at some point.
+//     (§5's wording: heavy commodities are the ones whose costs are "too
+//     different" from the others'. Comparing against the full-set average
+//     would misfire: under a strongly subadditive base every singleton
+//     legitimately costs up to ~√|S| times the per-commodity average —
+//     that is Condition 1's slack, not heaviness.) The result plugs into
+//     PdOptions::excluded_from_prediction.
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.hpp"
+
+namespace omflp {
+
+class HeavyTailCostModel final : public FacilityCostModel {
+ public:
+  /// base_g: subadditive size cost for the non-heavy part (g(0) == 0).
+  /// heavy_weights: per-commodity additive cost for members of `heavy`;
+  /// weights of non-heavy commodities are ignored.
+  HeavyTailCostModel(CommodityId num_commodities,
+                     std::function<double(CommodityId)> base_g,
+                     CommoditySet heavy, std::vector<double> heavy_weights);
+
+  CommodityId num_commodities() const noexcept override { return s_; }
+  double open_cost(PointId m, const CommoditySet& config) const override;
+  bool location_invariant() const noexcept override { return true; }
+  std::string description() const override;
+
+  const CommoditySet& heavy_set() const noexcept { return heavy_; }
+
+ private:
+  CommodityId s_;
+  std::vector<double> base_by_size_;
+  CommoditySet heavy_;
+  std::vector<double> weights_;
+};
+
+/// Commodities e with  f^{{e}}_m > factor · median_e' f^{{e'}}_m  at some
+/// point m. Factor must be ≥ 1; values of ~2-4 flag genuinely
+/// disproportionate commodities. Scans all points; O(|M|·|S| log |S|).
+CommoditySet detect_heavy_commodities(const FacilityCostModel& cost,
+                                      std::size_t num_points,
+                                      double factor);
+
+}  // namespace omflp

@@ -1,0 +1,76 @@
+#include "instance/adversarial.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "metric/line_metric.hpp"
+#include "support/assert.hpp"
+
+namespace omflp {
+
+CommodityId theorem2_sequence_length(CommodityId num_commodities) {
+  return static_cast<CommodityId>(
+      std::floor(std::sqrt(static_cast<double>(num_commodities))));
+}
+
+namespace {
+
+std::vector<Request> theorem2_requests(CommodityId s, Rng& rng) {
+  const CommodityId k = theorem2_sequence_length(s);
+  OMFLP_REQUIRE(k >= 1, "theorem2: |S| must be at least 1");
+  std::vector<Request> requests;
+  requests.reserve(k);
+  for (std::size_t idx : rng.sample_without_replacement(s, k)) {
+    Request r;
+    r.location = 0;
+    r.commodities =
+        CommoditySet::singleton(s, static_cast<CommodityId>(idx));
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+}  // namespace
+
+Instance make_theorem2_instance(const Theorem2Config& config, Rng& rng) {
+  const CommodityId s = config.num_commodities;
+  auto metric = std::make_shared<SinglePointMetric>();
+  auto cost = std::make_shared<CeilRatioCostModel>(s, config.cost_scale);
+  auto requests = theorem2_requests(s, rng);
+
+  std::ostringstream name;
+  name << "theorem2(|S|=" << s << ")";
+  Instance inst(std::move(metric), std::move(cost), std::move(requests),
+                name.str());
+  // OPT: one facility covering S' costs scale·⌈|S'|/√|S|⌉ = scale (since
+  // |S'| = ⌊√|S|⌋ ≤ √|S|). Exact: connection costs are zero on a single
+  // point and any facility covering at least one commodity costs ≥ scale.
+  inst.set_opt_certificate(OptCertificate{
+      config.cost_scale, /*exact=*/true,
+      "single facility with configuration S' (Theorem 2 proof)"});
+  return inst;
+}
+
+Instance make_theorem18_instance(const Theorem18Config& config, Rng& rng) {
+  const CommodityId s = config.num_commodities;
+  auto metric = std::make_shared<SinglePointMetric>();
+  auto cost = std::make_shared<PolynomialCostModel>(s, config.exponent_x,
+                                                    config.cost_scale);
+  auto requests = theorem2_requests(s, rng);
+  const CommodityId k = theorem2_sequence_length(s);
+  // OPT pays at most g_x(k) with one facility. This is exact: covering the
+  // k requested commodities with facilities of sizes k_1 + ... + k_p >= k
+  // costs sum g_x(k_i) >= g_x(sum k_i) >= g_x(k) by subadditivity of
+  // t -> t^{x/2} for x <= 2 and monotonicity.
+  const double opt = cost->cost_of_size(k);
+
+  std::ostringstream name;
+  name << "theorem18(|S|=" << s << ",x=" << config.exponent_x << ")";
+  Instance inst(std::move(metric), std::move(cost), std::move(requests),
+                name.str());
+  inst.set_opt_certificate(OptCertificate{
+      opt, /*exact=*/true, "single facility with configuration S'"});
+  return inst;
+}
+
+}  // namespace omflp

@@ -1,0 +1,43 @@
+// The lower-bound input distributions from Section 2.
+//
+// Theorem 2: on a single point with cost g(|σ|) = ⌈|σ|/√|S|⌉, request the
+// members of a uniformly random S' ⊂ S, |S'| = ⌊√|S|⌋, one commodity at a
+// time. OPT opens one facility with configuration S' and pays exactly
+// scale·⌈|S'|/√|S|⌉ = scale (exact certificate: every non-empty facility
+// costs at least scale, and one suffices). Any online algorithm pays
+// Ω(√|S|)·OPT in expectation.
+//
+// Theorem 18's adaptive variant uses the same sequence with the class-C
+// cost g_x instead; OPT then pays g_x(|S'|) = |S'|^{x/2}.
+#pragma once
+
+#include "cost/cost_models.hpp"
+#include "instance/instance.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+struct Theorem2Config {
+  CommodityId num_commodities = 64;  // |S|; the request count is ⌊√|S|⌋
+  double cost_scale = 1.0;
+};
+
+/// The Theorem 2 distribution with cost ⌈|σ|/√|S|⌉.
+Instance make_theorem2_instance(const Theorem2Config& config, Rng& rng);
+
+struct Theorem18Config {
+  CommodityId num_commodities = 64;
+  double exponent_x = 1.0;  // class-C exponent; ratio bound depends on it
+  double cost_scale = 1.0;
+};
+
+/// The Theorem 2 sequence under the class-C cost g_x (used by the adaptive
+/// lower bound in §3.3.2). OPT certificate: g_x(|S'|), exact for x > 0
+/// since singletons cost 1 and covering |S'| commodities costs at least
+/// max(g_x(|S'|), 1) by monotonicity... exactness is argued in the .cpp.
+Instance make_theorem18_instance(const Theorem18Config& config, Rng& rng);
+
+/// Number of requests the Theorem 2 game issues for a universe of size s.
+CommodityId theorem2_sequence_length(CommodityId num_commodities);
+
+}  // namespace omflp

@@ -1,0 +1,41 @@
+#include "instance/instance.hpp"
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+Instance::Instance(MetricPtr metric, CostModelPtr cost,
+                   std::vector<Request> requests, std::string name)
+    : metric_(std::move(metric)), cost_(std::move(cost)),
+      requests_(std::move(requests)), name_(std::move(name)) {
+  OMFLP_REQUIRE(metric_ != nullptr, "Instance: null metric");
+  OMFLP_REQUIRE(cost_ != nullptr, "Instance: null cost model");
+  validate();
+}
+
+const Request& Instance::request(RequestId i) const {
+  OMFLP_REQUIRE(i < requests_.size(), "Instance::request: index range");
+  return requests_[i];
+}
+
+CommoditySet Instance::demanded_union() const {
+  CommoditySet u(num_commodities());
+  for (const Request& r : requests_) u |= r.commodities;
+  return u;
+}
+
+void Instance::validate() const {
+  const std::size_t points = metric_->num_points();
+  const CommodityId s = num_commodities();
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    OMFLP_REQUIRE(r.location < points,
+                  "Instance: request location outside the metric space");
+    OMFLP_REQUIRE(r.commodities.universe_size() == s,
+                  "Instance: request commodity universe mismatch");
+    OMFLP_REQUIRE(!r.commodities.empty(),
+                  "Instance: request with empty demand set");
+  }
+}
+
+}  // namespace omflp

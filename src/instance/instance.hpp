@@ -1,0 +1,75 @@
+// Problem instances: a metric space, a construction cost model, and the
+// online request sequence.
+//
+// A Request is the paper's r: a location in M plus a demanded commodity
+// set s_r ⊆ S. An Instance bundles everything an online algorithm is given
+// up front (the metric space, the cost oracle, |S|) with the sequence that
+// is revealed one request at a time. Optionally carries an OPT certificate
+// from the generator (an offline solution cost known by construction).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "metric/metric_space.hpp"
+#include "support/commodity_set.hpp"
+
+namespace omflp {
+
+struct Request {
+  PointId location = 0;
+  CommoditySet commodities;
+};
+
+/// Offline-optimum information attached by generators that know it.
+struct OptCertificate {
+  /// Cost of a feasible offline solution (an upper bound on OPT; exact
+  /// when `exact` is true).
+  double upper_bound = 0.0;
+  bool exact = false;
+  std::string note;
+};
+
+class Instance {
+ public:
+  Instance(MetricPtr metric, CostModelPtr cost, std::vector<Request> requests,
+           std::string name = "instance");
+
+  const MetricSpace& metric() const noexcept { return *metric_; }
+  const FacilityCostModel& cost() const noexcept { return *cost_; }
+  MetricPtr metric_ptr() const noexcept { return metric_; }
+  CostModelPtr cost_ptr() const noexcept { return cost_; }
+
+  CommodityId num_commodities() const noexcept {
+    return cost_->num_commodities();
+  }
+  std::size_t num_requests() const noexcept { return requests_.size(); }
+  const std::vector<Request>& requests() const noexcept { return requests_; }
+  const Request& request(RequestId i) const;
+
+  const std::string& name() const noexcept { return name_; }
+
+  void set_opt_certificate(OptCertificate cert) { opt_ = std::move(cert); }
+  const std::optional<OptCertificate>& opt_certificate() const noexcept {
+    return opt_;
+  }
+
+  /// Union of all demanded commodity sets (the commodities OPT must cover
+  /// at least once somewhere).
+  CommoditySet demanded_union() const;
+
+  /// Throws std::invalid_argument if any request is malformed (location
+  /// outside M, wrong universe, empty demand set).
+  void validate() const;
+
+ private:
+  MetricPtr metric_;
+  CostModelPtr cost_;
+  std::vector<Request> requests_;
+  std::string name_;
+  std::optional<OptCertificate> opt_;
+};
+
+}  // namespace omflp

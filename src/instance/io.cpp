@@ -1,0 +1,221 @@
+#include "instance/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "cost/cost_models.hpp"
+#include "metric/matrix_metric.hpp"
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+
+constexpr const char* kHeader = "OMFLP-INSTANCE v1";
+
+/// Reads the next non-comment, non-blank line; tracks line numbers for
+/// error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  std::string next(const char* what) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if (line[first] == '#') continue;
+      return line;
+    }
+    throw std::invalid_argument(std::string("read_instance: unexpected end "
+                                            "of input while reading ") +
+                                what);
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "read_instance: " << msg << " (line " << line_number_ << ")";
+    throw std::invalid_argument(os.str());
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_number_ = 0;
+};
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << kHeader << '\n';
+  os << "name " << instance.name() << '\n';
+  const CommodityId s = instance.num_commodities();
+  os << "commodities " << s << '\n';
+
+  const MetricSpace& metric = instance.metric();
+  const std::size_t points = metric.num_points();
+  os << "metric matrix " << points << '\n';
+  os.precision(17);
+  for (PointId a = 0; a < points; ++a) {
+    for (PointId b = 0; b < points; ++b) {
+      if (b) os << ' ';
+      os << metric.distance(a, b);
+    }
+    os << '\n';
+  }
+
+  if (const auto* size_only =
+          dynamic_cast<const SizeOnlyCostModel*>(&instance.cost())) {
+    os << "cost sizeonly";
+    for (CommodityId k = 0; k <= s; ++k)
+      os << ' ' << size_only->cost_of_size(k);
+    os << '\n';
+  } else if (const auto* poly = dynamic_cast<const PolynomialCostModel*>(
+                 &instance.cost())) {
+    os << "cost sizeonly";
+    for (CommodityId k = 0; k <= s; ++k) os << ' ' << poly->cost_of_size(k);
+    os << '\n';
+  } else if (const auto* ceil_ratio =
+                 dynamic_cast<const CeilRatioCostModel*>(&instance.cost())) {
+    os << "cost sizeonly";
+    for (CommodityId k = 0; k <= s; ++k)
+      os << ' ' << ceil_ratio->cost_of_size(k);
+    os << '\n';
+  } else if (const auto* linear =
+                 dynamic_cast<const LinearCostModel*>(&instance.cost())) {
+    os << "cost linear";
+    for (CommodityId e = 0; e < s; ++e)
+      os << ' '
+         << linear->open_cost(0, CommoditySet::singleton(s, e));
+    os << '\n';
+  } else {
+    throw std::invalid_argument(
+        "write_instance: only size-only and linear cost models are "
+        "serializable; got " +
+        instance.cost().description());
+  }
+
+  os << "requests " << instance.num_requests() << '\n';
+  for (const Request& r : instance.requests()) {
+    os << r.location << ' ' << r.commodities.count();
+    r.commodities.for_each([&](CommodityId e) { os << ' ' << e; });
+    os << '\n';
+  }
+
+  if (const auto& cert = instance.opt_certificate()) {
+    os << "opt " << cert->upper_bound << ' ' << (cert->exact ? 1 : 0) << ' '
+       << cert->note << '\n';
+  }
+}
+
+std::string instance_to_string(const Instance& instance) {
+  std::ostringstream os;
+  write_instance(os, instance);
+  return os.str();
+}
+
+Instance read_instance(std::istream& is) {
+  LineReader reader(is);
+
+  if (reader.next("header") != kHeader)
+    reader.fail("bad header, expected 'OMFLP-INSTANCE v1'");
+
+  std::string name_line = reader.next("name");
+  if (name_line.rfind("name ", 0) != 0) reader.fail("expected 'name ...'");
+  std::string name = name_line.substr(5);
+
+  std::istringstream commodities_line(reader.next("commodities"));
+  std::string word;
+  CommodityId s = 0;
+  if (!(commodities_line >> word >> s) || word != "commodities" || s == 0)
+    reader.fail("expected 'commodities <|S|>'");
+
+  std::istringstream metric_line(reader.next("metric"));
+  std::string metric_kind;
+  std::size_t points = 0;
+  if (!(metric_line >> word >> metric_kind >> points) || word != "metric" ||
+      metric_kind != "matrix" || points == 0)
+    reader.fail("expected 'metric matrix <|M|>'");
+  std::vector<std::vector<double>> matrix(points,
+                                          std::vector<double>(points));
+  for (std::size_t a = 0; a < points; ++a) {
+    std::istringstream row(reader.next("metric row"));
+    for (std::size_t b = 0; b < points; ++b)
+      if (!(row >> matrix[a][b])) reader.fail("short metric row");
+  }
+  auto metric = std::make_shared<MatrixMetric>(std::move(matrix));
+
+  std::istringstream cost_line(reader.next("cost"));
+  std::string cost_kind;
+  if (!(cost_line >> word >> cost_kind) || word != "cost")
+    reader.fail("expected 'cost <kind> ...'");
+  CostModelPtr cost;
+  if (cost_kind == "sizeonly") {
+    std::vector<double> table(s + 1);
+    for (CommodityId k = 0; k <= s; ++k)
+      if (!(cost_line >> table[k])) reader.fail("short sizeonly cost table");
+    cost = std::make_shared<SizeOnlyCostModel>(
+        s, [table](CommodityId k) { return table[k]; }, "sizeonly(loaded)");
+  } else if (cost_kind == "linear") {
+    std::vector<double> weights(s);
+    for (CommodityId e = 0; e < s; ++e)
+      if (!(cost_line >> weights[e])) reader.fail("short linear weights");
+    cost = std::make_shared<LinearCostModel>(std::move(weights));
+  } else {
+    reader.fail("unknown cost kind '" + cost_kind + "'");
+  }
+
+  std::istringstream requests_line(reader.next("requests"));
+  std::size_t n = 0;
+  if (!(requests_line >> word >> n) || word != "requests")
+    reader.fail("expected 'requests <n>'");
+  std::vector<Request> requests;
+  requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream row(reader.next("request"));
+    PointId location = 0;
+    CommodityId k = 0;
+    if (!(row >> location >> k) || k == 0) reader.fail("bad request line");
+    Request r;
+    r.location = location;
+    r.commodities = CommoditySet(s);
+    for (CommodityId j = 0; j < k; ++j) {
+      CommodityId e = 0;
+      if (!(row >> e) || e >= s) reader.fail("bad commodity id in request");
+      r.commodities.add(e);
+    }
+    requests.push_back(std::move(r));
+  }
+
+  Instance instance(std::move(metric), std::move(cost), std::move(requests),
+                    std::move(name));
+
+  // Optional trailing opt certificate.
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream opt_line(line);
+    double bound = 0.0;
+    int exact = 0;
+    if (!(opt_line >> word >> bound >> exact) || word != "opt")
+      throw std::invalid_argument(
+          "read_instance: trailing content is not an 'opt' line: " + line);
+    std::string note;
+    std::getline(opt_line, note);
+    if (!note.empty() && note.front() == ' ') note.erase(0, 1);
+    instance.set_opt_certificate(
+        OptCertificate{bound, exact != 0, std::move(note)});
+    break;
+  }
+  return instance;
+}
+
+Instance instance_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_instance(is);
+}
+
+}  // namespace omflp

@@ -1,0 +1,87 @@
+#include "instance/transforms.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+Instance split_per_commodity(const Instance& instance) {
+  std::vector<Request> split;
+  split.reserve(instance.num_requests());
+  for (const Request& r : instance.requests()) {
+    r.commodities.for_each([&](CommodityId e) {
+      split.push_back(Request{
+          r.location,
+          CommoditySet::singleton(instance.num_commodities(), e)});
+    });
+  }
+  Instance out(instance.metric_ptr(), instance.cost_ptr(), std::move(split),
+               instance.name() + "[split]");
+  // The split instance relaxes nothing for the offline optimum: any
+  // feasible solution of the original serves the split sequence at the
+  // same opening cost and per-commodity connection cost, so an original
+  // certificate evaluated per-commodity stays an upper bound only if it
+  // was priced that way — do not carry it over.
+  return out;
+}
+
+Instance shuffle_requests(const Instance& instance, Rng& rng) {
+  std::vector<std::size_t> order(instance.num_requests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span(order));
+  std::vector<Request> shuffled;
+  shuffled.reserve(order.size());
+  for (std::size_t i : order) shuffled.push_back(instance.request(i));
+  Instance out(instance.metric_ptr(), instance.cost_ptr(),
+               std::move(shuffled), instance.name() + "[shuffled]");
+  if (instance.opt_certificate()) {
+    // OPT is order-independent; the certificate survives.
+    out.set_opt_certificate(*instance.opt_certificate());
+  }
+  return out;
+}
+
+ScaledMetric::ScaledMetric(MetricPtr base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  OMFLP_REQUIRE(base_ != nullptr, "ScaledMetric: null base");
+  OMFLP_REQUIRE(factor_ > 0.0, "ScaledMetric: factor must be positive");
+}
+
+std::string ScaledMetric::description() const {
+  std::ostringstream os;
+  os << "scaled(" << base_->description() << ", x" << factor_ << ")";
+  return os.str();
+}
+
+ScaledCostModel::ScaledCostModel(CostModelPtr base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  OMFLP_REQUIRE(base_ != nullptr, "ScaledCostModel: null base");
+  OMFLP_REQUIRE(factor_ > 0.0, "ScaledCostModel: factor must be positive");
+}
+
+std::string ScaledCostModel::description() const {
+  std::ostringstream os;
+  os << "scaled(" << base_->description() << ", x" << factor_ << ")";
+  return os.str();
+}
+
+Instance scale_instance(const Instance& instance, double lambda) {
+  OMFLP_REQUIRE(lambda > 0.0, "scale_instance: lambda must be positive");
+  auto metric = std::make_shared<ScaledMetric>(instance.metric_ptr(), lambda);
+  auto cost = std::make_shared<ScaledCostModel>(instance.cost_ptr(), lambda);
+  std::vector<Request> requests = instance.requests();
+  std::ostringstream name;
+  name << instance.name() << "[x" << lambda << "]";
+  Instance out(std::move(metric), std::move(cost), std::move(requests),
+               name.str());
+  if (instance.opt_certificate()) {
+    OptCertificate cert = *instance.opt_certificate();
+    cert.upper_bound *= lambda;
+    out.set_opt_certificate(std::move(cert));
+  }
+  return out;
+}
+
+}  // namespace omflp

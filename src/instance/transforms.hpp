@@ -1,0 +1,78 @@
+// Instance transforms.
+//
+//   split_per_commodity — the paper's §1.1 reduction for the alternative
+//     connection-cost model: replace every request r by |s_r| singleton
+//     requests at the same location. Charging one path per facility on
+//     the split instance is exactly charging one path per *commodity* on
+//     the original, so the alternative model is simulated inside the
+//     main one (at the cost of a sequence up to |S| times longer — the
+//     paper's factor-2 remark).
+//
+//   shuffle_requests — uniformly permute the arrival order. Online ratios
+//     are order-sensitive; [Lang 2018] (cited in §1.2) shows Meyerson's
+//     algorithm improves when the adversary loses control of the order,
+//     and this transform lets benches measure that effect.
+//
+//   scale_instance — multiply all distances and opening costs by λ > 0.
+//     The OMFLP objective is 1-homogeneous, so every algorithm in this
+//     library must scale its cost by exactly λ; the property tests use
+//     this as an invariance check.
+#pragma once
+
+#include "instance/instance.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+Instance split_per_commodity(const Instance& instance);
+
+Instance shuffle_requests(const Instance& instance, Rng& rng);
+
+Instance scale_instance(const Instance& instance, double lambda);
+
+/// Metric wrapper multiplying all distances by a positive factor.
+class ScaledMetric final : public MetricSpace {
+ public:
+  ScaledMetric(MetricPtr base, double factor);
+
+  std::size_t num_points() const noexcept override {
+    return base_->num_points();
+  }
+  double distance(PointId a, PointId b) const override {
+    return factor_ * base_->distance(a, b);
+  }
+  std::string description() const override;
+
+ private:
+  MetricPtr base_;
+  double factor_;
+};
+
+/// Cost wrapper multiplying all opening costs by a positive factor.
+class ScaledCostModel final : public FacilityCostModel {
+ public:
+  ScaledCostModel(CostModelPtr base, double factor);
+
+  CommodityId num_commodities() const noexcept override {
+    return base_->num_commodities();
+  }
+  double open_cost(PointId m, const CommoditySet& config) const override {
+    return factor_ * base_->open_cost(m, config);
+  }
+  std::optional<double> cost_by_size(PointId m,
+                                     CommodityId k) const override {
+    const auto base = base_->cost_by_size(m, k);
+    if (!base) return std::nullopt;
+    return factor_ * *base;
+  }
+  bool location_invariant() const noexcept override {
+    return base_->location_invariant();
+  }
+  std::string description() const override;
+
+ private:
+  CostModelPtr base_;
+  double factor_;
+};
+
+}  // namespace omflp

@@ -1,0 +1,20 @@
+#include "metric/distance_oracle.hpp"
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+DistanceOracle::DistanceOracle(MetricPtr metric, std::size_t cache_limit)
+    : metric_(std::move(metric)) {
+  OMFLP_REQUIRE(metric_ != nullptr, "DistanceOracle: null metric");
+  n_ = metric_->num_points();
+  if (n_ <= cache_limit) {
+    matrix_.resize(n_ * n_);
+    for (PointId a = 0; a < n_; ++a)
+      for (PointId b = 0; b < n_; ++b)
+        matrix_[static_cast<std::size_t>(a) * n_ + b] =
+            metric_->distance(a, b);
+  }
+}
+
+}  // namespace omflp

@@ -1,0 +1,38 @@
+// DistanceOracle — memoized distance lookups for algorithm hot loops.
+//
+// PD-OMFLP evaluates d(m, r) for every point m of the space at every event;
+// going through the MetricSpace virtual call each time dominates runtime
+// for matrix-free metrics (Euclidean). The oracle precomputes the dense
+// |M|×|M| matrix when it fits under a size limit and falls back to direct
+// calls beyond it.
+#pragma once
+
+#include <vector>
+
+#include "metric/metric_space.hpp"
+
+namespace omflp {
+
+class DistanceOracle {
+ public:
+  /// cache_limit: maximum |M| for which the dense matrix is materialized
+  /// (default 4096 points = 128 MiB of doubles).
+  explicit DistanceOracle(MetricPtr metric, std::size_t cache_limit = 4096);
+
+  std::size_t num_points() const noexcept { return n_; }
+
+  double operator()(PointId a, PointId b) const {
+    if (!matrix_.empty()) return matrix_[static_cast<std::size_t>(a) * n_ + b];
+    return metric_->distance(a, b);
+  }
+
+  bool cached() const noexcept { return !matrix_.empty(); }
+  const MetricSpace& metric() const noexcept { return *metric_; }
+
+ private:
+  MetricPtr metric_;
+  std::size_t n_;
+  std::vector<double> matrix_;
+};
+
+}  // namespace omflp

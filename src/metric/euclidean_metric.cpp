@@ -1,0 +1,45 @@
+#include "metric/euclidean_metric.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+EuclideanMetric::EuclideanMetric(std::size_t dim, std::vector<double> coords)
+    : dim_(dim), num_points_(dim > 0 ? coords.size() / dim : 0),
+      coords_(std::move(coords)) {
+  OMFLP_REQUIRE(dim_ > 0, "EuclideanMetric: dimension must be positive");
+  OMFLP_REQUIRE(!coords_.empty() && coords_.size() % dim_ == 0,
+                "EuclideanMetric: coords size not a multiple of dim");
+  for (double x : coords_)
+    OMFLP_REQUIRE(std::isfinite(x), "EuclideanMetric: non-finite coordinate");
+}
+
+double EuclideanMetric::distance(PointId a, PointId b) const {
+  OMFLP_REQUIRE(a < num_points_ && b < num_points_,
+                "EuclideanMetric::distance: point out of range");
+  double acc = 0.0;
+  const double* pa = coords_.data() + static_cast<std::size_t>(a) * dim_;
+  const double* pb = coords_.data() + static_cast<std::size_t>(b) * dim_;
+  for (std::size_t k = 0; k < dim_; ++k) {
+    const double delta = pa[k] - pb[k];
+    acc += delta * delta;
+  }
+  return std::sqrt(acc);
+}
+
+std::string EuclideanMetric::description() const {
+  std::ostringstream os;
+  os << "euclidean(dim=" << dim_ << ", " << num_points_ << " points)";
+  return os.str();
+}
+
+double EuclideanMetric::coordinate(PointId p, std::size_t axis) const {
+  OMFLP_REQUIRE(p < num_points_, "coordinate: point out of range");
+  OMFLP_REQUIRE(axis < dim_, "coordinate: axis out of range");
+  return coords_[static_cast<std::size_t>(p) * dim_ + axis];
+}
+
+}  // namespace omflp

@@ -1,0 +1,61 @@
+#include "metric/graph_metric.hpp"
+
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+GraphMetric::GraphMetric(std::size_t num_nodes,
+                         const std::vector<GraphEdge>& edges)
+    : n_(num_nodes), num_edges_(edges.size()) {
+  OMFLP_REQUIRE(n_ > 0, "GraphMetric: need at least one node");
+  std::vector<std::vector<std::pair<PointId, double>>> adj(n_);
+  for (const GraphEdge& e : edges) {
+    OMFLP_REQUIRE(e.u < n_ && e.v < n_, "GraphMetric: edge endpoint range");
+    OMFLP_REQUIRE(std::isfinite(e.weight) && e.weight >= 0.0,
+                  "GraphMetric: weights must be finite and non-negative");
+    adj[e.u].emplace_back(e.v, e.weight);
+    adj[e.v].emplace_back(e.u, e.weight);
+  }
+
+  dist_.assign(n_ * n_, kInfiniteDistance);
+  using HeapItem = std::pair<double, PointId>;  // (distance, node)
+  for (PointId src = 0; src < n_; ++src) {
+    double* row = dist_.data() + static_cast<std::size_t>(src) * n_;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    row[src] = 0.0;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > row[u]) continue;  // stale entry
+      for (const auto& [v, w] : adj[u]) {
+        const double nd = d + w;
+        if (nd < row[v]) {
+          row[v] = nd;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+    for (PointId v = 0; v < n_; ++v)
+      OMFLP_REQUIRE(std::isfinite(row[v]),
+                    "GraphMetric: graph must be connected");
+  }
+}
+
+double GraphMetric::distance(PointId a, PointId b) const {
+  OMFLP_REQUIRE(a < n_ && b < n_, "GraphMetric::distance: out of range");
+  return dist_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+std::string GraphMetric::description() const {
+  std::ostringstream os;
+  os << "graph(" << n_ << " nodes, " << num_edges_ << " edges)";
+  return os.str();
+}
+
+}  // namespace omflp

@@ -1,0 +1,53 @@
+#include "metric/line_metric.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+LineMetric::LineMetric(std::vector<double> positions)
+    : positions_(std::move(positions)) {
+  OMFLP_REQUIRE(!positions_.empty(), "LineMetric: need at least one point");
+  for (double x : positions_)
+    OMFLP_REQUIRE(std::isfinite(x), "LineMetric: non-finite coordinate");
+}
+
+double LineMetric::distance(PointId a, PointId b) const {
+  OMFLP_REQUIRE(a < positions_.size() && b < positions_.size(),
+                "LineMetric::distance: point out of range");
+  return std::abs(positions_[a] - positions_[b]);
+}
+
+std::string LineMetric::description() const {
+  std::ostringstream os;
+  os << "line(" << positions_.size() << " points)";
+  return os.str();
+}
+
+double LineMetric::position(PointId p) const {
+  OMFLP_REQUIRE(p < positions_.size(),
+                "LineMetric::position: point out of range");
+  return positions_[p];
+}
+
+std::shared_ptr<LineMetric> LineMetric::uniform_grid(std::size_t n,
+                                                     double length) {
+  OMFLP_REQUIRE(n > 0, "uniform_grid: need at least one point");
+  OMFLP_REQUIRE(length >= 0.0, "uniform_grid: negative length");
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = n == 1 ? 0.0
+                   : length * static_cast<double>(i) /
+                         static_cast<double>(n - 1);
+  return std::make_shared<LineMetric>(std::move(xs));
+}
+
+double SinglePointMetric::distance(PointId a, PointId b) const {
+  OMFLP_REQUIRE(a == 0 && b == 0,
+                "SinglePointMetric::distance: point out of range");
+  return 0.0;
+}
+
+}  // namespace omflp

@@ -1,0 +1,47 @@
+// LineMetric — points on the real line, d(a,b) = |x_a − x_b|.
+//
+// The paper's lower bounds (Corollary 3, Fotakis' Θ(log n/log log n)) hold
+// already on line metrics, so most adversarial workloads live here. A
+// SinglePointMetric degenerate case (Theorem 2 needs only one point) is
+// provided as well.
+#pragma once
+
+#include <vector>
+
+#include "metric/metric_space.hpp"
+
+namespace omflp {
+
+class LineMetric final : public MetricSpace {
+ public:
+  /// Points at the given coordinates (any order, duplicates allowed —
+  /// duplicates make this a pseudometric, which the algorithms tolerate).
+  explicit LineMetric(std::vector<double> positions);
+
+  std::size_t num_points() const noexcept override {
+    return positions_.size();
+  }
+  double distance(PointId a, PointId b) const override;
+  std::string description() const override;
+
+  double position(PointId p) const;
+  const std::vector<double>& positions() const noexcept { return positions_; }
+
+  /// Convenience: n evenly spaced points on [0, length].
+  static std::shared_ptr<LineMetric> uniform_grid(std::size_t n,
+                                                  double length);
+
+ private:
+  std::vector<double> positions_;
+};
+
+/// The one-point metric space of Theorem 2: every distance is zero.
+class SinglePointMetric final : public MetricSpace {
+ public:
+  SinglePointMetric() = default;
+  std::size_t num_points() const noexcept override { return 1; }
+  double distance(PointId a, PointId b) const override;
+  std::string description() const override { return "single-point"; }
+};
+
+}  // namespace omflp

@@ -1,0 +1,41 @@
+#include "metric/matrix_metric.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+MatrixMetric::MatrixMetric(std::vector<std::vector<double>> matrix)
+    : n_(matrix.size()) {
+  OMFLP_REQUIRE(n_ > 0, "MatrixMetric: empty matrix");
+  flat_.resize(n_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    OMFLP_REQUIRE(matrix[i].size() == n_, "MatrixMetric: matrix not square");
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double d = matrix[i][j];
+      OMFLP_REQUIRE(std::isfinite(d) && d >= 0.0,
+                    "MatrixMetric: entries must be finite and non-negative");
+      flat_[i * n_ + j] = d;
+    }
+    OMFLP_REQUIRE(matrix[i][i] == 0.0, "MatrixMetric: diagonal must be zero");
+  }
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j)
+      OMFLP_REQUIRE(flat_[i * n_ + j] == flat_[j * n_ + i],
+                    "MatrixMetric: matrix not symmetric");
+}
+
+double MatrixMetric::distance(PointId a, PointId b) const {
+  OMFLP_REQUIRE(a < n_ && b < n_, "MatrixMetric::distance: out of range");
+  return flat_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+std::string MatrixMetric::description() const {
+  std::ostringstream os;
+  os << "matrix(" << n_ << " points)";
+  return os.str();
+}
+
+}  // namespace omflp

@@ -1,0 +1,22 @@
+#include "metric/metric_space.hpp"
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+PointId MetricSpace::nearest_point(PointId from) const {
+  OMFLP_REQUIRE(from < num_points(), "nearest_point: point out of range");
+  PointId best = from;
+  double best_d = kInfiniteDistance;
+  for (PointId p = 0; p < num_points(); ++p) {
+    if (p == from) continue;
+    const double d = distance(from, p);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace omflp

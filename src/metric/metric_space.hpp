@@ -1,0 +1,39 @@
+// MetricSpace — the finite metric (M, d) all problem instances live in.
+//
+// The paper's model places both requests and candidate facilities at points
+// of a finite metric space M; algorithms scan M when deciding where to open
+// facilities. Implementations must satisfy the metric axioms (identity,
+// symmetry, triangle inequality); metric/validation.hpp checks them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace omflp {
+
+class MetricSpace {
+ public:
+  virtual ~MetricSpace() = default;
+
+  /// Number of points |M|; valid PointIds are [0, num_points).
+  virtual std::size_t num_points() const noexcept = 0;
+
+  /// d(a, b). Must be symmetric, non-negative, zero iff a == b (pseudo-
+  /// metrics with distinct co-located points are allowed and documented by
+  /// the concrete class), and satisfy the triangle inequality.
+  virtual double distance(PointId a, PointId b) const = 0;
+
+  /// Human-readable description used in logs and benchmark tables.
+  virtual std::string description() const = 0;
+
+  /// Nearest point of the space to `from` among [0, num_points) other than
+  /// exclusions; linear scan base implementation, subclasses may override.
+  PointId nearest_point(PointId from) const;
+};
+
+using MetricPtr = std::shared_ptr<const MetricSpace>;
+
+}  // namespace omflp

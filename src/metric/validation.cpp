@@ -1,0 +1,77 @@
+#include "metric/validation.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace omflp {
+
+namespace {
+
+std::optional<MetricViolation> check_pair(const MetricSpace& m, PointId a,
+                                          PointId b, double tol) {
+  const double dab = m.distance(a, b);
+  if (!std::isfinite(dab) || dab < 0.0) {
+    std::ostringstream os;
+    os << "d(" << a << "," << b << ") = " << dab << " is negative/non-finite";
+    return MetricViolation{os.str()};
+  }
+  const double dba = m.distance(b, a);
+  if (std::abs(dab - dba) > tol) {
+    std::ostringstream os;
+    os << "asymmetric: d(" << a << "," << b << ")=" << dab << " vs d(" << b
+       << "," << a << ")=" << dba;
+    return MetricViolation{os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<MetricViolation> check_triangle(const MetricSpace& m, PointId a,
+                                              PointId b, PointId c,
+                                              double tol) {
+  const double ab = m.distance(a, b);
+  const double bc = m.distance(b, c);
+  const double ac = m.distance(a, c);
+  if (ac > ab + bc + tol) {
+    std::ostringstream os;
+    os << "triangle inequality violated: d(" << a << "," << c << ")=" << ac
+       << " > d(" << a << "," << b << ")+d(" << b << "," << c
+       << ")=" << (ab + bc);
+    return MetricViolation{os.str()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MetricViolation> validate_metric_exhaustive(
+    const MetricSpace& metric, double tolerance) {
+  const std::size_t n = metric.num_points();
+  for (PointId a = 0; a < n; ++a) {
+    if (metric.distance(a, a) != 0.0)
+      return MetricViolation{"nonzero diagonal at point " +
+                             std::to_string(a)};
+    for (PointId b = 0; b < n; ++b)
+      if (auto v = check_pair(metric, a, b, tolerance)) return v;
+  }
+  for (PointId a = 0; a < n; ++a)
+    for (PointId b = 0; b < n; ++b)
+      for (PointId c = 0; c < n; ++c)
+        if (auto v = check_triangle(metric, a, b, c, tolerance)) return v;
+  return std::nullopt;
+}
+
+std::optional<MetricViolation> validate_metric_sampled(
+    const MetricSpace& metric, std::size_t samples, Rng& rng,
+    double tolerance) {
+  const std::size_t n = metric.num_points();
+  for (std::size_t s = 0; s < samples; ++s) {
+    const PointId a = static_cast<PointId>(rng.uniform_index(n));
+    const PointId b = static_cast<PointId>(rng.uniform_index(n));
+    const PointId c = static_cast<PointId>(rng.uniform_index(n));
+    if (auto v = check_pair(metric, a, b, tolerance)) return v;
+    if (auto v = check_triangle(metric, a, b, c, tolerance)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace omflp

@@ -1,0 +1,32 @@
+// Metric-axiom validation.
+//
+// Concrete MetricSpace implementations are trusted in hot paths; tests and
+// instance loaders use these checkers to validate the axioms exhaustively
+// (small spaces) or by random sampling (large spaces).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "metric/metric_space.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+struct MetricViolation {
+  std::string what;  // human-readable description of the failed axiom
+};
+
+/// Exhaustive check of symmetry, non-negativity, zero diagonal and the
+/// triangle inequality. O(n^3); intended for n up to a few hundred.
+std::optional<MetricViolation> validate_metric_exhaustive(
+    const MetricSpace& metric, double tolerance = 1e-9);
+
+/// Randomized check: `samples` random triples are tested. Misses
+/// violations only with probability (1 - violation density)^samples.
+std::optional<MetricViolation> validate_metric_sampled(
+    const MetricSpace& metric, std::size_t samples, Rng& rng,
+    double tolerance = 1e-9);
+
+}  // namespace omflp

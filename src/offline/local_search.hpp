@@ -1,0 +1,41 @@
+// Local-search offline solver — the workhorse OPT upper bound for
+// benchmark-scale instances (computing true OPT is NP-hard via weighted
+// set cover, Ravi–Sinha 2004).
+//
+// Solution representation: a set of placed facilities; assignments are
+// always *exactly* optimal for the current facility set (set-cover DP per
+// request, offline/assignment.hpp), so the search only has to explore
+// facility sets.
+//
+// Candidate pool: (point, configuration) pairs with configurations drawn
+// from the structures an optimum plausibly uses — singletons of the
+// demanded union, the distinct request demand sets, the demanded union
+// itself, and the full S; points are all points of small spaces or the
+// distinct request locations of large ones.
+//
+// Moves, best-improvement per round until a fixpoint or the round limit:
+//   * add a candidate facility (delta-evaluated in O(2^{|s_r|}) per
+//     request using the cached per-request DP tables);
+//   * drop an open facility;
+//   * merge all facilities at one point into their union (free
+//     improvement under subadditivity).
+// The result is an upper bound on OPT; tests check it against the exact
+// solver on tiny instances and generators' certificates.
+#pragma once
+
+#include "instance/instance.hpp"
+#include "offline/exact_small.hpp"
+
+namespace omflp {
+
+struct LocalSearchOptions {
+  std::size_t max_rounds = 50;
+  /// Point pool switches from "all points" to "request locations" above
+  /// this |M|.
+  std::size_t all_points_limit = 96;
+};
+
+OfflineSolution solve_local_search(const Instance& instance,
+                                   const LocalSearchOptions& options = {});
+
+}  // namespace omflp

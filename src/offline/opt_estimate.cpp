@@ -1,0 +1,76 @@
+#include "offline/opt_estimate.hpp"
+
+#include <algorithm>
+
+#include "offline/greedy_star.hpp"
+#include "offline/single_point.hpp"
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+
+bool all_requests_at_one_point(const Instance& instance) {
+  if (instance.num_requests() == 0) return false;
+  const PointId loc = instance.request(0).location;
+  for (const Request& r : instance.requests())
+    if (r.location != loc) return false;
+  return true;
+}
+
+bool fits_exact_limits(const Instance& instance,
+                       const ExactSolverLimits& limits) {
+  return instance.metric().num_points() <= limits.max_points &&
+         instance.demanded_union().count() <= limits.max_union &&
+         instance.num_requests() <= limits.max_requests;
+}
+
+}  // namespace
+
+OptEstimate estimate_opt(const Instance& instance,
+                         const OptEstimateOptions& options) {
+  OMFLP_REQUIRE(instance.num_requests() > 0, "estimate_opt: empty instance");
+
+  const auto& cert = instance.opt_certificate();
+  if (cert && cert->exact)
+    return OptEstimate{cert->upper_bound, true, "certificate(exact)"};
+
+  if (all_requests_at_one_point(instance)) {
+    const CommoditySet demanded = instance.demanded_union();
+    const bool size_only =
+        instance.cost().cost_by_size(instance.request(0).location, 1)
+            .has_value();
+    if (size_only || demanded.count() <= 20) {
+      return OptEstimate{solve_single_point_instance(instance), true,
+                         "single-point-dp"};
+    }
+  }
+
+  if (fits_exact_limits(instance, options.exact_limits)) {
+    const OfflineSolution sol =
+        solve_exact_small(instance, options.exact_limits);
+    return OptEstimate{sol.cost, true, sol.method};
+  }
+
+  OMFLP_REQUIRE(options.allow_local_search || cert.has_value(),
+                "estimate_opt: no applicable bound (local search disabled "
+                "and no certificate)");
+
+  OptEstimate best;
+  best.cost = kInfiniteDistance;
+  if (options.allow_local_search) {
+    const OfflineSolution sol =
+        solve_local_search(instance, options.local_search);
+    best = OptEstimate{sol.cost, false, sol.method};
+    if (options.use_greedy_star) {
+      const OfflineSolution greedy = solve_greedy_star(instance);
+      if (greedy.cost < best.cost)
+        best = OptEstimate{greedy.cost, false, greedy.method};
+    }
+  }
+  if (cert && cert->upper_bound < best.cost)
+    best = OptEstimate{cert->upper_bound, false, "certificate(upper-bound)"};
+  return best;
+}
+
+}  // namespace omflp

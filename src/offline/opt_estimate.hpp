@@ -1,0 +1,39 @@
+// OPT estimation front-end used by the competitive-ratio harness.
+//
+// Picks the strongest offline bound available for an instance:
+//   1. exact generator certificate (adversarial instances know OPT);
+//   2. exact single-point solver (Theorem 2 setting);
+//   3. exhaustive exact solver when the instance fits its limits;
+//   4. otherwise min(local search, inexact certificate) — an upper bound
+//      on OPT, making measured ratios conservative *under*-estimates,
+//      which is the safe direction when validating upper-bound theorems.
+#pragma once
+
+#include <string>
+
+#include "instance/instance.hpp"
+#include "offline/exact_small.hpp"
+#include "offline/local_search.hpp"
+
+namespace omflp {
+
+struct OptEstimate {
+  double cost = 0.0;
+  bool exact = false;
+  std::string method;
+};
+
+struct OptEstimateOptions {
+  ExactSolverLimits exact_limits;
+  LocalSearchOptions local_search;
+  /// Skip the (possibly slow) heuristic solvers and rely on certificates /
+  /// exact solvers only; throws if neither applies.
+  bool allow_local_search = true;
+  /// Also run the greedy-star solver and keep the better bound.
+  bool use_greedy_star = true;
+};
+
+OptEstimate estimate_opt(const Instance& instance,
+                         const OptEstimateOptions& options = {});
+
+}  // namespace omflp

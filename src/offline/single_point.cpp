@@ -1,0 +1,86 @@
+#include "offline/single_point.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+
+double cover_size_only(const FacilityCostModel& cost, PointId m,
+                       CommodityId target_size) {
+  const CommodityId s = cost.num_commodities();
+  // best[t]: cheapest way to cover t (interchangeable) commodities.
+  std::vector<double> best(target_size + 1,
+                           std::numeric_limits<double>::infinity());
+  best[0] = 0.0;
+  std::vector<double> g(s + 1);
+  for (CommodityId k = 1; k <= s; ++k) {
+    const auto v = cost.cost_by_size(m, k);
+    OMFLP_CHECK(v.has_value(), "cover_size_only: model lost size-only-ness");
+    g[k] = *v;
+  }
+  for (CommodityId t = 1; t <= target_size; ++t)
+    for (CommodityId k = 1; k <= s; ++k) {
+      const CommodityId rest = k >= t ? 0 : t - k;
+      best[t] = std::min(best[t], g[k] + best[rest]);
+    }
+  return best[target_size];
+}
+
+double cover_general(const FacilityCostModel& cost, PointId m,
+                     const CommoditySet& target) {
+  const std::vector<CommodityId> members = target.to_vector();
+  const std::size_t k = members.size();
+  OMFLP_REQUIRE(k <= 20,
+                "single_point_cover_cost: general costs need |target| <= 20");
+  const std::size_t full = (std::size_t{1} << k) - 1;
+
+  // Price every subset of the target (2^k cost-model calls).
+  std::vector<double> f(full + 1, 0.0);
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    CommoditySet sigma(cost.num_commodities());
+    for (std::size_t b = 0; b < k; ++b)
+      if ((mask >> b) & 1U) sigma.add(members[b]);
+    f[mask] = cost.open_cost(m, sigma);
+  }
+
+  std::vector<double> dp(full + 1,
+                         std::numeric_limits<double>::infinity());
+  dp[0] = 0.0;
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    // Iterate submasks; covering more than needed never helps for
+    // monotone costs, so exact submasks suffice.
+    for (std::size_t sub = mask; sub != 0; sub = (sub - 1) & mask)
+      dp[mask] = std::min(dp[mask], f[sub] + dp[mask & ~sub]);
+  }
+  return dp[full];
+}
+
+}  // namespace
+
+double single_point_cover_cost(const FacilityCostModel& cost, PointId m,
+                               const CommoditySet& target) {
+  OMFLP_REQUIRE(target.universe_size() == cost.num_commodities(),
+                "single_point_cover_cost: universe mismatch");
+  if (target.empty()) return 0.0;
+  if (cost.cost_by_size(m, 1).has_value())
+    return cover_size_only(cost, m, target.count());
+  return cover_general(cost, m, target);
+}
+
+double solve_single_point_instance(const Instance& instance) {
+  OMFLP_REQUIRE(instance.num_requests() > 0,
+                "solve_single_point_instance: empty instance");
+  const PointId loc = instance.request(0).location;
+  for (const Request& r : instance.requests())
+    OMFLP_REQUIRE(r.location == loc,
+                  "solve_single_point_instance: requests at multiple points");
+  return single_point_cover_cost(instance.cost(), loc,
+                                 instance.demanded_union());
+}
+
+}  // namespace omflp

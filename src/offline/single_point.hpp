@@ -1,0 +1,35 @@
+// Exact offline optimum on a single point.
+//
+// When every request sits at the same point (the Theorem 2 setting),
+// connection costs vanish and OPT reduces to a weighted set-cover over the
+// union U of demanded commodities with weights f^σ at that point:
+//
+//   OPT = min over facility multisets {σ_1, ..., σ_p} with ∪ σ_i ⊇ U of
+//         Σ f^{σ_i}.
+//
+// Two exact algorithms:
+//   * size-only costs (cost_by_size defined): covering t commodities costs
+//     best[t] = min_k g(k) + best[t − k] — O(t·|S|) DP (configurations can
+//     always be relabelled onto uncovered commodities when only |σ|
+//     matters);
+//   * general costs: DP over subsets of U, cost[mask] = min over non-empty
+//     submasks σ of f(σ) + cost[mask \ σ] — O(3^|U|), |U| ≤ 20 enforced.
+//     Exact for monotone cost models (f^a ≤ f^b for a ⊆ b): dropping the
+//     commodities outside U from any facility never raises its cost.
+#pragma once
+
+#include "cost/cost_model.hpp"
+#include "instance/instance.hpp"
+
+namespace omflp {
+
+/// Minimum total opening cost of covering `target` with facilities at
+/// point m. Exact; see the header comment for the domain restrictions.
+double single_point_cover_cost(const FacilityCostModel& cost, PointId m,
+                               const CommoditySet& target);
+
+/// Exact OPT for an instance whose requests are all at one point.
+/// Throws if the instance has requests at more than one location.
+double solve_single_point_instance(const Instance& instance);
+
+}  // namespace omflp

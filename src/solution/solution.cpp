@@ -1,0 +1,106 @@
+#include "solution/solution.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+SolutionLedger::SolutionLedger(MetricPtr metric, CostModelPtr cost,
+                               ConnectionChargePolicy policy)
+    : metric_(std::move(metric)), cost_(std::move(cost)), policy_(policy) {
+  OMFLP_REQUIRE(metric_ != nullptr, "SolutionLedger: null metric");
+  OMFLP_REQUIRE(cost_ != nullptr, "SolutionLedger: null cost model");
+}
+
+RequestId SolutionLedger::begin_request(const Request& request) {
+  OMFLP_REQUIRE(!in_flight_,
+                "SolutionLedger: previous request not finished");
+  OMFLP_REQUIRE(request.location < metric_->num_points(),
+                "SolutionLedger: request location outside metric");
+  OMFLP_REQUIRE(request.commodities.universe_size() ==
+                    cost_->num_commodities(),
+                "SolutionLedger: request universe mismatch");
+  OMFLP_REQUIRE(!request.commodities.empty(),
+                "SolutionLedger: empty demand set");
+  RequestRecord record;
+  record.request = request;
+  requests_.push_back(std::move(record));
+  in_flight_ = true;
+  return requests_.size() - 1;
+}
+
+FacilityId SolutionLedger::open_facility(PointId location,
+                                         const CommoditySet& config) {
+  OMFLP_REQUIRE(in_flight_,
+                "SolutionLedger: facilities open only while serving a "
+                "request (online model)");
+  OMFLP_REQUIRE(location < metric_->num_points(),
+                "SolutionLedger: facility location outside metric");
+  OMFLP_REQUIRE(config.universe_size() == cost_->num_commodities(),
+                "SolutionLedger: facility config universe mismatch");
+  OMFLP_REQUIRE(!config.empty(), "SolutionLedger: empty facility config");
+
+  OpenFacilityRecord record;
+  record.id = facilities_.size();
+  record.location = location;
+  record.config = config;
+  record.open_cost = cost_->open_cost(location, config);
+  record.opened_during = requests_.size() - 1;
+  opening_cost_ += record.open_cost;
+  if (config.count() == 1) ++num_small_;
+  if (config.is_full()) ++num_large_;
+  facilities_.push_back(std::move(record));
+  return facilities_.back().id;
+}
+
+void SolutionLedger::assign(CommodityId e, FacilityId f) {
+  OMFLP_REQUIRE(in_flight_, "SolutionLedger: no request in flight");
+  OMFLP_REQUIRE(f < facilities_.size(), "SolutionLedger: unknown facility");
+  RequestRecord& record = requests_.back();
+  OMFLP_REQUIRE(record.request.commodities.contains(e),
+                "SolutionLedger: assigning a commodity the request does not "
+                "demand");
+  OMFLP_REQUIRE(facilities_[f].config.contains(e),
+                "SolutionLedger: facility does not offer the commodity");
+  for (const ServedCommodity& sc : record.served)
+    OMFLP_REQUIRE(sc.commodity != e,
+                  "SolutionLedger: commodity assigned twice");
+  record.served.push_back(ServedCommodity{e, f});
+}
+
+void SolutionLedger::finish_request() {
+  OMFLP_REQUIRE(in_flight_, "SolutionLedger: no request in flight");
+  RequestRecord& record = requests_.back();
+  OMFLP_REQUIRE(record.served.size() == record.request.commodities.count(),
+                "SolutionLedger: request not fully covered at finish");
+
+  record.connected.reserve(record.served.size());
+  for (const ServedCommodity& sc : record.served)
+    record.connected.push_back(sc.facility);
+  std::sort(record.connected.begin(), record.connected.end());
+  record.connected.erase(
+      std::unique(record.connected.begin(), record.connected.end()),
+      record.connected.end());
+
+  double cost = 0.0;
+  if (policy_ == ConnectionChargePolicy::kPerFacility) {
+    for (FacilityId f : record.connected)
+      cost += metric_->distance(record.request.location,
+                                facilities_[f].location);
+  } else {
+    for (const ServedCommodity& sc : record.served)
+      cost += metric_->distance(record.request.location,
+                                facilities_[sc.facility].location);
+  }
+  record.connection_cost = cost;
+  connection_cost_ += cost;
+  in_flight_ = false;
+}
+
+const OpenFacilityRecord& SolutionLedger::facility(FacilityId f) const {
+  OMFLP_REQUIRE(f < facilities_.size(), "SolutionLedger: unknown facility");
+  return facilities_[f];
+}
+
+}  // namespace omflp

@@ -1,0 +1,114 @@
+// SolutionLedger — the authoritative record of an online run.
+//
+// Online algorithms do not compute costs themselves; they report decisions
+// (open facility, assign commodity of the current request to facility) to
+// the ledger, which prices them against the instance's cost model and
+// metric. The ledger enforces the model's rules:
+//   * decisions are irrevocable — facilities never close, assignments
+//     never change (the paper's model; algorithms keep any tentative state,
+//     like PD-OMFLP's temporarily-open facilities, internal);
+//   * a request must be fully covered when its processing finishes;
+//   * connection cost is d(m, r) summed once per *distinct* facility the
+//     request connects to (the paper's shared-path model). The §1.1
+//     alternative (charge per commodity) is available as a policy and used
+//     in tests/ablations.
+#pragma once
+
+#include <vector>
+
+#include "instance/instance.hpp"
+
+namespace omflp {
+
+enum class ConnectionChargePolicy {
+  kPerFacility,   // paper default: one shared path per connected facility
+  kPerCommodity,  // §1.1 alternative: every served commodity pays the path
+};
+
+struct OpenFacilityRecord {
+  FacilityId id = kInvalidFacility;
+  PointId location = 0;
+  CommoditySet config;
+  double open_cost = 0.0;
+  /// Index of the request being processed when the facility opened.
+  RequestId opened_during = 0;
+};
+
+struct ServedCommodity {
+  CommodityId commodity = kInvalidCommodity;
+  FacilityId facility = kInvalidFacility;
+};
+
+struct RequestRecord {
+  Request request;
+  std::vector<ServedCommodity> served;   // one entry per demanded commodity
+  std::vector<FacilityId> connected;     // distinct facilities, sorted
+  double connection_cost = 0.0;
+};
+
+class SolutionLedger {
+ public:
+  SolutionLedger(MetricPtr metric, CostModelPtr cost,
+                 ConnectionChargePolicy policy =
+                     ConnectionChargePolicy::kPerFacility);
+
+  /// Start processing the next request. Only one request may be in flight.
+  RequestId begin_request(const Request& request);
+
+  /// Irrevocably open a facility; returns its id. Must be called between
+  /// begin_request and finish_request (openings are always triggered by
+  /// some request in the online model).
+  FacilityId open_facility(PointId location, const CommoditySet& config);
+
+  /// Record that commodity e of the in-flight request is served by
+  /// facility f. f must be open and must offer e. Each demanded commodity
+  /// must be assigned exactly once.
+  void assign(CommodityId e, FacilityId f);
+
+  /// Validates coverage of the in-flight request and accrues its
+  /// connection cost.
+  void finish_request();
+
+  // ---- introspection ------------------------------------------------------
+  std::size_t num_requests() const noexcept { return requests_.size(); }
+  std::size_t num_facilities() const noexcept { return facilities_.size(); }
+  const std::vector<OpenFacilityRecord>& facilities() const noexcept {
+    return facilities_;
+  }
+  const std::vector<RequestRecord>& request_records() const noexcept {
+    return requests_;
+  }
+  const OpenFacilityRecord& facility(FacilityId f) const;
+
+  double opening_cost() const noexcept { return opening_cost_; }
+  double connection_cost() const noexcept { return connection_cost_; }
+  double total_cost() const noexcept {
+    return opening_cost_ + connection_cost_;
+  }
+
+  /// Facilities with |config| == 1 / == |S| (the paper's small/large).
+  std::size_t num_small_facilities() const noexcept { return num_small_; }
+  std::size_t num_large_facilities() const noexcept { return num_large_; }
+
+  ConnectionChargePolicy policy() const noexcept { return policy_; }
+  const MetricSpace& metric() const noexcept { return *metric_; }
+  const FacilityCostModel& cost_model() const noexcept { return *cost_; }
+
+  bool request_in_flight() const noexcept { return in_flight_; }
+
+ private:
+  MetricPtr metric_;
+  CostModelPtr cost_;
+  ConnectionChargePolicy policy_;
+
+  std::vector<OpenFacilityRecord> facilities_;
+  std::vector<RequestRecord> requests_;
+  bool in_flight_ = false;
+
+  double opening_cost_ = 0.0;
+  double connection_cost_ = 0.0;
+  std::size_t num_small_ = 0;
+  std::size_t num_large_ = 0;
+};
+
+}  // namespace omflp

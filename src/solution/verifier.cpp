@@ -1,0 +1,120 @@
+#include "solution/verifier.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace omflp {
+
+namespace {
+
+std::optional<VerificationError> fail(const std::string& msg) {
+  return VerificationError{msg};
+}
+
+}  // namespace
+
+std::optional<VerificationError> verify_solution(const Instance& instance,
+                                                 const SolutionLedger& ledger,
+                                                 double tolerance) {
+  if (ledger.request_in_flight())
+    return fail("ledger left a request in flight");
+  if (ledger.num_requests() != instance.num_requests()) {
+    std::ostringstream os;
+    os << "ledger served " << ledger.num_requests() << " requests, instance has "
+       << instance.num_requests();
+    return fail(os.str());
+  }
+
+  const MetricSpace& metric = instance.metric();
+  const FacilityCostModel& cost = instance.cost();
+
+  // Facilities: recompute opening costs.
+  double opening = 0.0;
+  for (const OpenFacilityRecord& f : ledger.facilities()) {
+    if (f.location >= metric.num_points())
+      return fail("facility outside the metric space");
+    if (f.config.universe_size() != cost.num_commodities())
+      return fail("facility config universe mismatch");
+    if (f.config.empty()) return fail("facility with empty configuration");
+    const double expect = cost.open_cost(f.location, f.config);
+    if (std::abs(expect - f.open_cost) > tolerance) {
+      std::ostringstream os;
+      os << "facility " << f.id << " open cost " << f.open_cost
+         << " != model cost " << expect;
+      return fail(os.str());
+    }
+    opening += expect;
+  }
+  if (std::abs(opening - ledger.opening_cost()) > tolerance * (1.0 + opening))
+    return fail("total opening cost mismatch");
+
+  // Requests: coverage, causality, connection cost.
+  double connection = 0.0;
+  for (RequestId i = 0; i < instance.num_requests(); ++i) {
+    const Request& expected = instance.request(i);
+    const RequestRecord& rec = ledger.request_records()[i];
+    if (!(rec.request.location == expected.location &&
+          rec.request.commodities == expected.commodities)) {
+      std::ostringstream os;
+      os << "request " << i << " in ledger differs from the instance";
+      return fail(os.str());
+    }
+
+    CommoditySet covered(cost.num_commodities());
+    for (const ServedCommodity& sc : rec.served) {
+      if (sc.facility >= ledger.num_facilities())
+        return fail("assignment to unknown facility");
+      const OpenFacilityRecord& f = ledger.facility(sc.facility);
+      if (!f.config.contains(sc.commodity))
+        return fail("assigned facility does not offer the commodity");
+      if (f.opened_during > i)
+        return fail("causality violation: facility opened after the request "
+                    "it serves");
+      if (covered.contains(sc.commodity))
+        return fail("commodity covered twice in one request");
+      covered.add(sc.commodity);
+    }
+    if (!(covered == expected.commodities)) {
+      std::ostringstream os;
+      os << "request " << i << " not exactly covered: got "
+         << covered.to_string() << ", demanded "
+         << expected.commodities.to_string();
+      return fail(os.str());
+    }
+
+    double expect_conn = 0.0;
+    if (ledger.policy() == ConnectionChargePolicy::kPerFacility) {
+      // rec.connected must be the sorted distinct facility list.
+      std::vector<FacilityId> distinct;
+      for (const ServedCommodity& sc : rec.served)
+        distinct.push_back(sc.facility);
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      if (distinct != rec.connected)
+        return fail("connected-facility list inconsistent with assignments");
+      for (FacilityId f : distinct)
+        expect_conn += metric.distance(expected.location,
+                                       ledger.facility(f).location);
+    } else {
+      for (const ServedCommodity& sc : rec.served)
+        expect_conn += metric.distance(expected.location,
+                                       ledger.facility(sc.facility).location);
+    }
+    if (std::abs(expect_conn - rec.connection_cost) >
+        tolerance * (1.0 + expect_conn)) {
+      std::ostringstream os;
+      os << "request " << i << " connection cost " << rec.connection_cost
+         << " != recomputed " << expect_conn;
+      return fail(os.str());
+    }
+    connection += expect_conn;
+  }
+  if (std::abs(connection - ledger.connection_cost()) >
+      tolerance * (1.0 + connection))
+    return fail("total connection cost mismatch");
+
+  return std::nullopt;
+}
+
+}  // namespace omflp

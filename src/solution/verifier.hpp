@@ -1,0 +1,35 @@
+// Independent verification of a finished online run.
+//
+// The ledger already enforces its invariants incrementally; the verifier
+// re-derives everything from the raw records with separate code so that a
+// bookkeeping bug in the ledger (or an algorithm bypassing it in a novel
+// way) cannot hide. Every algorithm test runs the verifier on its output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "instance/instance.hpp"
+#include "solution/solution.hpp"
+
+namespace omflp {
+
+struct VerificationError {
+  std::string what;
+};
+
+/// Checks, against the instance:
+///  * the ledger processed exactly the instance's request sequence, in
+///    order;
+///  * every request's demand set is exactly covered by its assignments,
+///    each assignment points at a facility that offers the commodity and
+///    was open by the end of that request's processing (irrevocability /
+///    causality: facility.opened_during <= request index);
+///  * recomputed opening and connection costs match the ledger's totals
+///    (within `tolerance` for floating-point accumulation);
+///  * facility open costs match the cost model.
+std::optional<VerificationError> verify_solution(const Instance& instance,
+                                                 const SolutionLedger& ledger,
+                                                 double tolerance = 1e-6);
+
+}  // namespace omflp

@@ -1,0 +1,54 @@
+// Lightweight contract macros used throughout the library.
+//
+// OMFLP_REQUIRE  — precondition on caller-supplied data; throws
+//                  std::invalid_argument so misuse is recoverable/testable.
+// OMFLP_CHECK    — internal invariant; throws std::logic_error. These stay
+//                  enabled in release builds: the algorithms in this library
+//                  are the product, and a silently wrong facility placement
+//                  is worse than an aborted benchmark run.
+// OMFLP_ASSERT   — hot-path invariant, compiled out unless OMFLP_DEBUG_CHECKS.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace omflp::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OMFLP_REQUIRE failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OMFLP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace omflp::detail
+
+#define OMFLP_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::omflp::detail::throw_require(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#define OMFLP_CHECK(expr, msg)                                           \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::omflp::detail::throw_check(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+#if defined(OMFLP_DEBUG_CHECKS)
+#define OMFLP_ASSERT(expr, msg) OMFLP_CHECK(expr, msg)
+#else
+#define OMFLP_ASSERT(expr, msg) \
+  do {                          \
+  } while (false)
+#endif

@@ -1,0 +1,20 @@
+#include "support/commodity_set.hpp"
+
+#include <sstream>
+
+namespace omflp {
+
+std::string CommoditySet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first_item = true;
+  for_each([&](CommodityId e) {
+    if (!first_item) os << ',';
+    os << e;
+    first_item = false;
+  });
+  os << "}/" << universe_;
+  return os.str();
+}
+
+}  // namespace omflp

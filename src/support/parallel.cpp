@@ -1,0 +1,68 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("OMFLP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  OMFLP_REQUIRE(fn != nullptr, "parallel_for: null function");
+  if (n == 0) return;
+  if (threads == 0) threads = default_thread_count();
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunk claim via an atomic cursor: chunks are small enough to
+  // balance, large enough to avoid contention.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk);
+      if (begin >= n || has_error.load(std::memory_order_relaxed)) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          bool expected = false;
+          if (has_error.compare_exchange_strong(expected, true))
+            first_error = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }  // join
+
+  if (has_error.load()) std::rethrow_exception(first_error);
+}
+
+}  // namespace omflp

@@ -1,0 +1,98 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += o.m2_ + delta * delta * na * nb / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double Summary::quantile(double q) const {
+  OMFLP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q outside [0,1]");
+  OMFLP_REQUIRE(!samples_.empty(), "quantile: no samples");
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Summary::ci95_halfwidth() const noexcept { return 1.96 * stats_.sem(); }
+
+std::pair<double, double> Summary::bootstrap_ci95(std::size_t resamples,
+                                                  std::uint64_t seed) const {
+  OMFLP_REQUIRE(!samples_.empty(), "bootstrap_ci95: no samples");
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+      acc += samples_[rng.uniform_index(samples_.size())];
+    means.push_back(acc / static_cast<double>(samples_.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const std::size_t lo =
+      static_cast<std::size_t>(0.025 * static_cast<double>(resamples));
+  const std::size_t hi =
+      static_cast<std::size_t>(0.975 * static_cast<double>(resamples));
+  return {means[lo], means[std::min(hi, resamples - 1)]};
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  OMFLP_REQUIRE(xs.size() == ys.size(), "fit_linear: size mismatch");
+  OMFLP_REQUIRE(xs.size() >= 2, "fit_linear: need at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace omflp

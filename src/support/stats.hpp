@@ -1,0 +1,94 @@
+// Streaming and batch statistics for the experiment harness.
+//
+// RunningStats is Welford's online algorithm (numerically stable mean and
+// variance); Summary additionally keeps the samples for quantiles and
+// bootstrap confidence intervals. Competitive-ratio experiments report
+// mean ± 95% CI over seeds, so the CI machinery lives here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace omflp {
+
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double sem() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& o) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary that retains samples.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    stats_.add(x);
+  }
+
+  std::size_t count() const noexcept { return stats_.count(); }
+  double mean() const noexcept { return stats_.mean(); }
+  double stddev() const noexcept { return stats_.stddev(); }
+  double min() const noexcept { return stats_.min(); }
+  double max() const noexcept { return stats_.max(); }
+
+  /// q-quantile via linear interpolation on the sorted samples, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Normal-approximation 95% confidence half-width for the mean.
+  double ci95_halfwidth() const noexcept;
+
+  /// Percentile-bootstrap 95% CI for the mean (deterministic given seed).
+  std::pair<double, double> bootstrap_ci95(std::size_t resamples = 1000,
+                                           std::uint64_t seed = 42) const;
+
+  std::span<const double> samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  RunningStats stats_;
+};
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b, r^2}.
+/// Used to check growth trends (e.g. ratio vs log n should have positive
+/// slope and good fit, ratio/sqrt(S) should have ~zero slope).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace omflp

@@ -1,0 +1,143 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace omflp {
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  OMFLP_REQUIRE(!columns_.empty(), "TableWriter: need at least one column");
+}
+
+TableWriter& TableWriter::begin_row() {
+  if (!rows_.empty())
+    OMFLP_REQUIRE(rows_.back().size() == columns_.size(),
+                  "TableWriter: previous row incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+TableWriter& TableWriter::add(std::string value) {
+  OMFLP_REQUIRE(!rows_.empty(), "TableWriter: begin_row() before add()");
+  OMFLP_REQUIRE(rows_.back().size() < columns_.size(),
+                "TableWriter: row already full");
+  rows_.back().emplace_back(std::move(value));
+  return *this;
+}
+
+TableWriter& TableWriter::add(const char* value) {
+  return add(std::string(value));
+}
+
+TableWriter& TableWriter::add(double value) {
+  OMFLP_REQUIRE(!rows_.empty(), "TableWriter: begin_row() before add()");
+  OMFLP_REQUIRE(rows_.back().size() < columns_.size(),
+                "TableWriter: row already full");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+TableWriter& TableWriter::add(long long value) {
+  OMFLP_REQUIRE(!rows_.empty(), "TableWriter: begin_row() before add()");
+  OMFLP_REQUIRE(rows_.back().size() < columns_.size(),
+                "TableWriter: row already full");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+void TableWriter::set_precision(int digits) {
+  OMFLP_REQUIRE(digits > 0 && digits <= 17, "TableWriter: bad precision");
+  precision_ = digits;
+}
+
+std::string TableWriter::format_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell))
+    return std::to_string(*i);
+  const double v = std::get<double>(cell);
+  std::ostringstream os;
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    // Integral doubles print without trailing zeros unless tiny precision.
+    os << std::setprecision(precision_ + 2) << v;
+  } else {
+    os << std::setprecision(precision_) << v;
+  }
+  return os.str();
+}
+
+void TableWriter::write_markdown(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << v << std::string(width[c] - v.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rendered) emit_row(row);
+}
+
+void TableWriter::write_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+std::string TableWriter::to_markdown() const {
+  std::ostringstream os;
+  write_markdown(os);
+  return os.str();
+}
+
+std::string TableWriter::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+}  // namespace omflp

@@ -1,0 +1,50 @@
+// TableWriter — uniform tabular output for every bench binary.
+//
+// Benches print the series the paper's figures/tables would contain; this
+// writer renders them as GitHub-flavoured markdown (human inspection) or
+// CSV (downstream plotting) with consistent numeric formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace omflp {
+
+class TableWriter {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit TableWriter(std::vector<std::string> columns);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  TableWriter& begin_row();
+  TableWriter& add(std::string value);
+  TableWriter& add(const char* value);
+  TableWriter& add(double value);
+  TableWriter& add(long long value);
+  TableWriter& add(int value) { return add(static_cast<long long>(value)); }
+  TableWriter& add(std::size_t value) {
+    return add(static_cast<long long>(value));
+  }
+
+  /// Number of significant digits for doubles (default 4).
+  void set_precision(int digits);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  void write_markdown(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace omflp

@@ -1,0 +1,32 @@
+// Shared strong-ish aliases for the whole library. Points of the metric
+// space, commodities of the universe S, requests of the online sequence and
+// opened facilities are all identified by dense indices; invalid sentinel
+// values are provided for "not yet assigned" states.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace omflp {
+
+/// Index of a point of the metric space M (0 .. num_points-1).
+using PointId = std::uint32_t;
+/// Index of a commodity in the universe S (0 .. num_commodities-1).
+using CommodityId = std::uint32_t;
+/// Position of a request in the online sequence.
+using RequestId = std::size_t;
+/// Index of a facility in the order it was (irrevocably) opened.
+using FacilityId = std::size_t;
+
+inline constexpr PointId kInvalidPoint = std::numeric_limits<PointId>::max();
+inline constexpr CommodityId kInvalidCommodity =
+    std::numeric_limits<CommodityId>::max();
+inline constexpr FacilityId kInvalidFacility =
+    std::numeric_limits<FacilityId>::max();
+
+/// Infinity used for "no facility yet" distances.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+}  // namespace omflp

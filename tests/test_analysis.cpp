@@ -1,0 +1,165 @@
+// Analysis module tests: the Figure 2 bound curves (anchor values the
+// paper states explicitly), the c-ordered covering greedy against the
+// Lemma 12 guarantee, and the experiment runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/c_ordered_covering.hpp"
+#include "analysis/experiment.hpp"
+#include "support/harmonic.hpp"
+
+namespace omflp {
+namespace {
+
+// ---------------------------------------------------------- Figure 2 -----
+
+TEST(Figure2, AnchorsFromThePaper) {
+  const double s = 10000.0;  // the paper plots |S| = 10^4
+  // x = 0: upper √S^0 = 1; lower min{√S^1, √S^0} = 1.
+  EXPECT_DOUBLE_EQ(theorem18_upper_factor(0.0, s), 1.0);
+  EXPECT_DOUBLE_EQ(theorem18_lower_factor(0.0, s), 1.0);
+  // x = 2: (2x−x²)/2 = 0 → 1; lower min{√S^0, √S^1} = 1.
+  EXPECT_DOUBLE_EQ(theorem18_upper_factor(2.0, s), 1.0);
+  EXPECT_DOUBLE_EQ(theorem18_lower_factor(2.0, s), 1.0);
+  // x = 1: both peak at ⁴√S = 10.
+  EXPECT_NEAR(theorem18_upper_factor(1.0, s), 10.0, 1e-9);
+  EXPECT_NEAR(theorem18_lower_factor(1.0, s), 10.0, 1e-9);
+}
+
+TEST(Figure2, UpperDominatesLowerEverywhere) {
+  const double s = 10000.0;
+  for (double x = 0.0; x <= 2.0001; x += 0.01) {
+    const double clamped = std::min(x, 2.0);
+    EXPECT_GE(theorem18_upper_factor(clamped, s) + 1e-12,
+              theorem18_lower_factor(clamped, s))
+        << "x=" << clamped;
+  }
+}
+
+TEST(Figure2, PeakAtXEqualsOne) {
+  const double s = 10000.0;
+  const double peak = theorem18_upper_factor(1.0, s);
+  for (double x : {0.0, 0.3, 0.7, 1.3, 1.7, 2.0})
+    EXPECT_LT(theorem18_upper_factor(x, s), peak + 1e-12);
+}
+
+TEST(Figure2, SeriesShapeAndEndpoints) {
+  const auto rows = figure2_series(10000.0, 0.05);
+  ASSERT_GE(rows.size(), 40u);
+  EXPECT_DOUBLE_EQ(rows.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(rows.back().x, 2.0);
+  EXPECT_DOUBLE_EQ(rows.front().upper, 1.0);
+  EXPECT_DOUBLE_EQ(rows.back().upper, 1.0);
+}
+
+TEST(Bounds, Theorem4AndTheorem2Values) {
+  // 15·√16·H_2 = 15·4·1.5 = 90.
+  EXPECT_NEAR(theorem4_bound(16, 2), 90.0, 1e-9);
+  // √256/16 = 1.
+  EXPECT_DOUBLE_EQ(theorem2_bound(256), 1.0);
+}
+
+// ------------------------------------------------- c-ordered covering ----
+
+TEST(COrderedCovering, ValidatesStructure) {
+  // Valid: B_0 = {}, B_1 = {}, B_2 = {0}, B_3 = {0, 1}.
+  COrderedInstance ok({{}, {}, {0}, {0, 1}}, 1.0);
+  EXPECT_EQ(ok.num_elements(), 4u);
+  EXPECT_EQ(ok.b_size(3), 2u);
+  EXPECT_EQ(ok.a_members(3), (std::vector<std::size_t>{2}));
+
+  // Nesting violation: B_2 = {0} but B_3 = {1}.
+  EXPECT_THROW(COrderedInstance({{}, {}, {0}, {1}}, 1.0),
+               std::invalid_argument);
+  // Out-of-range member.
+  EXPECT_THROW(COrderedInstance({{}, {5}}, 1.0), std::invalid_argument);
+  // Non-positive weight.
+  EXPECT_THROW(COrderedInstance({{}}, 0.0), std::invalid_argument);
+}
+
+TEST(COrderedCovering, CoverIsCompleteOnHandInstance) {
+  COrderedInstance inst({{}, {}, {0}, {0}, {0, 2}}, 2.0);
+  const auto result = inst.cover();
+  std::vector<char> covered(inst.num_elements(), 0);
+  for (const auto& set : result.sets)
+    for (std::size_t e : set) {
+      EXPECT_LT(e, inst.num_elements());
+      covered[e] = 1;
+    }
+  for (char c : covered) EXPECT_TRUE(c);
+  EXPECT_LE(result.total_weight,
+            2.0 * inst.weight_c() * harmonic(inst.num_elements()) + 1e-9);
+}
+
+TEST(COrderedCovering, AllEmptyBsCoversWithOneSet) {
+  // With every B_i empty, {n−1} ∪ A_{n−1} covers everything at weight c.
+  COrderedInstance inst({{}, {}, {}, {}, {}}, 3.0);
+  const auto result = inst.cover();
+  EXPECT_DOUBLE_EQ(result.total_weight, 3.0);
+  ASSERT_EQ(result.sets.size(), 1u);
+  EXPECT_EQ(result.sets[0].size(), 5u);
+}
+
+TEST(COrderedCovering, FullBsUseSingletons) {
+  // B_i = {0..i−1}: every element copes nobody, so elements must be
+  // covered by singletons of weight c/(|B_i|+1) = c/(i+1): total = c·H_n.
+  COrderedInstance inst({{}, {0}, {0, 1}, {0, 1, 2}}, 1.0);
+  const auto result = inst.cover();
+  EXPECT_NEAR(result.total_weight, harmonic(4), 1e-9);
+  EXPECT_EQ(result.sets.size(), 4u);
+}
+
+class COrderedProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(COrderedProperty, Lemma12WeightBoundHolds) {
+  const auto [n, growth] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 1000 + n);
+    const double c = 1.0 + rng.uniform(0.0, 5.0);
+    const COrderedInstance inst =
+        COrderedInstance::random_instance(n, c, growth, rng);
+    const auto result = inst.cover();
+
+    // Complete cover...
+    std::vector<char> covered(n, 0);
+    for (const auto& set : result.sets)
+      for (std::size_t e : set) covered[e] = 1;
+    for (std::size_t e = 0; e < n; ++e)
+      ASSERT_TRUE(covered[e]) << "element " << e << " uncovered";
+
+    // ...within the Lemma 12 budget.
+    EXPECT_LE(result.total_weight, 2.0 * c * harmonic(n) + 1e-9)
+        << "n=" << n << " growth=" << growth << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, COrderedProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 17, 64, 200),
+                       ::testing::Values(0.0, 0.2, 0.5, 0.9, 1.0)));
+
+// ------------------------------------------------------------- runner ----
+
+TEST(ExperimentRunner, CollectsAllTrials) {
+  const Summary s =
+      run_trials(64, [](std::size_t i) { return static_cast<double>(i); });
+  EXPECT_EQ(s.count(), 64u);
+  EXPECT_DOUBLE_EQ(s.mean(), 31.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 63.0);
+}
+
+TEST(ExperimentRunner, PropagatesTrialErrors) {
+  EXPECT_THROW(run_trials(8,
+                          [](std::size_t i) -> double {
+                            if (i == 3) throw std::runtime_error("trial");
+                            return 0.0;
+                          }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace omflp

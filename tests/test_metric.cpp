@@ -1,0 +1,180 @@
+// Unit and property tests for the metric substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metric/distance_oracle.hpp"
+#include "metric/euclidean_metric.hpp"
+#include "metric/graph_metric.hpp"
+#include "metric/line_metric.hpp"
+#include "metric/matrix_metric.hpp"
+#include "metric/validation.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+namespace {
+
+TEST(LineMetric, Distances) {
+  LineMetric line({0.0, 3.0, -2.0});
+  EXPECT_DOUBLE_EQ(line.distance(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(line.distance(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(line.distance(2, 2), 0.0);
+  EXPECT_THROW((void)line.distance(0, 3), std::invalid_argument);
+}
+
+TEST(LineMetric, UniformGrid) {
+  auto grid = LineMetric::uniform_grid(5, 8.0);
+  EXPECT_EQ(grid->num_points(), 5u);
+  EXPECT_DOUBLE_EQ(grid->position(0), 0.0);
+  EXPECT_DOUBLE_EQ(grid->position(4), 8.0);
+  EXPECT_DOUBLE_EQ(grid->distance(0, 4), 8.0);
+  EXPECT_DOUBLE_EQ(grid->distance(1, 2), 2.0);
+}
+
+TEST(LineMetric, RejectsNonFinite) {
+  EXPECT_THROW(LineMetric({0.0, std::nan("")}), std::invalid_argument);
+  EXPECT_THROW(LineMetric({}), std::invalid_argument);
+}
+
+TEST(SinglePointMetric, Degenerate) {
+  SinglePointMetric m;
+  EXPECT_EQ(m.num_points(), 1u);
+  EXPECT_DOUBLE_EQ(m.distance(0, 0), 0.0);
+  EXPECT_THROW((void)m.distance(0, 1), std::invalid_argument);
+}
+
+TEST(EuclideanMetric, PlaneDistances) {
+  EuclideanMetric m(2, {0.0, 0.0, 3.0, 4.0, -3.0, -4.0});
+  EXPECT_EQ(m.num_points(), 3u);
+  EXPECT_DOUBLE_EQ(m.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.distance(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(m.coordinate(1, 1), 4.0);
+}
+
+TEST(EuclideanMetric, ValidatesShape) {
+  EXPECT_THROW(EuclideanMetric(2, {1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(EuclideanMetric(0, {1.0}), std::invalid_argument);
+}
+
+TEST(MatrixMetric, AcceptsValidRejectsInvalid) {
+  MatrixMetric ok({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(ok.distance(0, 1), 1.0);
+  // Asymmetric.
+  EXPECT_THROW(MatrixMetric({{0.0, 1.0}, {2.0, 0.0}}),
+               std::invalid_argument);
+  // Nonzero diagonal.
+  EXPECT_THROW(MatrixMetric({{1.0, 1.0}, {1.0, 0.0}}),
+               std::invalid_argument);
+  // Negative entry.
+  EXPECT_THROW(MatrixMetric({{0.0, -1.0}, {-1.0, 0.0}}),
+               std::invalid_argument);
+  // Not square.
+  EXPECT_THROW(MatrixMetric({{0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(GraphMetric, PathGraphShortestPaths) {
+  // 0 -1- 1 -2- 2, plus a shortcut 0-2 of weight 5 (longer than the path).
+  GraphMetric g(3, {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 5.0}});
+  EXPECT_DOUBLE_EQ(g.distance(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(g.distance(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.distance(1, 1), 0.0);
+}
+
+TEST(GraphMetric, ShortcutWins) {
+  GraphMetric g(3, {{0, 1, 10.0}, {1, 2, 10.0}, {0, 2, 1.0}});
+  EXPECT_DOUBLE_EQ(g.distance(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.distance(0, 1), 10.0);  // 0-2-1 = 11 > 10
+}
+
+TEST(GraphMetric, DisconnectedThrows) {
+  EXPECT_THROW(GraphMetric(3, {{0, 1, 1.0}}), std::invalid_argument);
+}
+
+TEST(GraphMetric, NegativeWeightThrows) {
+  EXPECT_THROW(GraphMetric(2, {{0, 1, -1.0}}), std::invalid_argument);
+}
+
+TEST(MetricValidation, AcceptsRealMetrics) {
+  auto grid = LineMetric::uniform_grid(20, 10.0);
+  EXPECT_FALSE(validate_metric_exhaustive(*grid).has_value());
+
+  Rng rng(5);
+  std::vector<double> coords;
+  for (int i = 0; i < 30; ++i) coords.push_back(rng.uniform(-5.0, 5.0));
+  EuclideanMetric eu(3, coords);
+  EXPECT_FALSE(validate_metric_exhaustive(eu).has_value());
+
+  GraphMetric g(5, {{0, 1, 1.0},
+                    {1, 2, 2.0},
+                    {2, 3, 1.5},
+                    {3, 4, 0.5},
+                    {4, 0, 2.5}});
+  EXPECT_FALSE(validate_metric_exhaustive(g).has_value());
+}
+
+TEST(MetricValidation, CatchesTriangleViolation) {
+  // Raw edge-weight "distances" that violate the triangle inequality:
+  // d(0,2)=10 > d(0,1)+d(1,2)=2.
+  struct Broken final : MetricSpace {
+    std::size_t num_points() const noexcept override { return 3; }
+    double distance(PointId a, PointId b) const override {
+      if (a == b) return 0.0;
+      if ((a == 0 && b == 2) || (a == 2 && b == 0)) return 10.0;
+      return 1.0;
+    }
+    std::string description() const override { return "broken"; }
+  } broken;
+  const auto violation = validate_metric_exhaustive(broken);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->what.find("triangle"), std::string::npos);
+
+  Rng rng(1);
+  EXPECT_TRUE(validate_metric_sampled(broken, 2000, rng).has_value());
+}
+
+TEST(MetricValidation, CatchesAsymmetry) {
+  struct Asym final : MetricSpace {
+    std::size_t num_points() const noexcept override { return 2; }
+    double distance(PointId a, PointId b) const override {
+      if (a == b) return 0.0;
+      return a < b ? 1.0 : 2.0;
+    }
+    std::string description() const override { return "asym"; }
+  } asym;
+  const auto violation = validate_metric_exhaustive(asym);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->what.find("asymmetric"), std::string::npos);
+}
+
+TEST(DistanceOracle, CachedMatchesDirect) {
+  auto grid = LineMetric::uniform_grid(32, 100.0);
+  DistanceOracle cached(grid);
+  EXPECT_TRUE(cached.cached());
+  DistanceOracle direct(grid, /*cache_limit=*/4);
+  EXPECT_FALSE(direct.cached());
+  for (PointId a = 0; a < 32; ++a)
+    for (PointId b = 0; b < 32; ++b)
+      EXPECT_DOUBLE_EQ(cached(a, b), direct(a, b));
+}
+
+TEST(MetricSpaceBase, NearestPoint) {
+  LineMetric line({0.0, 10.0, 1.0, 50.0});
+  EXPECT_EQ(line.nearest_point(0), 2u);
+  EXPECT_EQ(line.nearest_point(3), 1u);
+}
+
+TEST(Descriptions, AreInformative) {
+  EXPECT_NE(LineMetric({0.0}).description().find("line"),
+            std::string::npos);
+  EXPECT_NE(GraphMetric(2, {{0, 1, 1.0}}).description().find("graph"),
+            std::string::npos);
+  EXPECT_NE(EuclideanMetric(2, {0.0, 0.0}).description().find("euclidean"),
+            std::string::npos);
+  const std::vector<std::vector<double>> one_by_one{{0.0}};
+  EXPECT_NE(MatrixMetric(one_by_one).description().find("matrix"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace omflp

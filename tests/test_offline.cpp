@@ -1,0 +1,346 @@
+// Offline solver tests: the assignment DP, the exact single-point
+// set-cover solvers (size-only vs general agreement), the exhaustive tiny
+// solver, local search quality, and the OPT estimation front-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instance/adversarial.hpp"
+#include "instance/generators.hpp"
+#include "metric/line_metric.hpp"
+#include "offline/assignment.hpp"
+#include "offline/exact_small.hpp"
+#include "offline/greedy_star.hpp"
+#include "offline/local_search.hpp"
+#include "offline/opt_estimate.hpp"
+#include "offline/single_point.hpp"
+
+namespace omflp {
+namespace {
+
+TEST(AssignmentDp, PicksSharedFacilityOverTwoSingles) {
+  // Facilities: {0,1} at distance 3; {0} and {1} at distance 2 each.
+  // Shared path: 3 < 2 + 2.
+  auto metric =
+      std::make_shared<LineMetric>(std::vector<double>{0.0, 3.0, -2.0, 2.0});
+  std::vector<PlacedFacility> facilities = {
+      {1, CommoditySet(2, {0, 1})},
+      {2, CommoditySet(2, {0})},
+      {3, CommoditySet(2, {1})},
+  };
+  const Request r{0, CommoditySet::full_set(2)};
+  EXPECT_DOUBLE_EQ(optimal_assignment_cost(*metric, facilities, r), 3.0);
+}
+
+TEST(AssignmentDp, CombinesWhenSharedIsFar) {
+  auto metric =
+      std::make_shared<LineMetric>(std::vector<double>{0.0, 9.0, -2.0, 2.0});
+  std::vector<PlacedFacility> facilities = {
+      {1, CommoditySet(2, {0, 1})},
+      {2, CommoditySet(2, {0})},
+      {3, CommoditySet(2, {1})},
+  };
+  const Request r{0, CommoditySet::full_set(2)};
+  EXPECT_DOUBLE_EQ(optimal_assignment_cost(*metric, facilities, r), 4.0);
+}
+
+TEST(AssignmentDp, InfeasibleIsInfinite) {
+  auto metric = std::make_shared<SinglePointMetric>();
+  std::vector<PlacedFacility> facilities = {{0, CommoditySet(2, {0})}};
+  const Request r{0, CommoditySet::full_set(2)};
+  EXPECT_TRUE(std::isinf(optimal_assignment_cost(*metric, facilities, r)));
+}
+
+// -------------------------------------------------------- single point ---
+
+TEST(SinglePoint, SizeOnlySqrtPrefersOneBigFacility) {
+  // g(k) = sqrt(k): covering 4 commodities with one facility costs 2,
+  // any split costs more (sqrt is strictly subadditive).
+  PolynomialCostModel cost(8, 1.0);
+  EXPECT_DOUBLE_EQ(
+      single_point_cover_cost(cost, 0, CommoditySet(8, {0, 2, 4, 6})), 2.0);
+}
+
+TEST(SinglePoint, LinearCostIndifferentToSplit) {
+  PolynomialCostModel cost(8, 2.0);
+  EXPECT_DOUBLE_EQ(
+      single_point_cover_cost(cost, 0, CommoditySet(8, {0, 1, 2})), 3.0);
+}
+
+TEST(SinglePoint, CeilRatioMatchesTheorem2) {
+  CeilRatioCostModel cost(64);  // g(k) = ceil(k/8)
+  EXPECT_DOUBLE_EQ(
+      single_point_cover_cost(cost, 0, CommoditySet(64, {0, 1, 2, 3})), 1.0);
+  CommoditySet twelve(64);
+  for (CommodityId e = 0; e < 12; ++e) twelve.add(e);
+  // 12 commodities: one facility costs ceil(12/8) = 2; two facilities of
+  // ≤ 8 commodities cost 1 + 1 = 2 as well.
+  EXPECT_DOUBLE_EQ(single_point_cover_cost(cost, 0, twelve), 2.0);
+}
+
+TEST(SinglePoint, GeneralDpAgreesWithSizeOnlyDp) {
+  // Wrap a size-only function in a general (non-size-only) model and
+  // check both code paths agree.
+  for (double x : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    PolynomialCostModel size_only(6, x);
+    // A LinearCostModel with equal weights is mathematically size-only
+    // but reports cost_by_size only through the general path... use a
+    // custom wrapper instead:
+    struct GeneralWrapper final : FacilityCostModel {
+      explicit GeneralWrapper(const PolynomialCostModel& m) : inner(m) {}
+      const PolynomialCostModel& inner;
+      CommodityId num_commodities() const noexcept override {
+        return inner.num_commodities();
+      }
+      double open_cost(PointId m, const CommoditySet& c) const override {
+        return inner.open_cost(m, c);
+      }
+      std::string description() const override { return "wrapped"; }
+    } general(size_only);
+
+    const CommoditySet target(6, {0, 1, 3, 5});
+    EXPECT_NEAR(single_point_cover_cost(size_only, 0, target),
+                single_point_cover_cost(general, 0, target), 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(SinglePoint, GeneralDpHandlesAsymmetricWeights) {
+  // Linear weights {10, 0.1, 0.1}: best cover of all three is any
+  // partition (linear) = 10.2.
+  LinearCostModel cost({10.0, 0.1, 0.1});
+  EXPECT_NEAR(
+      single_point_cover_cost(cost, 0, CommoditySet::full_set(3)), 10.2,
+      1e-9);
+}
+
+TEST(SinglePoint, InstanceSolverRejectsMultiplePoints) {
+  auto metric = std::make_shared<LineMetric>(std::vector<double>{0.0, 1.0});
+  auto cost = std::make_shared<PolynomialCostModel>(2, 1.0);
+  Instance inst(metric, cost,
+                {Request{0, CommoditySet(2, {0})},
+                 Request{1, CommoditySet(2, {1})}});
+  EXPECT_THROW((void)solve_single_point_instance(inst),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- exact tiny ---
+
+Instance tiny_two_cluster_instance() {
+  // Points 0 and 1 far apart; each sees requests for its own commodity
+  // pair; sqrt costs make one facility per point optimal.
+  auto metric =
+      std::make_shared<LineMetric>(std::vector<double>{0.0, 100.0});
+  auto cost = std::make_shared<PolynomialCostModel>(4, 1.0);
+  std::vector<Request> reqs = {
+      Request{0, CommoditySet(4, {0, 1})}, Request{0, CommoditySet(4, {0})},
+      Request{1, CommoditySet(4, {2, 3})}, Request{1, CommoditySet(4, {3})},
+  };
+  return Instance(metric, cost, std::move(reqs), "tiny-two-cluster");
+}
+
+TEST(ExactSmall, SolvesTwoClusterInstance) {
+  const OfflineSolution sol = solve_exact_small(tiny_two_cluster_instance());
+  EXPECT_TRUE(sol.exact);
+  // One sqrt(2)-facility per point, zero connection.
+  EXPECT_NEAR(sol.cost, 2.0 * std::sqrt(2.0), 1e-9);
+  EXPECT_EQ(sol.facilities.size(), 2u);
+  EXPECT_DOUBLE_EQ(sol.connection_cost, 0.0);
+}
+
+TEST(ExactSmall, MatchesSinglePointSolver) {
+  Rng rng(5);
+  SinglePointMixedConfig cfg;
+  cfg.num_requests = 10;
+  cfg.num_commodities = 5;
+  cfg.max_demand = 4;
+  auto cost = std::make_shared<PolynomialCostModel>(5, 1.0);
+  Instance inst = make_single_point_mixed(cfg, cost, rng);
+  ExactSolverLimits limits;
+  limits.max_points = 1;
+  limits.max_union = 5;
+  limits.max_requests = 10;
+  const OfflineSolution sol = solve_exact_small(inst, limits);
+  EXPECT_NEAR(sol.cost, solve_single_point_instance(inst), 1e-9);
+}
+
+TEST(ExactSmall, EnforcesLimits) {
+  Rng rng(1);
+  UniformLineConfig cfg;
+  cfg.num_points = 40;
+  cfg.num_requests = 10;
+  cfg.num_commodities = 4;
+  auto cost = std::make_shared<PolynomialCostModel>(4, 1.0);
+  const Instance inst = make_uniform_line(cfg, cost, rng);
+  EXPECT_THROW((void)solve_exact_small(inst), std::invalid_argument);
+}
+
+// --------------------------------------------------------- local search --
+
+TEST(LocalSearch, FindsTheTwoClusterOptimum) {
+  const Instance inst = tiny_two_cluster_instance();
+  const OfflineSolution ls = solve_local_search(inst);
+  const OfflineSolution exact = solve_exact_small(inst);
+  EXPECT_NEAR(ls.cost, exact.cost, 1e-9);
+}
+
+class LocalSearchVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchVsExact, NeverBeatsExactAndStaysClose) {
+  Rng rng(GetParam());
+  // Tiny random instances within the exact solver's limits.
+  auto metric = std::make_shared<LineMetric>(std::vector<double>{
+      rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+      rng.uniform(0.0, 10.0)});
+  auto cost = std::make_shared<PolynomialCostModel>(4, 1.0, 1.5);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 8; ++i) {
+    Request r;
+    r.location = static_cast<PointId>(rng.uniform_index(3));
+    r.commodities = sample_demand_set(
+        4, static_cast<CommodityId>(1 + rng.uniform_index(3)), 0.0, rng);
+    reqs.push_back(std::move(r));
+  }
+  Instance inst(metric, cost, std::move(reqs), "tiny-random");
+
+  const OfflineSolution exact = solve_exact_small(inst);
+  const OfflineSolution ls = solve_local_search(inst);
+  EXPECT_GE(ls.cost, exact.cost - 1e-9);
+  // Local search with add/drop is a good heuristic on these sizes; allow
+  // 30% slack to stay robust.
+  EXPECT_LE(ls.cost, 1.3 * exact.cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchVsExact,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(LocalSearch, BeatsCertificateOrMatchesOnClusters) {
+  Rng rng(3);
+  ClusteredConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.requests_per_cluster = 6;
+  cfg.num_commodities = 8;
+  cfg.commodities_per_cluster = 3;
+  auto cost = std::make_shared<PolynomialCostModel>(8, 1.0);
+  const Instance inst = make_clustered_line(cfg, cost, rng);
+  const OfflineSolution ls = solve_local_search(inst);
+  ASSERT_TRUE(inst.opt_certificate().has_value());
+  // The certificate is a feasible solution, so a sane local search should
+  // do at least roughly as well (small tolerance for heuristic gaps).
+  EXPECT_LE(ls.cost, 1.2 * inst.opt_certificate()->upper_bound + 1e-9);
+}
+
+// ---------------------------------------------------------- greedy star --
+
+TEST(GreedyStar, SolvesTheTwoClusterInstanceOptimally) {
+  const Instance inst = tiny_two_cluster_instance();
+  const OfflineSolution greedy = solve_greedy_star(inst);
+  const OfflineSolution exact = solve_exact_small(inst);
+  EXPECT_GE(greedy.cost, exact.cost - 1e-9);
+  EXPECT_NEAR(greedy.cost, exact.cost, 1e-9);
+  EXPECT_EQ(greedy.method, "greedy-star");
+}
+
+class GreedyStarVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyStarVsExact, FeasibleAndNeverBelowExact) {
+  Rng rng(GetParam() * 37 + 11);
+  auto metric = std::make_shared<LineMetric>(std::vector<double>{
+      rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+      rng.uniform(0.0, 10.0)});
+  auto cost = std::make_shared<PolynomialCostModel>(4, 1.0, 1.5);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 8; ++i) {
+    Request r;
+    r.location = static_cast<PointId>(rng.uniform_index(3));
+    r.commodities = sample_demand_set(
+        4, static_cast<CommodityId>(1 + rng.uniform_index(3)), 0.0, rng);
+    reqs.push_back(std::move(r));
+  }
+  Instance inst(metric, cost, std::move(reqs), "tiny-random");
+  const OfflineSolution exact = solve_exact_small(inst);
+  const OfflineSolution greedy = solve_greedy_star(inst);
+  EXPECT_GE(greedy.cost, exact.cost - 1e-9);
+  // Greedy set-cover style: the guarantee is logarithmic, not constant;
+  // a 3x envelope on these tiny instances is the meaningful sanity band
+  // (observed worst case across seeds: ~2.3x).
+  EXPECT_LE(greedy.cost, 3.0 * exact.cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyStarVsExact,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GreedyStar, HandlesLargerWorkloads) {
+  Rng rng(9);
+  UniformLineConfig cfg;
+  cfg.num_points = 16;
+  cfg.num_requests = 80;
+  cfg.num_commodities = 8;
+  cfg.max_demand = 4;
+  auto cost = std::make_shared<PolynomialCostModel>(8, 1.0, 2.0);
+  const Instance inst = make_uniform_line(cfg, cost, rng);
+  const OfflineSolution greedy = solve_greedy_star(inst);
+  EXPECT_TRUE(std::isfinite(greedy.cost));
+  EXPECT_GT(greedy.cost, 0.0);
+  // Sanity: not worse than the no-sharing trivial solution (a facility
+  // with the request's demand at every distinct request location).
+  const OfflineSolution ls = solve_local_search(inst);
+  EXPECT_LE(greedy.cost, 3.0 * ls.cost);
+}
+
+// --------------------------------------------------------- opt estimate --
+
+TEST(OptEstimate, UsesExactCertificate) {
+  Rng rng(2);
+  Theorem2Config cfg;
+  cfg.num_commodities = 36;
+  const Instance inst = make_theorem2_instance(cfg, rng);
+  const OptEstimate est = estimate_opt(inst);
+  EXPECT_TRUE(est.exact);
+  EXPECT_DOUBLE_EQ(est.cost, 1.0);
+  EXPECT_NE(est.method.find("certificate"), std::string::npos);
+}
+
+TEST(OptEstimate, SinglePointPathForMixedWorkload) {
+  Rng rng(3);
+  SinglePointMixedConfig cfg;
+  cfg.num_requests = 30;
+  cfg.num_commodities = 10;
+  auto cost = std::make_shared<PolynomialCostModel>(10, 1.0);
+  const Instance inst = make_single_point_mixed(cfg, cost, rng);
+  const OptEstimate est = estimate_opt(inst);
+  EXPECT_TRUE(est.exact);
+  EXPECT_NE(est.method.find("single-point"), std::string::npos);
+}
+
+TEST(OptEstimate, FallsBackToLocalSearch) {
+  Rng rng(4);
+  UniformLineConfig cfg;
+  cfg.num_points = 12;
+  cfg.num_requests = 30;
+  cfg.num_commodities = 6;
+  cfg.max_demand = 3;
+  auto cost = std::make_shared<PolynomialCostModel>(6, 1.0);
+  const Instance inst = make_uniform_line(cfg, cost, rng);
+  const OptEstimate est = estimate_opt(inst);
+  EXPECT_FALSE(est.exact);
+  EXPECT_TRUE(est.method == "local-search" || est.method == "greedy-star")
+      << est.method;
+  EXPECT_GT(est.cost, 0.0);
+}
+
+TEST(OptEstimate, ThrowsWhenNothingApplies) {
+  Rng rng(5);
+  UniformLineConfig cfg;
+  cfg.num_points = 12;
+  cfg.num_requests = 30;
+  cfg.num_commodities = 6;
+  auto cost = std::make_shared<PolynomialCostModel>(6, 1.0);
+  const Instance inst = make_uniform_line(cfg, cost, rng);
+  OptEstimateOptions options;
+  options.allow_local_search = false;
+  EXPECT_THROW((void)estimate_opt(inst, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omflp

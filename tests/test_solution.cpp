@@ -1,0 +1,199 @@
+// Tests for the solution ledger's accounting and rule enforcement, and for
+// the independent verifier (including that it catches violations the
+// ledger itself cannot see).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cost/cost_models.hpp"
+#include "instance/instance.hpp"
+#include "metric/line_metric.hpp"
+#include "solution/solution.hpp"
+#include "solution/verifier.hpp"
+
+namespace omflp {
+namespace {
+
+struct Fixture {
+  MetricPtr metric = LineMetric::uniform_grid(4, 30.0);  // 0,10,20,30
+  CostModelPtr cost = std::make_shared<PolynomialCostModel>(4, 1.0);
+
+  Request request(PointId loc, std::initializer_list<CommodityId> es) {
+    return Request{loc, CommoditySet(4, es)};
+  }
+};
+
+TEST(SolutionLedger, HappyPathAccounting) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost);
+
+  ledger.begin_request(fx.request(0, {0, 1}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0, 1}));
+  ledger.assign(0, f0);
+  ledger.assign(1, f0);
+  ledger.finish_request();
+
+  // Opening: sqrt(2); connection: one shared path of length 10.
+  EXPECT_NEAR(ledger.opening_cost(), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(ledger.connection_cost(), 10.0);
+  EXPECT_EQ(ledger.num_facilities(), 1u);
+  EXPECT_EQ(ledger.request_records()[0].connected.size(), 1u);
+
+  // Second request reuses the facility plus a new singleton.
+  ledger.begin_request(fx.request(3, {0, 2}));
+  const FacilityId f1 = ledger.open_facility(3, CommoditySet(4, {2}));
+  ledger.assign(0, f0);
+  ledger.assign(2, f1);
+  ledger.finish_request();
+
+  EXPECT_NEAR(ledger.opening_cost(), std::sqrt(2.0) + 1.0, 1e-12);
+  // Request 2 connects to f0 (distance 20) and f1 (distance 0).
+  EXPECT_DOUBLE_EQ(ledger.connection_cost(), 30.0);
+  EXPECT_EQ(ledger.num_small_facilities(), 1u);
+  EXPECT_EQ(ledger.num_large_facilities(), 0u);
+}
+
+TEST(SolutionLedger, SharedPathChargedOncePerFacility) {
+  Fixture fx;
+  SolutionLedger per_facility(fx.metric, fx.cost,
+                              ConnectionChargePolicy::kPerFacility);
+  per_facility.begin_request(fx.request(0, {0, 1, 2}));
+  const FacilityId f =
+      per_facility.open_facility(2, CommoditySet(4, {0, 1, 2}));
+  per_facility.assign(0, f);
+  per_facility.assign(1, f);
+  per_facility.assign(2, f);
+  per_facility.finish_request();
+  EXPECT_DOUBLE_EQ(per_facility.connection_cost(), 20.0);
+
+  // The §1.1 alternative model charges the path per served commodity.
+  SolutionLedger per_commodity(fx.metric, fx.cost,
+                               ConnectionChargePolicy::kPerCommodity);
+  per_commodity.begin_request(fx.request(0, {0, 1, 2}));
+  const FacilityId g =
+      per_commodity.open_facility(2, CommoditySet(4, {0, 1, 2}));
+  per_commodity.assign(0, g);
+  per_commodity.assign(1, g);
+  per_commodity.assign(2, g);
+  per_commodity.finish_request();
+  EXPECT_DOUBLE_EQ(per_commodity.connection_cost(), 60.0);
+}
+
+TEST(SolutionLedger, EnforcesProtocol) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost);
+  // No facility opening outside a request.
+  EXPECT_THROW(ledger.open_facility(0, CommoditySet(4, {0})),
+               std::invalid_argument);
+  ledger.begin_request(fx.request(0, {0}));
+  // No double begin.
+  EXPECT_THROW(ledger.begin_request(fx.request(0, {0})),
+               std::invalid_argument);
+  const FacilityId f = ledger.open_facility(0, CommoditySet(4, {0}));
+  // Assigning an undemanded commodity.
+  EXPECT_THROW(ledger.assign(1, f), std::invalid_argument);
+  // Assigning to a facility that does not offer the commodity.
+  const FacilityId g = ledger.open_facility(0, CommoditySet(4, {2}));
+  EXPECT_THROW(ledger.assign(0, g), std::invalid_argument);
+  ledger.assign(0, f);
+  // Double assignment of the same commodity.
+  EXPECT_THROW(ledger.assign(0, f), std::invalid_argument);
+  ledger.finish_request();
+  // Finish without a request in flight.
+  EXPECT_THROW(ledger.finish_request(), std::invalid_argument);
+}
+
+TEST(SolutionLedger, IncompleteCoverageRejected) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(fx.request(0, {0, 1}));
+  const FacilityId f = ledger.open_facility(0, CommoditySet(4, {0}));
+  ledger.assign(0, f);
+  EXPECT_THROW(ledger.finish_request(), std::invalid_argument);
+}
+
+TEST(SolutionLedger, EmptyConfigRejected) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(fx.request(0, {0}));
+  EXPECT_THROW(ledger.open_facility(0, CommoditySet(4)),
+               std::invalid_argument);
+}
+
+TEST(SolutionLedger, LargeFacilityCounted) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(fx.request(0, {0}));
+  const FacilityId f = ledger.open_facility(0, CommoditySet::full_set(4));
+  ledger.assign(0, f);
+  ledger.finish_request();
+  EXPECT_EQ(ledger.num_large_facilities(), 1u);
+  EXPECT_EQ(ledger.num_small_facilities(), 0u);
+}
+
+// ------------------------------------------------------------ verifier ---
+
+Instance tiny_instance(const Fixture& fx) {
+  return Instance(fx.metric, fx.cost,
+                  {Request{0, CommoditySet(4, {0, 1})},
+                   Request{3, CommoditySet(4, {1})}},
+                  "tiny");
+}
+
+TEST(Verifier, AcceptsValidRun) {
+  Fixture fx;
+  const Instance inst = tiny_instance(fx);
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(inst.request(0));
+  const FacilityId f = ledger.open_facility(0, CommoditySet(4, {0, 1}));
+  ledger.assign(0, f);
+  ledger.assign(1, f);
+  ledger.finish_request();
+  ledger.begin_request(inst.request(1));
+  ledger.assign(1, f);
+  ledger.finish_request();
+  EXPECT_FALSE(verify_solution(inst, ledger).has_value());
+}
+
+TEST(Verifier, RejectsWrongRequestCount) {
+  Fixture fx;
+  const Instance inst = tiny_instance(fx);
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(inst.request(0));
+  const FacilityId f = ledger.open_facility(0, CommoditySet(4, {0, 1}));
+  ledger.assign(0, f);
+  ledger.assign(1, f);
+  ledger.finish_request();
+  const auto violation = verify_solution(inst, ledger);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->what.find("requests"), std::string::npos);
+}
+
+TEST(Verifier, RejectsSequenceMismatch) {
+  Fixture fx;
+  const Instance inst = tiny_instance(fx);
+  SolutionLedger ledger(fx.metric, fx.cost);
+  // Serve different requests than the instance's.
+  ledger.begin_request(Request{1, CommoditySet(4, {0})});
+  FacilityId f = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f);
+  ledger.finish_request();
+  ledger.begin_request(Request{1, CommoditySet(4, {0})});
+  ledger.assign(0, f);
+  ledger.finish_request();
+  const auto violation = verify_solution(inst, ledger);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->what.find("differs"), std::string::npos);
+}
+
+TEST(Verifier, RejectsInFlightRequest) {
+  Fixture fx;
+  const Instance inst = tiny_instance(fx);
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(inst.request(0));
+  EXPECT_TRUE(verify_solution(inst, ledger).has_value());
+}
+
+}  // namespace
+}  // namespace omflp

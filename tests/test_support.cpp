@@ -1,0 +1,325 @@
+// Unit tests for the support substrate: CommoditySet algebra, the RNG and
+// its distributions, streaming statistics, harmonic numbers, the table
+// writer and the parallel_for runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "support/commodity_set.hpp"
+#include "support/harmonic.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace omflp {
+namespace {
+
+// ---------------------------------------------------------------- sets ---
+
+TEST(CommoditySet, BasicMembership) {
+  CommoditySet s(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  s.add(3);
+  s.add(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.count(), 2u);
+  s.remove(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(CommoditySet, OutOfRangeThrows) {
+  CommoditySet s(4);
+  EXPECT_THROW(s.add(4), std::invalid_argument);
+  EXPECT_THROW(s.contains(4), std::invalid_argument);
+  EXPECT_THROW(s.remove(9), std::invalid_argument);
+}
+
+TEST(CommoditySet, FullSetAndTrimAcrossWordBoundary) {
+  for (CommodityId universe : {1u, 63u, 64u, 65u, 128u, 130u}) {
+    const CommoditySet full = CommoditySet::full_set(universe);
+    EXPECT_EQ(full.count(), universe) << "universe " << universe;
+    EXPECT_TRUE(full.is_full());
+    EXPECT_TRUE(full.contains(universe - 1));
+  }
+}
+
+TEST(CommoditySet, SetAlgebra) {
+  const CommoditySet a(8, {0, 1, 2, 5});
+  const CommoditySet b(8, {2, 3, 5, 7});
+  EXPECT_EQ((a | b), CommoditySet(8, {0, 1, 2, 3, 5, 7}));
+  EXPECT_EQ((a & b), CommoditySet(8, {2, 5}));
+  EXPECT_EQ((a - b), CommoditySet(8, {0, 1}));
+  EXPECT_TRUE((a & b).is_subset_of(a));
+  EXPECT_TRUE((a & b).is_subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(CommoditySet, UniverseMismatchThrows) {
+  CommoditySet a(8);
+  const CommoditySet b(9);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW((void)a.is_subset_of(b), std::invalid_argument);
+}
+
+TEST(CommoditySet, IterationIsSortedAndComplete) {
+  const CommoditySet s(130, {0, 63, 64, 65, 129});
+  const std::vector<CommodityId> got = s.to_vector();
+  EXPECT_EQ(got, (std::vector<CommodityId>{0, 63, 64, 65, 129}));
+  EXPECT_EQ(s.first(), 0u);
+}
+
+TEST(CommoditySet, FirstOnEmptyThrows) {
+  const CommoditySet s(4);
+  EXPECT_THROW((void)s.first(), std::invalid_argument);
+}
+
+TEST(CommoditySet, HashDistinguishesAndAgrees) {
+  const CommoditySet a(16, {1, 5});
+  const CommoditySet b(16, {1, 5});
+  const CommoditySet c(16, {1, 6});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(CommoditySet, ToString) {
+  EXPECT_EQ(CommoditySet(8, {0, 3, 7}).to_string(), "{0,3,7}/8");
+}
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    all_equal = all_equal && (va == b.next_u64());
+    any_differs_from_c = any_differs_from_c || (va != c.next_u64());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs_from_c);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexIsUnbiasedish) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sample = rng.sample_without_replacement(50, 20);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::size_t v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Rng, SubstreamsDiffer) {
+  const Rng base(99);
+  Rng s0 = base.substream(0);
+  Rng s1 = base.substream(1);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i)
+    differ = differ || (s0.next_u64() != s1.next_u64());
+  EXPECT_TRUE(differ);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  Rng rng(3);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks) {
+  Rng rng(3);
+  ZipfSampler zipf(16, 1.2);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0], 3 * counts[15]);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(Summary, QuantilesAndCI) {
+  Summary s;
+  for (int i = 1; i <= 101; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.median(), 51.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 101.0);
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+  const auto [lo, hi] = s.bootstrap_ci95(500, 7);
+  EXPECT_LT(lo, s.mean());
+  EXPECT_GT(hi, s.mean());
+}
+
+TEST(Summary, QuantileValidation) {
+  Summary s;
+  EXPECT_THROW((void)s.quantile(0.5), std::invalid_argument);
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(LinearFitTest, RecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------- harmonic ----
+
+TEST(Harmonic, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(Harmonic, AsymptoticMatchesExactSummation) {
+  // Straddle the exact/asymptotic switchover at n = 1024.
+  for (std::size_t n : {1024u, 1025u, 5000u}) {
+    double exact = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) exact += 1.0 / static_cast<double>(k);
+    EXPECT_NEAR(harmonic(n), exact, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Harmonic, PdScalingFactor) {
+  // γ = 1/(5·√S·H_n)
+  EXPECT_NEAR(pd_scaling_factor(16, 2), 1.0 / (5.0 * 4.0 * 1.5), 1e-12);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(TableWriter, MarkdownShape) {
+  TableWriter t({"a", "bb"});
+  t.begin_row().add(1).add("x");
+  t.begin_row().add(2.5).add("yy");
+  const std::string md = t.to_markdown();
+  // Columns are padded to the widest cell ("2.5" is 3 chars wide).
+  EXPECT_NE(md.find("| a   | bb |"), std::string::npos) << md;
+  EXPECT_NE(md.find("| 2.5 | yy |"), std::string::npos) << md;
+  EXPECT_NE(md.find("|-----|----|"), std::string::npos) << md;
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t({"name", "v"});
+  t.begin_row().add("with,comma").add(1);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(TableWriter, RowDisciplineEnforced) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add(1), std::invalid_argument);  // no begin_row
+  t.begin_row().add(1).add(2);
+  EXPECT_THROW(t.add(3), std::invalid_argument);  // row full
+}
+
+// ----------------------------------------------------------- parallel ----
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, InlineWhenSingleThread) {
+  int sum = 0;  // no atomics needed: must run on the calling thread
+  parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(0, [&](std::size_t) { FAIL(); }, 4);
+}
+
+}  // namespace
+}  // namespace omflp
