@@ -14,6 +14,9 @@
 #include "core/pd_omflp.hpp"
 #include "core/rand_omflp.hpp"
 #include "cost/cost_models.hpp"
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/registry_util.hpp"
+#include "scenario/scenario_registry.hpp"
 
 namespace omflp::bench {
 
@@ -30,6 +33,40 @@ inline Summary ratio_over_trials(
     auto algorithm = make_algorithm(trial);
     return measure_ratio(*algorithm, instance, opt_options).ratio;
   });
+}
+
+/// Roster entry point: mean ratio of the registry algorithm `name` (see
+/// scenario/algorithm_registry.hpp for the roster) on `make_instance(seed)`
+/// over `trials` seeds. Replaces the per-bench algorithm-construction
+/// lambdas; randomized algorithms derive their coins from the trial index
+/// through derive_algorithm_seed, decorrelated from the instance stream.
+inline Summary ratio_for(
+    const std::string& algorithm_name, std::size_t trials,
+    const std::function<Instance(std::uint64_t)>& make_instance,
+    const OptEstimateOptions& opt_options = {}) {
+  const AlgorithmRegistry& registry = default_algorithm_registry();
+  return ratio_over_trials(
+      trials, make_instance,
+      [&registry, &algorithm_name](std::uint64_t seed) {
+        return registry.make(algorithm_name, derive_algorithm_seed(seed));
+      },
+      opt_options);
+}
+
+/// Roster entry point over a registered scenario: the instance for trial t
+/// is `scenario` instantiated with seed seed_base + t and `overrides`.
+inline Summary ratio_for_scenario(
+    const std::string& algorithm_name, const std::string& scenario,
+    std::size_t trials, const std::map<std::string, double>& overrides = {},
+    std::uint64_t seed_base = 1,
+    const OptEstimateOptions& opt_options = {}) {
+  const ScenarioRegistry& scenarios = default_scenario_registry();
+  return ratio_for(
+      algorithm_name, trials,
+      [&scenarios, &scenario, &overrides, seed_base](std::uint64_t seed) {
+        return scenarios.make(scenario, seed_base + seed, overrides);
+      },
+      opt_options);
 }
 
 /// "mean ± half-width" cell for result tables.

@@ -40,29 +40,19 @@ int main() {
                      "PerCommodity[Fotakis]", "PD predicted 2*sqrt(S)-1",
                      "thm4 budget"});
   for (const CommodityId s : sizes) {
-    auto make_instance = [s](std::uint64_t seed) {
-      Rng rng(seed * 7919 + s);
-      Theorem2Config cfg;
-      cfg.num_commodities = s;
-      return make_theorem2_instance(cfg, rng);
-    };
-    const Summary pd = ratio_over_trials(
-        trials, make_instance,
-        [](std::uint64_t) { return std::make_unique<PdOmflp>(); });
-    const Summary no_pred = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t) {
-          return std::make_unique<PdOmflp>(
-              PdOptions{.prediction = PdOptions::Prediction::kOff});
-        });
-    const Summary rand = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t seed) {
-          return std::make_unique<RandOmflp>(RandOptions{.seed = seed + 1});
-        });
-    const Summary per_comm = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t) {
-          return std::unique_ptr<OnlineAlgorithm>(
-              PerCommodityAdapter::fotakis());
-        });
+    // The Theorem 2 game comes from the scenario registry; trial t plays
+    // the "theorem2" scenario with seed s*7919 + t (distinct per size).
+    const std::map<std::string, double> params = {
+        {"commodities", static_cast<double>(s)}};
+    const std::uint64_t seed_base = static_cast<std::uint64_t>(s) * 7919;
+    const Summary pd =
+        ratio_for_scenario("pd", "theorem2", trials, params, seed_base);
+    const Summary no_pred = ratio_for_scenario("pd-nopred", "theorem2",
+                                               trials, params, seed_base);
+    const Summary rand =
+        ratio_for_scenario("rand", "theorem2", trials, params, seed_base);
+    const Summary per_comm = ratio_for_scenario("fotakis", "theorem2",
+                                                trials, params, seed_base);
     const double sqrt_s = std::sqrt(static_cast<double>(s));
     table.begin_row()
         .add(static_cast<long long>(s))
@@ -78,10 +68,8 @@ int main() {
 
   // ---- Figure 1 rounds view for one PD run ------------------------------
   std::cout << "\nFigure 1 rounds view (PD-OMFLP, |S| = 64, one run):\n\n";
-  Rng rng(1);
-  Theorem2Config cfg;
-  cfg.num_commodities = 64;
-  const Instance inst = make_theorem2_instance(cfg, rng);
+  const Instance inst = default_scenario_registry().make(
+      "theorem2", /*seed=*/1, {{"commodities", 64.0}});
   PdOmflp pd{PdOptions{.record_trace = true}};
   const SolutionLedger ledger = run_online(pd, inst);
   TableWriter rounds({"round", "event", "facility config size",

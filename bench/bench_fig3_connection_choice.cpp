@@ -9,14 +9,15 @@
 // facility at distance d_large, then a probe request demands all three
 // commodities and we watch what it connects to.
 //
-// The scenario's cost model is engineered to pin facilities exactly where
-// the figure wants them (singletons near-free at the small sites, the
-// full bundle near-free only at the large site, everything else
-// prohibitive). That deliberately violates subadditivity/Condition 1 —
-// the paper's WLOG merging argument is exactly what we must suppress to
-// hold the figure's configuration in place; the probe's *choice*
-// mechanics (PD's constraints (1) vs (2), RAND's X(r) vs Z(r)) do not
-// depend on those assumptions.
+// The scenario's cost model (registered as "figure3" in the scenario
+// registry) is engineered to pin facilities exactly where the figure
+// wants them (singletons near-free at the small sites, the full bundle
+// near-free only at the large site, everything else prohibitive). That
+// deliberately violates subadditivity/Condition 1 — the paper's WLOG
+// merging argument is exactly what we must suppress to hold the figure's
+// configuration in place; the probe's *choice* mechanics (PD's
+// constraints (1) vs (2), RAND's X(r) vs Z(r)) do not depend on those
+// assumptions.
 //
 // Expected shape: the shared path wins exactly while
 // d_large < 3·d_small = the sum of the separate paths; the crossover sits
@@ -25,46 +26,12 @@
 #include <memory>
 
 #include "bench_common.hpp"
-#include "metric/line_metric.hpp"
 #include "solution/verifier.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace omflp;
-
-constexpr double kTiny = 1e-4;
-constexpr double kHuge = 1e6;
-
-// Points: 0 = probe location, 1..3 = small-facility sites, 4 = the large
-// site. Singletons cost kTiny at sites 1..4; any larger configuration
-// costs kTiny·|σ| at site 4 only; everything else is prohibitive.
-class Fig3Cost final : public FacilityCostModel {
- public:
-  CommodityId num_commodities() const noexcept override { return 3; }
-  double open_cost(PointId m, const CommoditySet& config) const override {
-    const CommodityId size = check_config(config);
-    if (size == 0) return 0.0;
-    if (m >= 1 && m <= 4 && size == 1) return kTiny;
-    if (m == 4) return kTiny * size;
-    return kHuge * size;
-  }
-  std::string description() const override { return "figure3-scenario"; }
-};
-
-Instance figure3_instance(double d_small, double d_large) {
-  std::vector<double> positions = {0.0, d_small, -d_small, d_small,
-                                   d_large};
-  std::vector<Request> requests;
-  for (CommodityId e = 0; e < 3; ++e)
-    requests.push_back(
-        Request{static_cast<PointId>(1 + e), CommoditySet::singleton(3, e)});
-  requests.push_back(Request{4, CommoditySet::full_set(3)});
-  requests.push_back(Request{0, CommoditySet::full_set(3)});  // the probe
-  return Instance(std::make_shared<LineMetric>(positions),
-                  std::make_shared<Fig3Cost>(), std::move(requests),
-                  "figure3");
-}
 
 std::string choice_name(std::size_t connected) {
   return connected == 1 ? "one large (shared path)" : "separate smalls";
@@ -80,16 +47,20 @@ int main() {
       "both algorithms switch from the large facility to the three small "
       "ones when d_large exceeds 3*d_small");
 
+  const ScenarioRegistry& scenarios = default_scenario_registry();
+  const AlgorithmRegistry& algorithms = default_algorithm_registry();
   const double d_small = 1.0;
   TableWriter table({"d_large", "3*d_small", "PD probe connects to",
                      "PD probe conn cost", "RAND majority choice",
                      "RAND large fraction"});
   for (const double d_large :
        {0.5, 1.0, 2.0, 2.9, 2.999, 3.001, 3.5, 5.0, 10.0}) {
-    const Instance inst = figure3_instance(d_small, d_large);
+    const Instance inst = scenarios.make(
+        "figure3", /*seed=*/1,
+        {{"d_small", d_small}, {"d_large", d_large}});
 
-    PdOmflp pd;
-    const SolutionLedger pd_ledger = run_online(pd, inst);
+    auto pd = algorithms.make("pd");
+    const SolutionLedger pd_ledger = run_online(*pd, inst);
     if (const auto v = verify_solution(inst, pd_ledger)) {
       std::cerr << "PD produced invalid solution: " << v->what << "\n";
       return 1;
@@ -99,9 +70,9 @@ int main() {
     int rand_large = 0;
     const int seeds = 20;
     for (int seed = 0; seed < seeds; ++seed) {
-      RandOmflp rand{
-          RandOptions{.seed = static_cast<std::uint64_t>(seed + 1)}};
-      const SolutionLedger rl = run_online(rand, inst);
+      auto rand =
+          algorithms.make("rand", static_cast<std::uint64_t>(seed + 1));
+      const SolutionLedger rl = run_online(*rand, inst);
       if (rl.request_records().back().connected.size() == 1) ++rand_large;
     }
 

@@ -13,8 +13,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "instance/adversarial.hpp"
-#include "instance/generators.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -28,49 +26,39 @@ int main() {
 
   const std::size_t trials = bench_pick<std::size_t>(8, 30);
 
+  // Workload families come from the scenario registry; each entry is a
+  // scenario name plus parameter overrides and a distinct seed stream.
   struct Family {
-    std::string name;
-    std::function<Instance(std::uint64_t)> make;
+    std::string label;
+    std::string scenario;
+    std::map<std::string, double> params;
+    std::uint64_t seed_base;
   };
-  std::vector<Family> families;
-  families.push_back(
-      {"clustered-line (n=256, |S|=16)", [](std::uint64_t seed) {
-         Rng rng(seed * 7 + 1);
-         ClusteredConfig cfg;
-         cfg.num_clusters = 8;
-         cfg.requests_per_cluster = 32;
-         cfg.num_commodities = 16;
-         cfg.commodities_per_cluster = 4;
-         return make_clustered_line(
-             cfg, std::make_shared<PolynomialCostModel>(16, 1.0, 4.0), rng);
-       }});
-  families.push_back({"theorem2 (|S|=256)", [](std::uint64_t seed) {
-                        Rng rng(seed * 11 + 2);
-                        Theorem2Config cfg;
-                        cfg.num_commodities = 256;
-                        return make_theorem2_instance(cfg, rng);
-                      }});
-  families.push_back(
-      {"zooming-line (n=128, |S|=8)", [](std::uint64_t seed) {
-         Rng rng(seed * 13 + 3);
-         ZoomingConfig cfg;
-         cfg.num_requests = 128;
-         cfg.num_commodities = 8;
-         cfg.demand_size = 4;
-         return make_zooming_line(
-             cfg, std::make_shared<PolynomialCostModel>(8, 1.0, 8.0), rng);
-       }});
-  families.push_back(
-      {"single-point-mixed (|S|=32)", [](std::uint64_t seed) {
-         Rng rng(seed * 17 + 4);
-         SinglePointMixedConfig cfg;
-         cfg.num_requests = 48;
-         cfg.num_commodities = 32;
-         cfg.min_demand = 8;
-         cfg.max_demand = 32;
-         return make_single_point_mixed(
-             cfg, std::make_shared<PolynomialCostModel>(32, 1.0), rng);
-       }});
+  const std::vector<Family> families = {
+      {"clustered-line (n=256, |S|=16)",
+       "clustered",
+       {{"clusters", 8},
+        {"requests_per_cluster", 32},
+        {"separation", 1000},
+        {"commodities", 16},
+        {"commodities_per_cluster", 4},
+        {"cost_scale", 4.0}},
+       1},
+      {"theorem2 (|S|=256)", "theorem2", {{"commodities", 256}}, 1000},
+      {"zooming-line (n=128, |S|=8)",
+       "zooming",
+       {{"requests", 128},
+        {"commodities", 8},
+        {"demand_size", 4},
+        {"cost_scale", 8.0}},
+       2000},
+      {"single-point-mixed (|S|=32)",
+       "single-point-mixed",
+       {{"requests", 48},
+        {"commodities", 32},
+        {"min_demand", 8},
+        {"max_demand", 32}},
+       3000}};
 
   OptEstimateOptions opt;
   opt.allow_local_search = false;  // certificates / exact solvers suffice
@@ -79,24 +67,17 @@ int main() {
                      "RAND ratio (mean±ci)", "RAND/PD",
                      "PerCommodity[Meyerson]"});
   for (const Family& family : families) {
-    const Summary pd = ratio_over_trials(
-        trials, family.make,
-        [](std::uint64_t) { return std::make_unique<PdOmflp>(); }, opt);
-    const Summary rand = ratio_over_trials(
-        trials, family.make,
-        [](std::uint64_t seed) {
-          return std::make_unique<RandOmflp>(RandOptions{.seed = seed + 1});
-        },
-        opt);
-    const Summary meyerson = ratio_over_trials(
-        trials, family.make,
-        [](std::uint64_t seed) {
-          return std::unique_ptr<OnlineAlgorithm>(
-              PerCommodityAdapter::meyerson(seed + 1));
-        },
-        opt);
+    const Summary pd = ratio_for_scenario("pd", family.scenario, trials,
+                                          family.params, family.seed_base,
+                                          opt);
+    const Summary rand = ratio_for_scenario("rand", family.scenario, trials,
+                                            family.params, family.seed_base,
+                                            opt);
+    const Summary meyerson = ratio_for_scenario(
+        "meyerson", family.scenario, trials, family.params,
+        family.seed_base, opt);
     table.begin_row()
-        .add(family.name)
+        .add(family.label)
         .add(mean_ci(pd))
         .add(mean_ci(rand))
         .add(rand.mean() / pd.mean())

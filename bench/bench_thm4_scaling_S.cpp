@@ -13,7 +13,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "instance/generators.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -32,33 +31,20 @@ int main() {
                      "PerCommodity[Fotakis]", "noPred/sqrt(S)",
                      "perComm/sqrt(S)"});
   for (const CommodityId s : sizes) {
-    auto make_instance = [s](std::uint64_t seed) {
-      Rng rng(seed * 31337 + s);
-      SinglePointMixedConfig cfg;
-      cfg.num_requests = 32;
-      cfg.num_commodities = s;
-      cfg.min_demand = std::max<CommodityId>(1, s / 2);
-      cfg.max_demand = s;
-      auto cost = std::make_shared<PolynomialCostModel>(s, 1.0);
-      return make_single_point_mixed(cfg, cost, rng);
-    };
-    const Summary pd = ratio_over_trials(
-        trials, make_instance,
-        [](std::uint64_t) { return std::make_unique<PdOmflp>(); });
-    const Summary rand = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t seed) {
-          return std::make_unique<RandOmflp>(RandOptions{.seed = seed + 1});
-        });
-    const Summary no_pred = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t) {
-          return std::make_unique<PdOmflp>(
-              PdOptions{.prediction = PdOptions::Prediction::kOff});
-        });
-    const Summary per_comm = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t) {
-          return std::unique_ptr<OnlineAlgorithm>(
-              PerCommodityAdapter::fotakis());
-        });
+    // The "shared-demand" scenario (single point, overlapping bundles of
+    // at least |S|/2 commodities, class-C sqrt cost) from the registry;
+    // trial t runs with seed s*31337 + t.
+    const std::map<std::string, double> params = {
+        {"commodities", static_cast<double>(s)}, {"requests", 32.0}};
+    const std::uint64_t seed_base = static_cast<std::uint64_t>(s) * 31337;
+    const Summary pd =
+        ratio_for_scenario("pd", "shared-demand", trials, params, seed_base);
+    const Summary rand = ratio_for_scenario("rand", "shared-demand", trials,
+                                            params, seed_base);
+    const Summary no_pred = ratio_for_scenario("pd-nopred", "shared-demand",
+                                               trials, params, seed_base);
+    const Summary per_comm = ratio_for_scenario("fotakis", "shared-demand",
+                                                trials, params, seed_base);
 
     const double sqrt_s = std::sqrt(static_cast<double>(s));
     table.begin_row()

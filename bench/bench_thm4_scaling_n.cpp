@@ -13,7 +13,6 @@
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "instance/generators.hpp"
 #include "support/harmonic.hpp"
 #include "support/table.hpp"
 
@@ -37,37 +36,27 @@ int main() {
                      "RAND ratio (mean±ci)", "PerCommodity[Fotakis]",
                      "thm4 budget 15*sqrt(S)*H_n"});
   for (const std::size_t n : lengths) {
-    auto make_instance = [&, n](std::uint64_t seed) {
-      Rng rng(seed * 104729 + n);
-      ClusteredConfig cfg;
-      cfg.num_clusters = 8;
-      cfg.requests_per_cluster = n / cfg.num_clusters;
-      cfg.num_commodities = s;
-      cfg.commodities_per_cluster = 4;
-      auto cost = std::make_shared<PolynomialCostModel>(s, 1.0, 4.0);
-      return make_clustered_line(cfg, cost, rng);
-    };
+    // The registry's "clustered" scenario, scaled to n requests.
+    const std::map<std::string, double> params = {
+        {"clusters", 8.0},
+        {"requests_per_cluster", static_cast<double>(n / 8)},
+        {"separation", 1000.0},
+        {"commodities", static_cast<double>(s)},
+        {"commodities_per_cluster", 4.0},
+        {"cost_scale", 4.0}};
+    const std::uint64_t seed_base = static_cast<std::uint64_t>(n) * 104729;
     // The certificate is the OPT bound here (local search would dominate
     // the runtime at these sizes without changing the shape).
     OptEstimateOptions opt;
     opt.allow_local_search = false;
 
-    const Summary pd = ratio_over_trials(
-        trials, make_instance,
-        [](std::uint64_t) { return std::make_unique<PdOmflp>(); }, opt);
-    const Summary rand = ratio_over_trials(
-        trials, make_instance,
-        [](std::uint64_t seed) {
-          return std::make_unique<RandOmflp>(RandOptions{.seed = seed + 1});
-        },
-        opt);
-    const Summary per_comm = ratio_over_trials(
-        trials, make_instance,
-        [](std::uint64_t) {
-          return std::unique_ptr<OnlineAlgorithm>(
-              PerCommodityAdapter::fotakis());
-        },
-        opt);
+    const Summary pd = ratio_for_scenario("pd", "clustered", trials, params,
+                                          seed_base, opt);
+    const Summary rand = ratio_for_scenario("rand", "clustered", trials,
+                                            params, seed_base, opt);
+    const Summary per_comm = ratio_for_scenario("fotakis", "clustered",
+                                                trials, params, seed_base,
+                                                opt);
 
     table.begin_row()
         .add(static_cast<long long>(n))

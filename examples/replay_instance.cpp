@@ -8,37 +8,11 @@
 //   $ ./examples/replay_instance                       # demo + format
 //   $ ./examples/replay_instance workload.omflp pd
 //   $ ./examples/replay_instance workload.omflp rand 7
-//   algorithms: pd | pd-nopred | pd-seenunion | rand | fotakis | meyerson
-//               | greedy | rentbuy | alwaysopen
+//   algorithms: any name from the algorithm registry — see `omflp list`
 #include <fstream>
 #include <iostream>
 
 #include "omflp.hpp"
-
-namespace {
-
-using namespace omflp;
-
-std::unique_ptr<OnlineAlgorithm> make_algorithm(const std::string& name,
-                                                std::uint64_t seed) {
-  if (name == "pd") return std::make_unique<PdOmflp>();
-  if (name == "pd-nopred")
-    return std::make_unique<PdOmflp>(
-        PdOptions{.prediction = PdOptions::Prediction::kOff});
-  if (name == "pd-seenunion")
-    return std::make_unique<PdOmflp>(
-        PdOptions{.large_config = PdOptions::LargeConfig::kSeenUnion});
-  if (name == "rand")
-    return std::make_unique<RandOmflp>(RandOptions{.seed = seed});
-  if (name == "fotakis") return PerCommodityAdapter::fotakis();
-  if (name == "meyerson") return PerCommodityAdapter::meyerson(seed);
-  if (name == "greedy") return std::make_unique<NearestOrOpen>();
-  if (name == "rentbuy") return std::make_unique<RentOrBuy>();
-  if (name == "alwaysopen") return std::make_unique<AlwaysOpen>();
-  throw std::invalid_argument("unknown algorithm '" + name + "'");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace omflp;
@@ -71,7 +45,10 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
 
-    auto algorithm = make_algorithm(algorithm_name, seed);
+    // Same seed derivation as `omflp replay`, so both tools reproduce the
+    // identical run for the same (trace, algorithm, seed).
+    auto algorithm = default_algorithm_registry().make(
+        algorithm_name, derive_algorithm_seed(seed));
     const SolutionLedger ledger = run_online(*algorithm, instance);
     if (const auto violation = verify_solution(instance, ledger)) {
       std::cerr << "INVALID SOLUTION: " << violation->what << "\n";

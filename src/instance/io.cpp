@@ -58,6 +58,10 @@ void write_instance(std::ostream& os, const Instance& instance) {
   const std::size_t points = metric.num_points();
   os << "metric matrix " << points << '\n';
   os.precision(17);
+  // Every shipped MetricSpace is exactly symmetric (GraphMetric
+  // symmetrizes its per-source Dijkstra results at construction); the
+  // MatrixMetric constructor on the reading side validates this, so an
+  // asymmetric future metric fails loudly at read time.
   for (PointId a = 0; a < points; ++a) {
     for (PointId b = 0; b < points; ++b) {
       if (b) os << ' ';

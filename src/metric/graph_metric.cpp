@@ -1,5 +1,6 @@
 #include "metric/graph_metric.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 #include <sstream>
@@ -45,6 +46,17 @@ GraphMetric::GraphMetric(std::size_t num_nodes,
       OMFLP_REQUIRE(std::isfinite(row[v]),
                     "GraphMetric: graph must be connected");
   }
+
+  // Per-source Dijkstra can disagree between d(a,b) and d(b,a) in the
+  // last ulp (different addition order along the path); force exact
+  // symmetry so live queries and (de)serialized matrices agree.
+  for (PointId a = 0; a < n_; ++a)
+    for (PointId b = a + 1; b < n_; ++b) {
+      const double d = std::min(dist_[static_cast<std::size_t>(a) * n_ + b],
+                                dist_[static_cast<std::size_t>(b) * n_ + a]);
+      dist_[static_cast<std::size_t>(a) * n_ + b] = d;
+      dist_[static_cast<std::size_t>(b) * n_ + a] = d;
+    }
 }
 
 double GraphMetric::distance(PointId a, PointId b) const {

@@ -12,6 +12,7 @@
 //   baseline/  Fotakis / Meyerson OFL, per-commodity product, greedy
 //   offline/   exact & local-search OPT solvers
 //   analysis/  bound curves, c-ordered covering, dual feasibility, ratios
+//   scenario/  named workload/algorithm registries + the sweep driver
 #pragma once
 
 #include "analysis/bounds.hpp"
@@ -49,6 +50,10 @@
 #include "offline/local_search.hpp"
 #include "offline/opt_estimate.hpp"
 #include "offline/single_point.hpp"
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/registry_util.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/sweep.hpp"
 #include "solution/solution.hpp"
 #include "solution/verifier.hpp"
 #include "support/commodity_set.hpp"

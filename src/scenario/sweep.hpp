@@ -1,0 +1,97 @@
+// SweepDriver — mass-run the (scenario × algorithm × seed) cross-product.
+//
+// The driver fans the per-(scenario, seed) work out over
+// support/parallel.hpp: each unit generates the instance, estimates OPT
+// once, then measures every algorithm of the roster against that shared
+// estimate (so an S-algorithm sweep costs one OPT estimation per
+// instance, not S). Results land in preallocated slots indexed by
+// (scenario, seed), making the outcome — and the order samples enter each
+// per-cell Summary — identical for every thread count. A sweep is a
+// deterministic function of its options.
+//
+// Emission: write_csv produces one row per (scenario, algorithm) cell;
+// write_json the same cells as a JSON array, both with mean / CI /
+// min-max ratio statistics and cost decompositions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "offline/opt_estimate.hpp"
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "support/stats.hpp"
+
+namespace omflp {
+
+struct SweepOptions {
+  /// Scenario / algorithm names to cross; empty means "all registered".
+  std::vector<std::string> scenarios;
+  std::vector<std::string> algorithms;
+  /// Seeds 'seed_base .. seed_base + seeds - 1' run per cell.
+  std::size_t seeds = 8;
+  std::uint64_t seed_base = 1;
+  /// Parameter overrides applied to every scenario that declares the key
+  /// (undeclared keys are skipped — sweeps cross heterogeneous scenarios).
+  std::map<std::string, double> overrides;
+  /// Worker threads for the fan-out; 0 = default_thread_count().
+  std::size_t threads = 0;
+  OptEstimateOptions opt;
+};
+
+/// Aggregated statistics of one (scenario, algorithm) cell.
+struct SweepCell {
+  std::string scenario;
+  std::string algorithm;
+  Summary ratio;             // algorithm cost / OPT estimate
+  Summary total_cost;
+  Summary opening_cost;
+  Summary connection_cost;
+  Summary facilities;        // facilities opened
+  std::size_t opt_exact = 0;  // trials whose OPT estimate was exact
+};
+
+class SweepResult {
+ public:
+  SweepResult(std::vector<std::string> scenarios,
+              std::vector<std::string> algorithms, std::size_t seeds,
+              std::vector<SweepCell> cells);
+
+  /// Cells in scenario-major, algorithm-minor order.
+  const std::vector<SweepCell>& cells() const noexcept { return cells_; }
+  const SweepCell& cell(const std::string& scenario,
+                        const std::string& algorithm) const;
+
+  const std::vector<std::string>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  const std::vector<std::string>& algorithms() const noexcept {
+    return algorithms_;
+  }
+  std::size_t seeds() const noexcept { return seeds_; }
+
+  /// One CSV row per (scenario, algorithm) cell.
+  void write_csv(std::ostream& os) const;
+  /// The same cells as a JSON array of objects.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> scenarios_;
+  std::vector<std::string> algorithms_;
+  std::size_t seeds_ = 0;
+  std::vector<SweepCell> cells_;
+};
+
+/// Run the full cross-product. Throws on an unknown scenario/algorithm
+/// name before any work starts; exceptions from workers (e.g. a verifier
+/// failure) propagate to the caller.
+SweepResult run_sweep(const SweepOptions& options,
+                      const ScenarioRegistry& scenarios =
+                          default_scenario_registry(),
+                      const AlgorithmRegistry& algorithms =
+                          default_algorithm_registry());
+
+}  // namespace omflp

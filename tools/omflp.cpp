@@ -1,0 +1,288 @@
+// omflp — the scenario-engine command line.
+//
+//   omflp list                          catalog of scenarios and algorithms
+//   omflp run    --scenario S ...       run one (scenario, algorithm, seed)
+//   omflp sweep  --scenarios a,b ...    mass-run a cross-product, emit CSV
+//   omflp replay FILE ...               re-run a saved instance trace
+//
+// Examples:
+//   omflp run --scenario clustered --algorithm pd --seed 3 --set clusters=8
+//   omflp run --scenario theorem2 --save trace.omflp
+//   omflp replay trace.omflp --algorithm rand --seed 7
+//   omflp sweep --scenarios all --algorithms pd,rand --seeds 8 \
+//               --csv sweep.csv --json sweep.json
+//
+// Every run is a deterministic function of (scenario, parameters, seed):
+// `replay` on a trace saved by `run --save` reproduces the same total
+// cost exactly, as does re-running `run` with the same arguments.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/competitive.hpp"
+#include "instance/io.hpp"
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/registry_util.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/sweep.hpp"
+#include "solution/verifier.hpp"
+
+namespace {
+
+using namespace omflp;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: omflp <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                      list scenarios and algorithms\n"
+        "  run                       run one scenario under one algorithm\n"
+        "    --scenario NAME           required\n"
+        "    --algorithm NAME          default: pd\n"
+        "    --seed N                  default: 1\n"
+        "    --set key=value           override a scenario parameter "
+        "(repeatable)\n"
+        "    --save FILE               save the generated instance trace\n"
+        "  sweep                     run a (scenario x algorithm x seed) "
+        "cross-product\n"
+        "    --scenarios a,b|all       default: all\n"
+        "    --algorithms a,b|all      default: all\n"
+        "    --seeds N                 default: 8\n"
+        "    --seed-base N             default: 1\n"
+        "    --set key=value           override where declared "
+        "(repeatable)\n"
+        "    --threads N               default: hardware\n"
+        "    --csv FILE                write per-cell CSV (default: "
+        "stdout)\n"
+        "    --json FILE               also write per-cell JSON\n"
+        "  replay FILE               re-run a saved instance trace\n"
+        "    --algorithm NAME          default: pd\n"
+        "    --seed N                  default: 1\n";
+  return exit_code;
+}
+
+/// Pops the value of `--flag value`; throws on a missing value.
+std::string take_value(const std::vector<std::string>& args, std::size_t& i) {
+  if (i + 1 >= args.size())
+    throw std::invalid_argument("missing value after " + args[i]);
+  return args[++i];
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void parse_set(const std::string& text,
+               std::map<std::string, double>& overrides) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw std::invalid_argument("--set expects key=value, got '" + text +
+                                "'");
+  const std::string key = text.substr(0, eq);
+  const std::string value_text = text.substr(eq + 1);
+  char* end = nullptr;
+  const double value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0')
+    throw std::invalid_argument("--set " + key + ": '" + value_text +
+                                "' is not a number");
+  overrides[key] = value;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw std::invalid_argument(std::string(what) + ": '" + text +
+                                "' is not an integer");
+  return value;
+}
+
+// ------------------------------------------------------------------ list ---
+
+int cmd_list() {
+  const ScenarioRegistry& scenarios = default_scenario_registry();
+  const AlgorithmRegistry& algorithms = default_algorithm_registry();
+
+  std::cout << "scenarios (" << scenarios.size() << "):\n";
+  for (const std::string& name : scenarios.names()) {
+    const ScenarioSpec& spec = scenarios.spec(name);
+    std::cout << "  " << name << " — " << spec.description << "\n";
+    for (const ScenarioParam& param : spec.params)
+      std::cout << "      " << param.name << " = " << param.value << "  ("
+                << param.description << ")\n";
+  }
+  std::cout << "\nalgorithms (" << algorithms.size() << "):\n";
+  for (const std::string& name : algorithms.names()) {
+    const AlgorithmSpec& spec = algorithms.spec(name);
+    std::cout << "  " << name << (spec.randomized ? " [randomized]" : "")
+              << " — " << spec.description << "\n";
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------- run ---
+
+void report_run(const Instance& instance, const std::string& algorithm_name,
+                std::uint64_t seed) {
+  // The workload seed and the algorithm's coin seed are decorrelated (see
+  // derive_algorithm_seed); replays with the same --seed stay identical.
+  auto algorithm = default_algorithm_registry().make(
+      algorithm_name, derive_algorithm_seed(seed));
+  const SolutionLedger ledger = run_online(*algorithm, instance);
+  if (const auto violation = verify_solution(instance, ledger))
+    throw std::logic_error("invalid solution: " + violation->what);
+
+  std::cout.precision(17);
+  std::cout << "instance   " << instance.name() << " (n="
+            << instance.num_requests() << ", |S|="
+            << instance.num_commodities() << ", |M|="
+            << instance.metric().num_points() << ")\n"
+            << "algorithm  " << algorithm->name() << " (seed " << seed
+            << ")\n"
+            << "total      " << ledger.total_cost() << "\n"
+            << "  opening    " << ledger.opening_cost() << "\n"
+            << "  connection " << ledger.connection_cost() << "\n"
+            << "facilities " << ledger.num_facilities() << " ("
+            << ledger.num_small_facilities() << " small, "
+            << ledger.num_large_facilities() << " large)\n";
+  const OptEstimate opt = estimate_opt(instance);
+  std::cout << "opt        " << opt.cost << " (" << opt.method
+            << (opt.exact ? ", exact" : ", upper bound") << ")\n"
+            << "ratio      " << ledger.total_cost() / opt.cost << "\n";
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string scenario;
+  std::string algorithm = "pd";
+  std::string save_path;
+  std::uint64_t seed = 1;
+  std::map<std::string, double> overrides;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scenario") scenario = take_value(args, i);
+    else if (args[i] == "--algorithm") algorithm = take_value(args, i);
+    else if (args[i] == "--seed") seed = parse_u64(take_value(args, i), "--seed");
+    else if (args[i] == "--set") parse_set(take_value(args, i), overrides);
+    else if (args[i] == "--save") save_path = take_value(args, i);
+    else throw std::invalid_argument("run: unknown option " + args[i]);
+  }
+  if (scenario.empty())
+    throw std::invalid_argument("run: --scenario is required");
+
+  const Instance instance =
+      default_scenario_registry().make(scenario, seed, overrides);
+  if (!save_path.empty()) {
+    std::ofstream file(save_path);
+    if (!file)
+      throw std::runtime_error("cannot open " + save_path + " for writing");
+    write_instance(file, instance);
+    std::cout << "saved      " << save_path << "\n";
+  }
+  report_run(instance, algorithm, seed);
+  return 0;
+}
+
+// ---------------------------------------------------------------- replay ---
+
+int cmd_replay(const std::vector<std::string>& args) {
+  std::string path;
+  std::string algorithm = "pd";
+  std::uint64_t seed = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--algorithm") algorithm = take_value(args, i);
+    else if (args[i] == "--seed") seed = parse_u64(take_value(args, i), "--seed");
+    else if (!args[i].empty() && args[i][0] != '-' && path.empty())
+      path = args[i];
+    else throw std::invalid_argument("replay: unknown option " + args[i]);
+  }
+  if (path.empty())
+    throw std::invalid_argument("replay: an instance file is required");
+
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  const Instance instance = read_instance(file);
+  report_run(instance, algorithm, seed);
+  return 0;
+}
+
+// ----------------------------------------------------------------- sweep ---
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  SweepOptions options;
+  std::string csv_path;
+  std::string json_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scenarios") {
+      const std::string value = take_value(args, i);
+      if (value != "all") options.scenarios = split_csv(value);
+    } else if (args[i] == "--algorithms") {
+      const std::string value = take_value(args, i);
+      if (value != "all") options.algorithms = split_csv(value);
+    } else if (args[i] == "--seeds") {
+      options.seeds = parse_u64(take_value(args, i), "--seeds");
+    } else if (args[i] == "--seed-base") {
+      options.seed_base = parse_u64(take_value(args, i), "--seed-base");
+    } else if (args[i] == "--set") {
+      parse_set(take_value(args, i), options.overrides);
+    } else if (args[i] == "--threads") {
+      options.threads = parse_u64(take_value(args, i), "--threads");
+    } else if (args[i] == "--csv") {
+      csv_path = take_value(args, i);
+    } else if (args[i] == "--json") {
+      json_path = take_value(args, i);
+    } else {
+      throw std::invalid_argument("sweep: unknown option " + args[i]);
+    }
+  }
+
+  const SweepResult result = run_sweep(options);
+  if (csv_path.empty()) {
+    result.write_csv(std::cout);
+  } else {
+    std::ofstream file(csv_path);
+    if (!file)
+      throw std::runtime_error("cannot open " + csv_path + " for writing");
+    result.write_csv(file);
+    std::cout << "wrote " << result.cells().size() << " cells ("
+              << result.scenarios().size() << " scenarios x "
+              << result.algorithms().size() << " algorithms, "
+              << result.seeds() << " seeds each) to " << csv_path << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    if (!file)
+      throw std::runtime_error("cannot open " + json_path + " for writing");
+    result.write_json(file);
+    std::cout << "wrote JSON to " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    const std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "help" || command == "--help" || command == "-h")
+      return usage(std::cout, 0);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
