@@ -20,37 +20,10 @@
 #include "bench_common.hpp"
 #include "cost/checks.hpp"
 #include "cost/heavy.hpp"
-#include "metric/line_metric.hpp"
 #include "support/table.hpp"
 
-namespace {
-
-using namespace omflp;
-
-Instance heavy_instance(CommodityId non_heavy, double weight,
-                        std::size_t requests) {
-  const CommodityId s = non_heavy + 1;
-  std::vector<double> weights(s, 0.0);
-  weights[non_heavy] = weight;  // the last commodity is heavy
-  auto cost = std::make_shared<HeavyTailCostModel>(
-      s,
-      [](CommodityId k) { return 2.0 * std::sqrt(static_cast<double>(k)); },
-      CommoditySet::singleton(s, non_heavy), std::move(weights));
-  CommoditySet bundle(s);
-  for (CommodityId e = 0; e < non_heavy; ++e) bundle.add(e);
-  std::vector<Request> reqs(requests, Request{0, bundle});
-  Instance inst(std::make_shared<SinglePointMetric>(), cost,
-                std::move(reqs), "heavy-shared");
-  // OPT: one facility with the non-heavy bundle (subadditive sqrt base).
-  inst.set_opt_certificate(OptCertificate{
-      2.0 * std::sqrt(static_cast<double>(non_heavy)), /*exact=*/true,
-      "one non-heavy bundle facility"});
-  return inst;
-}
-
-}  // namespace
-
 int main() {
+  using namespace omflp;
   using namespace omflp::bench;
   print_bench_header(
       "Ablation — heavy commodities excluded from prediction",
@@ -58,12 +31,19 @@ int main() {
       "plain PD degrades to ~sqrt(|S'|) as the heavy weight grows; the "
       "exclusion variant stays at ratio 1");
 
+  // The workload is the registered "heavy-tail" scenario (deterministic:
+  // the seed changes nothing), swept along its heavy_weight axis.
   const CommodityId non_heavy = 16;
   const std::size_t n = 8;
   TableWriter table({"heavy weight w", "cond1 holds", "PD (full-S)",
                      "PD[exclude heavy]", "RAND mean", "sqrt(|S'|)"});
   for (const double w : {0.0, 2.0, 8.0, 32.0, 128.0, 1024.0}) {
-    const Instance inst = heavy_instance(non_heavy, w, n);
+    const std::map<std::string, double> params = {
+        {"non_heavy", static_cast<double>(non_heavy)},
+        {"heavy_weight", w},
+        {"requests", static_cast<double>(n)}};
+    const Instance inst =
+        default_scenario_registry().make("heavy-tail", /*seed=*/1, params);
     Rng check_rng(1);
     const bool cond1 =
         !check_condition1_sampled(inst.cost(), 1, 400, check_rng)
@@ -72,16 +52,15 @@ int main() {
     PdOmflp plain;
     const double plain_ratio = measure_ratio(plain, inst).ratio;
 
+    // Not a roster algorithm: the excluded set is detected per instance
+    // (cost/heavy.hpp), then handed to PD's §5 option.
     const CommoditySet heavy =
         detect_heavy_commodities(inst.cost(), 1, 3.0);
     PdOmflp excluded{PdOptions{.excluded_from_prediction = heavy}};
     const double excl_ratio = measure_ratio(excluded, inst).ratio;
 
-    Summary rand_ratios;
-    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      RandOmflp rand{RandOptions{.seed = seed}};
-      rand_ratios.add(measure_ratio(rand, inst).ratio);
-    }
+    const Summary rand_ratios =
+        ratio_for_scenario("rand", "heavy-tail", 10, params);
 
     table.begin_row()
         .add(w)

@@ -3,23 +3,22 @@
 //
 // Section 2's discussion: any algorithm that never predicts can be forced
 // to pay Ω(|S|) against an OPT that bundles; PD's large facilities are
-// precisely its prediction mechanism. We compare
-//   * PD (paper: large = full S),
-//   * PD[no-prediction] (constraints (2)/(4) disabled),
-//   * PD[seen-union] (large facilities carry the union of commodities
+// precisely its prediction mechanism. We compare the roster variants
+//   * pd            (paper: large = full S),
+//   * pd-nopred     (constraints (2)/(4) disabled),
+//   * pd-seenunion  (large facilities carry the union of commodities
 //     seen so far — the closing remarks' "exclude what you have not
 //     seen" direction),
-// on (a) shared-demand workloads where prediction is everything, and
+// on (a) the shared-demand scenario where prediction is everything,
 // (b) the Theorem 2 game, where prediction hedges: the no-prediction
 // variant is slightly *better* there (√S vs 2√S−1) because the adversary
-// never re-requests — an honest trade-off worth displaying.
+// never re-requests — an honest trade-off worth displaying, and (c) the
+// Zipf service network (mixed regime). All three workloads come from the
+// scenario registry; all algorithms from the roster.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "instance/adversarial.hpp"
-#include "instance/generators.hpp"
-#include "metric/line_metric.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -36,37 +35,20 @@ int main() {
   std::vector<CommodityId> sizes = {16, 64, 256};
   if (bench_full_scale()) sizes.push_back(1024);
 
-  auto pd_factory = [](PdOptions options) {
-    return [options](std::uint64_t) {
-      return std::make_unique<PdOmflp>(options);
-    };
-  };
-  const PdOptions paper{};
-  const PdOptions no_pred{.prediction = PdOptions::Prediction::kOff};
-  const PdOptions seen_union{.large_config =
-                                 PdOptions::LargeConfig::kSeenUnion};
-
-  std::cout << "### Shared-demand workload (requests demand >= |S|/2 "
+  std::cout << "### Shared-demand scenario (requests demand >= |S|/2 "
                "commodities at one point)\n\n";
   TableWriter shared({"|S|", "PD (full-S)", "PD[seen-union]",
                       "PD[no-prediction]", "noPred/sqrt(S)"});
   for (const CommodityId s : sizes) {
-    auto make_instance = [s](std::uint64_t seed) {
-      Rng rng(seed * 7151 + s);
-      SinglePointMixedConfig cfg;
-      cfg.num_requests = 32;
-      cfg.num_commodities = s;
-      cfg.min_demand = std::max<CommodityId>(1, s / 2);
-      cfg.max_demand = s;
-      return make_single_point_mixed(
-          cfg, std::make_shared<PolynomialCostModel>(s, 1.0), rng);
-    };
-    const Summary full = ratio_over_trials(trials, make_instance,
-                                           pd_factory(paper));
-    const Summary seen = ratio_over_trials(trials, make_instance,
-                                           pd_factory(seen_union));
-    const Summary off = ratio_over_trials(trials, make_instance,
-                                          pd_factory(no_pred));
+    const std::map<std::string, double> params = {
+        {"commodities", static_cast<double>(s)}};
+    const std::uint64_t seed_base = static_cast<std::uint64_t>(s) * 7151;
+    const Summary full = ratio_for_scenario("pd", "shared-demand", trials,
+                                            params, seed_base);
+    const Summary seen = ratio_for_scenario("pd-seenunion", "shared-demand",
+                                            trials, params, seed_base);
+    const Summary off = ratio_for_scenario("pd-nopred", "shared-demand",
+                                           trials, params, seed_base);
     shared.begin_row()
         .add(static_cast<long long>(s))
         .add(full.mean())
@@ -80,18 +62,15 @@ int main() {
   TableWriter adversarial({"|S|", "PD (full-S)", "PD[seen-union]",
                            "PD[no-prediction]", "sqrt(S)"});
   for (const CommodityId s : sizes) {
-    auto make_instance = [s](std::uint64_t seed) {
-      Rng rng(seed * 3251 + s);
-      Theorem2Config cfg;
-      cfg.num_commodities = s;
-      return make_theorem2_instance(cfg, rng);
-    };
-    const Summary full = ratio_over_trials(trials, make_instance,
-                                           pd_factory(paper));
-    const Summary seen = ratio_over_trials(trials, make_instance,
-                                           pd_factory(seen_union));
-    const Summary off = ratio_over_trials(trials, make_instance,
-                                          pd_factory(no_pred));
+    const std::map<std::string, double> params = {
+        {"commodities", static_cast<double>(s)}};
+    const std::uint64_t seed_base = static_cast<std::uint64_t>(s) * 3251;
+    const Summary full =
+        ratio_for_scenario("pd", "theorem2", trials, params, seed_base);
+    const Summary seen = ratio_for_scenario("pd-seenunion", "theorem2",
+                                            trials, params, seed_base);
+    const Summary off = ratio_for_scenario("pd-nopred", "theorem2", trials,
+                                           params, seed_base);
     adversarial.begin_row()
         .add(static_cast<long long>(s))
         .add(full.mean())
@@ -107,22 +86,15 @@ int main() {
                        "PD[no-prediction]"});
   {
     const std::size_t net_trials = bench_pick<std::size_t>(4, 12);
-    auto make_instance = [](std::uint64_t seed) {
-      Rng rng(seed * 911 + 5);
-      ServiceNetworkConfig cfg;
-      cfg.num_nodes = 24;
-      cfg.num_requests = 96;
-      cfg.num_commodities = 12;
-      cfg.max_demand = 6;
-      return make_service_network(
-          cfg, std::make_shared<PolynomialCostModel>(12, 1.0, 3.0), rng);
-    };
-    const Summary full =
-        ratio_over_trials(net_trials, make_instance, pd_factory(paper));
-    const Summary seen =
-        ratio_over_trials(net_trials, make_instance, pd_factory(seen_union));
-    const Summary off =
-        ratio_over_trials(net_trials, make_instance, pd_factory(no_pred));
+    const std::map<std::string, double> params = {
+        {"nodes", 24}, {"max_demand", 6}, {"cost_scale", 3.0}};
+    const std::uint64_t seed_base = 911;
+    const Summary full = ratio_for_scenario("pd", "service-network",
+                                            net_trials, params, seed_base);
+    const Summary seen = ratio_for_scenario(
+        "pd-seenunion", "service-network", net_trials, params, seed_base);
+    const Summary off = ratio_for_scenario("pd-nopred", "service-network",
+                                           net_trials, params, seed_base);
     network.begin_row()
         .add("24 nodes, n=96, |S|=12")
         .add(full.mean())

@@ -5,18 +5,27 @@
 //   lower:  min{√|S|^{(2−x)/2}, √|S|^{x/2}}   (Theorem 18 lower bound)
 // Expected anchors (stated in the paper's Figure 2 caption): the curves
 // agree at x ∈ {0, 1, 2} and both peak at ⁴√|S| = 10 for x = 1.
+//
+// The second table grounds the analytic anchors in measurement: the
+// registered "theorem18" scenario at the three anchor exponents, run
+// through the roster (PD and RAND) at a bench-scale |S|. The measured
+// ratios must reproduce the curves' shape — Θ(1) at the endpoints, the
+// peak at x = 1 — even though the absolute values differ (the curves are
+// worst-case factors, the measurement one distribution).
 #include <iostream>
 
 #include "analysis/bounds.hpp"
-#include "analysis/experiment.hpp"
+#include "bench_common.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace omflp;
+  using namespace omflp::bench;
   print_bench_header(
       "Figure 2 — Theorem 18 bound curves",
       "Figure 2 (|S| = 10^4), Theorem 18",
-      "curves equal at x in {0,1,2}; both peak at |S|^(1/4) = 10 at x = 1");
+      "curves equal at x in {0,1,2}; both peak at |S|^(1/4) = 10 at x = 1; "
+      "measured anchor ratios peak at x = 1");
 
   const double s = 10000.0;
   const double step = bench_pick(0.1, 0.05);
@@ -37,5 +46,31 @@ int main() {
             << " upper(2)=" << theorem18_upper_factor(2.0, s)
             << " | lower(1)=" << theorem18_lower_factor(1.0, s)
             << " (paper: 1, 10, 1, 10)\n";
+
+  // ---- measured anchors on the theorem18 scenario -------------------------
+  const CommodityId measured_s = bench_pick<CommodityId>(256, 1024);
+  const std::size_t trials = bench_pick<std::size_t>(6, 20);
+  std::cout << "\nMeasured anchors (theorem18 scenario, |S| = " << measured_s
+            << ", " << trials << " trials):\n\n";
+  TableWriter anchors({"x", "PD ratio (mean±ci)", "RAND ratio (mean±ci)",
+                       "analytic upper", "analytic lower"});
+  for (const double x : {0.0, 1.0, 2.0}) {
+    const std::map<std::string, double> params = {
+        {"commodities", static_cast<double>(measured_s)},
+        {"cost_exponent", x}};
+    const std::uint64_t seed_base =
+        static_cast<std::uint64_t>(x * 100) * 7919 + 1;
+    const Summary pd =
+        ratio_for_scenario("pd", "theorem18", trials, params, seed_base);
+    const Summary rand =
+        ratio_for_scenario("rand", "theorem18", trials, params, seed_base);
+    anchors.begin_row()
+        .add(x)
+        .add(mean_ci(pd))
+        .add(mean_ci(rand))
+        .add(theorem18_upper_factor(x, static_cast<double>(measured_s)))
+        .add(theorem18_lower_factor(x, static_cast<double>(measured_s)));
+  }
+  anchors.write_markdown(std::cout);
   return 0;
 }

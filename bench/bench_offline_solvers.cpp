@@ -4,45 +4,38 @@
 // denominator; this bench quantifies the gap between the exact solver
 // (ground truth on tiny instances), local search and the Ravi–Sinha-style
 // greedy star, and times the two heuristics at benchmark scale.
-#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "instance/generators.hpp"
-#include "metric/line_metric.hpp"
 #include "offline/exact_small.hpp"
 #include "offline/greedy_star.hpp"
 #include "offline/local_search.hpp"
+#include "perf/bench_suite.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace omflp;
 
+/// Exhaustively solvable uniform-line workload (3 points, |S| = 4, ten
+/// requests), straight from the scenario registry.
 Instance tiny_instance(std::uint64_t seed) {
-  Rng rng(seed * 29 + 3);
-  auto metric = std::make_shared<LineMetric>(std::vector<double>{
-      rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
-      rng.uniform(0.0, 10.0)});
-  auto cost = std::make_shared<PolynomialCostModel>(4, 1.0, 1.5);
-  std::vector<Request> reqs;
-  for (int i = 0; i < 10; ++i) {
-    Request r;
-    r.location = static_cast<PointId>(rng.uniform_index(3));
-    r.commodities = sample_demand_set(
-        4, static_cast<CommodityId>(1 + rng.uniform_index(3)), 0.0, rng);
-    reqs.push_back(std::move(r));
-  }
-  return Instance(metric, cost, std::move(reqs), "tiny");
+  return default_scenario_registry().make(
+      "uniform-line", seed * 29 + 3,
+      {{"points", 3},
+       {"length", 10},
+       {"requests", 10},
+       {"commodities", 4},
+       {"max_demand", 3},
+       {"popularity_exponent", 0.0},
+       {"cost_scale", 1.5}});
 }
 
 template <typename Fn>
 std::pair<double, double> timed(Fn&& fn) {
-  const auto start = std::chrono::steady_clock::now();
+  BenchTimer timer;
   const double cost = fn();
-  const auto stop = std::chrono::steady_clock::now();
-  return {cost,
-          std::chrono::duration<double, std::milli>(stop - start).count()};
+  return {cost, timer.elapsed_ns() / 1e6};
 }
 
 }  // namespace
@@ -87,14 +80,13 @@ int main() {
        {std::tuple<std::size_t, std::size_t, CommodityId>{64, 16, 8},
         {128, 24, 8},
         {256, 32, 12}}) {
-    Rng rng(n + points);
-    UniformLineConfig cfg;
-    cfg.num_points = points;
-    cfg.num_requests = n;
-    cfg.num_commodities = s;
-    cfg.max_demand = std::min<CommodityId>(5, s);
-    const Instance inst = make_uniform_line(
-        cfg, std::make_shared<PolynomialCostModel>(s, 1.0, 2.0), rng);
+    const Instance inst = default_scenario_registry().make(
+        "uniform-line", n + points,
+        {{"points", static_cast<double>(points)},
+         {"requests", static_cast<double>(n)},
+         {"commodities", static_cast<double>(s)},
+         {"max_demand",
+          static_cast<double>(std::min<CommodityId>(5, s))}});
     const auto [ls_cost, ls_ms] =
         timed([&] { return solve_local_search(inst).cost; });
     const auto [greedy_cost, greedy_ms] =

@@ -13,7 +13,6 @@
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "instance/adversarial.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -31,20 +30,16 @@ int main() {
   TableWriter table({"x", "PD ratio (mean±ci)", "RAND ratio (mean±ci)",
                      "fig2 upper factor", "fig2 lower factor"});
   for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}) {
-    auto make_instance = [&, x](std::uint64_t seed) {
-      Rng rng(seed * 2654435761ULL + static_cast<std::uint64_t>(x * 100));
-      Theorem18Config cfg;
-      cfg.num_commodities = s;
-      cfg.exponent_x = x;
-      return make_theorem18_instance(cfg, rng);
-    };
-    const Summary pd = ratio_over_trials(
-        trials, make_instance,
-        [](std::uint64_t) { return std::make_unique<PdOmflp>(); });
-    const Summary rand = ratio_over_trials(
-        trials, make_instance, [](std::uint64_t seed) {
-          return std::make_unique<RandOmflp>(RandOptions{.seed = seed + 1});
-        });
+    // The workload is the registered "theorem18" scenario; distinct
+    // seed bases keep the x-points on independent request streams.
+    const std::map<std::string, double> params = {
+        {"commodities", static_cast<double>(s)}, {"cost_exponent", x}};
+    const std::uint64_t seed_base =
+        static_cast<std::uint64_t>(x * 100) * 2654435761ULL + 1;
+    const Summary pd =
+        ratio_for_scenario("pd", "theorem18", trials, params, seed_base);
+    const Summary rand =
+        ratio_for_scenario("rand", "theorem18", trials, params, seed_base);
     table.begin_row()
         .add(x)
         .add(mean_ci(pd))

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "perf/bench_suite.hpp"
 #include "solution/verifier.hpp"
 #include "support/assert.hpp"
 
@@ -9,7 +10,9 @@ namespace omflp {
 
 RatioResult measure_ratio(OnlineAlgorithm& algorithm,
                           const Instance& instance, const OptEstimate& opt) {
+  BenchTimer timer;
   const SolutionLedger ledger = run_online(algorithm, instance);
+  const double run_ns = timer.elapsed_ns();
   if (const auto violation = verify_solution(instance, ledger))
     throw std::logic_error("measure_ratio: " + algorithm.name() +
                            " produced an invalid solution: " +
@@ -26,6 +29,7 @@ RatioResult measure_ratio(OnlineAlgorithm& algorithm,
   result.opt_exact = opt.exact;
   result.opt_method = opt.method;
   result.ratio = ledger.total_cost() / opt.cost;
+  result.run_ns = run_ns;
   return result;
 }
 

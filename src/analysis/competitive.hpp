@@ -19,6 +19,9 @@ struct RatioResult {
   bool opt_exact = false;
   std::string opt_method;
   double ratio = 0.0;  // algorithm_cost / opt_cost
+  /// Wall time of the online run itself (reset + every serve), excluding
+  /// verification and OPT estimation. Feeds the sweep timing columns.
+  double run_ns = 0.0;
 };
 
 /// Runs, verifies (throws std::logic_error on a verifier failure — a

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -33,6 +34,7 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   const PointId loc = request.location;
 
   // Nearest open facility (constraint (1) threshold).
+  OMFLP_PERF_ADD(facilities_probed, facilities_.size());
   double d1 = kInfiniteDistance;
   FacilityId f1 = kInvalidFacility;
   for (const OpenRecord& f : facilities_) {
@@ -50,6 +52,7 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   int best_kind = 1;
   PointId best_point = kInvalidPoint;
   const CommoditySet single = CommoditySet::full_set(1);
+  OMFLP_PERF_ADD(bids_evaluated, num_points_);
   for (PointId m = 0; m < num_points_; ++m) {
     const double g = positive_part(cost_->open_cost(m, single) - bids_[m]);
     const double delta = positive_part((*dist_)(m, loc) + g);
@@ -76,6 +79,7 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
       const double v_old = std::min(pr.dual, pr.facility_dist);
       const double v_new = std::min(pr.dual, d_new);
       if (v_new < v_old && v_old > 0.0) {
+        OMFLP_PERF_ADD(bids_updated, num_points_);
         for (PointId m = 0; m < num_points_; ++m) {
           const double dm = (*dist_)(m, pr.location);
           bids_[m] -= positive_part(v_old - dm) - positive_part(v_new - dm);
@@ -94,9 +98,11 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   for (const OpenRecord& f : facilities_)
     pr.facility_dist = std::min(pr.facility_dist, (*dist_)(loc, f.point));
   const double v = std::min(pr.dual, pr.facility_dist);
-  if (v > 0.0)
+  if (v > 0.0) {
+    OMFLP_PERF_ADD(bids_updated, num_points_);
     for (PointId m = 0; m < num_points_; ++m)
       bids_[m] += positive_part(v - (*dist_)(m, loc));
+  }
   past_.push_back(pr);
 
   total_dual_ += a;

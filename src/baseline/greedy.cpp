@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -30,6 +31,7 @@ void NearestOrOpen::reset(const ProblemContext& context) {
 
 std::pair<double, FacilityId> NearestOrOpen::nearest_offering(
     CommodityId e, PointId p) const {
+  OMFLP_PERF_ADD(facilities_probed, offering_[e].size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const OpenRecord& f : offering_[e]) {
@@ -70,6 +72,7 @@ void RentOrBuy::reset(const ProblemContext& context) {
 
 std::pair<double, FacilityId> RentOrBuy::nearest_offering(CommodityId e,
                                                           PointId p) const {
+  OMFLP_PERF_ADD(facilities_probed, offering_[e].size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const OpenRecord& f : offering_[e]) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -25,6 +26,7 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
   OMFLP_CHECK(cost_ != nullptr, "MeyersonOfl: serve() before reset()");
   const PointId loc = request.location;
 
+  OMFLP_PERF_ADD(facilities_probed, facilities_.size());
   double connect = kInfiniteDistance;
   for (const OpenRecord& f : facilities_)
     connect = std::min(connect, (*dist_)(loc, f.point));
@@ -43,6 +45,7 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
     if (improvement <= 0.0) continue;
     const double c_i = classes_->class_cost(i);
     const double p = c_i > 0.0 ? std::min(1.0, improvement / c_i) : 1.0;
+    OMFLP_PERF_COUNT(coin_flips);
     if (p > 0.0 && rng_.bernoulli(p)) {
       const FacilityId id =
           ledger.open_facility(site, CommoditySet::full_set(1));
@@ -59,6 +62,7 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
 
   FacilityId best_id = kInvalidFacility;
   double best_d = kInfiniteDistance;
+  OMFLP_PERF_ADD(facilities_probed, facilities_.size());
   for (const OpenRecord& f : facilities_) {
     const double d = (*dist_)(loc, f.point);
     if (d < best_d) {

@@ -1,5 +1,6 @@
 #include "core/online_algorithm.hpp"
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -13,6 +14,7 @@ SolutionLedger run_online(OnlineAlgorithm& algorithm, const Instance& instance,
     ledger.begin_request(request);
     algorithm.serve(request, ledger);
     ledger.finish_request();
+    OMFLP_PERF_COUNT(requests_served);
   }
   return ledger;
 }

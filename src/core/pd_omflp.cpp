@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -66,6 +67,7 @@ CommoditySet PdOmflp::current_large_config() const {
 
 std::pair<double, FacilityId> PdOmflp::nearest_large(
     PointId p, const CommoditySet& eligible_demand) const {
+  OMFLP_PERF_ADD(facilities_probed, larges_.size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const LargeRecord& lf : larges_) {
@@ -81,6 +83,7 @@ std::pair<double, FacilityId> PdOmflp::nearest_large(
 
 std::pair<double, FacilityId> PdOmflp::nearest_offering(CommodityId e,
                                                         PointId p) const {
+  OMFLP_PERF_ADD(facilities_probed, offering_[e].size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const OpenRecord& f : offering_[e]) {
@@ -104,6 +107,7 @@ void PdOmflp::recompute_small_bid_row(CommodityId e,
       dist_e = std::min(dist_e, (*dist_)(pr.location, f.point));
     const double v = std::min(pr.duals[slot], dist_e);
     if (v <= 0.0) continue;
+    OMFLP_PERF_ADD(bids_evaluated, num_points_);
     for (PointId m = 0; m < num_points_; ++m)
       out[m] += positive_part(v - (*dist_)(m, pr.location));
   }
@@ -127,6 +131,7 @@ void PdOmflp::recompute_large_bid_row(std::vector<double>& out) const {
     }
     const double v = std::min(pr.dual_sum_large, dist_large);
     if (v <= 0.0) continue;
+    OMFLP_PERF_ADD(bids_evaluated, num_points_);
     for (PointId m = 0; m < num_points_; ++m)
       out[m] += positive_part(v - (*dist_)(m, pr.location));
   }
@@ -171,6 +176,7 @@ void PdOmflp::integrate_facility(PointId point, const CommoditySet& config,
         if (v_new < v_old && v_old > 0.0) {
           auto& row = small_bids_[e];
           if (!row.empty()) {
+            OMFLP_PERF_ADD(bids_updated, num_points_);
             for (PointId m = 0; m < num_points_; ++m) {
               const double dm = (*dist_)(m, pr.location);
               row[m] -= positive_part(v_old - dm) - positive_part(v_new - dm);
@@ -200,6 +206,7 @@ void PdOmflp::integrate_facility(PointId point, const CommoditySet& config,
       const double v_old = std::min(pr.dual_sum_large, pr.large_dist);
       const double v_new = std::min(pr.dual_sum_large, d_new);
       if (v_new < v_old && v_old > 0.0) {
+        OMFLP_PERF_ADD(bids_updated, num_points_);
         for (PointId m = 0; m < num_points_; ++m) {
           const double dm = (*dist_)(m, pr.location);
           large_bids_[m] -=
@@ -241,6 +248,7 @@ void PdOmflp::archive_request(const Request& request,
       if (v > 0.0) {
         auto& row = small_bids_[commodities[slot]];
         if (row.empty()) row.assign(num_points_, 0.0);
+        OMFLP_PERF_ADD(bids_updated, num_points_);
         for (PointId m = 0; m < num_points_; ++m)
           row[m] += positive_part(v - (*dist_)(m, pr.location));
       }
@@ -249,6 +257,7 @@ void PdOmflp::archive_request(const Request& request,
   if (incremental && prediction_enabled()) {
     const double v = std::min(pr.dual_sum_large, pr.large_dist);
     if (v > 0.0) {
+      OMFLP_PERF_ADD(bids_updated, num_points_);
       for (PointId m = 0; m < num_points_; ++m)
         large_bids_[m] += positive_part(v - (*dist_)(m, pr.location));
     }
@@ -460,6 +469,7 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
 
     // Constraint (4): joint investment pays for a new large facility at m.
     if (can_open_large && unserved_eligible > 0) {
+      OMFLP_PERF_ADD(bids_evaluated, num_points_);
       for (PointId m = 0; m < num_points_; ++m) {
         const double g = positive_part(f_large[m] - bids_large[m]);
         const double delta =
@@ -477,6 +487,7 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
                  kInvalidPoint);
       // Constraint (3): investment pays for a small facility {e} at m.
       const std::vector<double>& row = *bids_small[slot];
+      OMFLP_PERF_ADD(bids_evaluated, num_points_);
       for (PointId m = 0; m < num_points_; ++m) {
         const double g = positive_part(f_small[slot][m] - row[m]);
         consider(positive_part((*dist_)(m, loc) + g - a[slot]), 3, slot, m);

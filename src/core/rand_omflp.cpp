@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -47,6 +48,7 @@ const CostClassIndex& RandOmflp::full_classes() {
 
 std::pair<double, FacilityId> RandOmflp::nearest_offering(CommodityId e,
                                                           PointId p) const {
+  OMFLP_PERF_ADD(facilities_probed, offering_[e].size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const OpenRecord& f : offering_[e]) {
@@ -60,6 +62,7 @@ std::pair<double, FacilityId> RandOmflp::nearest_offering(CommodityId e,
 }
 
 std::pair<double, FacilityId> RandOmflp::nearest_large(PointId p) const {
+  OMFLP_PERF_ADD(facilities_probed, larges_.size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const OpenRecord& f : larges_) {
@@ -145,6 +148,7 @@ void RandOmflp::serve(const Request& request, SolutionLedger& ledger) {
       const double p =
           c_i > 0.0 ? std::min(1.0, improvement / c_i * share) : 1.0;
       acct.expected_small += p * c_i;
+      OMFLP_PERF_COUNT(coin_flips);
       if (p > 0.0 && rng_.bernoulli(p)) open_small(site, e, ledger);
     }
   }
@@ -162,6 +166,7 @@ void RandOmflp::serve(const Request& request, SolutionLedger& ledger) {
       const double c_i = classes.class_cost(i);
       const double p = c_i > 0.0 ? std::min(1.0, improvement / c_i) : 1.0;
       acct.expected_large += p * c_i;
+      OMFLP_PERF_COUNT(coin_flips);
       if (p > 0.0 && rng_.bernoulli(p)) open_large(site, ledger);
     }
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "metric/metric_space.hpp"
+#include "perf/perf_counters.hpp"
 
 namespace omflp {
 
@@ -22,6 +23,7 @@ class DistanceOracle {
   std::size_t num_points() const noexcept { return n_; }
 
   double operator()(PointId a, PointId b) const {
+    OMFLP_PERF_COUNT(distance_lookups);
     if (!matrix_.empty()) return matrix_[static_cast<std::size_t>(a) * n_ + b];
     return metric_->distance(a, b);
   }

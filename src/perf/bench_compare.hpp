@@ -1,0 +1,59 @@
+// Reading BENCH_*.json reports back and diffing two of them.
+//
+// compare_reports matches cases by name and classifies each pair by the
+// new/old ns-per-op ratio against a regression threshold; `omflp compare`
+// prints the table and exits nonzero when any case regressed beyond it.
+// Counter totals are deterministic (same build, same seeds), so their
+// deltas are exact work differences, reported alongside the (noisy) wall
+// times.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/bench_suite.hpp"
+
+namespace omflp {
+
+/// Parses a BENCH_*.json document written by BenchReport::write_json.
+/// Throws std::runtime_error on malformed JSON, a missing required field,
+/// or an unsupported schema_version. Unknown counter names are ignored
+/// (forward compatibility within a schema version).
+BenchReport read_bench_report(std::istream& is);
+BenchReport read_bench_report_file(const std::string& path);
+
+struct CompareOptions {
+  /// A case regresses when new ns/op > threshold * old ns/op.
+  double regression_threshold = 1.10;
+};
+
+struct CaseDelta {
+  enum class Status { kOk, kImproved, kRegressed, kOnlyOld, kOnlyNew };
+
+  std::string name;
+  double old_ns_per_op = 0.0;
+  double new_ns_per_op = 0.0;
+  double time_ratio = 0.0;     // new / old; 0 when either side is missing
+  double lookup_ratio = 0.0;   // new / old distance lookups; 0 when n/a
+  Status status = Status::kOk;
+};
+
+struct CompareReport {
+  std::vector<CaseDelta> deltas;  // old-report order, then new-only cases
+  /// Cases beyond the threshold plus baseline cases missing from the new
+  /// report (a dropped case must fail the gate, not dodge it).
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  double threshold = 0.0;
+
+  bool any_regression() const noexcept { return regressions > 0; }
+  /// Per-case markdown table plus a one-line verdict.
+  void write_table(std::ostream& os) const;
+};
+
+CompareReport compare_reports(const BenchReport& old_report,
+                              const BenchReport& new_report,
+                              const CompareOptions& options = {});
+
+}  // namespace omflp

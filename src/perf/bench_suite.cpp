@@ -1,0 +1,336 @@
+#include "perf/bench_suite.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/online_algorithm.hpp"
+#include "core/pd_omflp.hpp"
+#include "metric/distance_oracle.hpp"
+#include "metric/line_metric.hpp"
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/registry_util.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "support/table.hpp"
+
+namespace omflp {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(ch));
+      out += buffer;
+      continue;
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// Build metadata injected by CMake onto this translation unit only (so a
+// new git sha does not rebuild the whole library).
+#if !defined(OMFLP_GIT_SHA)
+#define OMFLP_GIT_SHA "unknown"
+#endif
+#if !defined(OMFLP_BUILD_TYPE)
+#define OMFLP_BUILD_TYPE "unknown"
+#endif
+#if !defined(OMFLP_BUILD_FLAGS)
+#define OMFLP_BUILD_FLAGS "unknown"
+#endif
+
+}  // namespace
+
+// ---------------------------------------------------------------- timer ---
+
+BenchTimer::BenchTimer() : start_ns_(now_ns()) {}
+
+void BenchTimer::restart() { start_ns_ = now_ns(); }
+
+double BenchTimer::elapsed_ns() const {
+  return static_cast<double>(now_ns() - start_ns_);
+}
+
+// --------------------------------------------------------------- report ---
+
+const BenchCaseResult* BenchReport::find(const std::string& name) const {
+  for (const BenchCaseResult& c : cases)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  const std::streamsize saved_precision = os.precision(17);
+  os << "{\n"
+     << "  \"schema_version\": " << schema_version << ",\n"
+     << "  \"suite\": \"" << json_escape(suite) << "\",\n"
+     << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n"
+     << "  \"build_type\": \"" << json_escape(build_type) << "\",\n"
+     << "  \"compiler\": \"" << json_escape(compiler) << "\",\n"
+     << "  \"build_flags\": \"" << json_escape(build_flags) << "\",\n"
+     << "  \"trials\": " << trials << ",\n"
+     << "  \"warmup\": " << warmup << ",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BenchCaseResult& c = cases[i];
+    os << "    {\"name\": \"" << json_escape(c.name) << "\",\n"
+       << "     \"requests_per_op\": " << c.requests_per_op << ",\n"
+       << "     \"trials\": " << c.trials << ",\n"
+       << "     \"ns_per_op\": " << c.ns_per_op << ",\n"
+       << "     \"ns_per_op_mean\": " << c.ns_per_op_mean << ",\n"
+       << "     \"ns_per_op_min\": " << c.ns_per_op_min << ",\n"
+       << "     \"ns_per_op_max\": " << c.ns_per_op_max << ",\n"
+       << "     \"requests_per_sec\": " << c.requests_per_sec << ",\n"
+       << "     \"counters\": {";
+    bool first = true;
+    PerfCounters::for_each_field(c.counters,
+                                 [&](const char* name, std::uint64_t value) {
+                                   os << (first ? "" : ", ") << "\"" << name
+                                      << "\": " << value;
+                                   first = false;
+                                 });
+    os << "}}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.precision(saved_precision);
+}
+
+void BenchReport::write_table(std::ostream& os) const {
+  TableWriter table({"case", "ns/op (median)", "requests/s", "dist lookups",
+                     "bids eval", "facilities probed", "coin flips"});
+  table.set_precision(6);
+  for (const BenchCaseResult& c : cases) {
+    table.begin_row()
+        .add(c.name)
+        .add(c.ns_per_op)
+        .add(c.requests_per_sec)
+        .add(static_cast<long long>(c.counters.distance_lookups))
+        .add(static_cast<long long>(c.counters.bids_evaluated))
+        .add(static_cast<long long>(c.counters.facilities_probed))
+        .add(static_cast<long long>(c.counters.coin_flips));
+  }
+  table.write_markdown(os);
+}
+
+// ---------------------------------------------------------------- suite ---
+
+BenchSuite::BenchSuite(std::string name) : name_(std::move(name)) {
+  if (name_.empty())
+    throw std::invalid_argument("BenchSuite: empty suite name");
+}
+
+void BenchSuite::add(BenchCase bench_case) {
+  if (bench_case.name.empty())
+    throw std::invalid_argument("BenchSuite: empty case name");
+  if (!bench_case.op)
+    throw std::invalid_argument("BenchSuite: case '" + bench_case.name +
+                                "' has no op");
+  for (const BenchCase& existing : cases_)
+    if (existing.name == bench_case.name)
+      throw std::invalid_argument("BenchSuite: duplicate case '" +
+                                  bench_case.name + "'");
+  cases_.push_back(std::move(bench_case));
+}
+
+std::vector<std::string> BenchSuite::case_names() const {
+  std::vector<std::string> out;
+  out.reserve(cases_.size());
+  for (const BenchCase& c : cases_) out.push_back(c.name);
+  return out;
+}
+
+BenchReport BenchSuite::run(const BenchOptions& options) const {
+  if (options.trials == 0)
+    throw std::invalid_argument("BenchSuite: trials must be positive");
+
+  BenchReport report;
+  report.suite = name_;
+  report.git_sha = OMFLP_GIT_SHA;
+  report.build_type = OMFLP_BUILD_TYPE;
+  report.compiler = compiler_string();
+  report.build_flags = OMFLP_BUILD_FLAGS;
+  report.trials = options.trials;
+  report.warmup = options.warmup;
+
+  for (const BenchCase& c : cases_) {
+    for (std::size_t w = 0; w < options.warmup; ++w) c.op();
+
+    std::vector<double> samples;
+    samples.reserve(options.trials);
+    for (std::size_t t = 0; t < options.trials; ++t) {
+      BenchTimer timer;
+      c.op();
+      samples.push_back(timer.elapsed_ns());
+    }
+    std::sort(samples.begin(), samples.end());
+
+    BenchCaseResult result;
+    result.name = c.name;
+    result.requests_per_op = c.requests_per_op;
+    result.trials = options.trials;
+    const std::size_t mid = samples.size() / 2;
+    result.ns_per_op = samples.size() % 2 == 1
+                           ? samples[mid]
+                           : 0.5 * (samples[mid - 1] + samples[mid]);
+    double sum = 0.0;
+    for (const double s : samples) sum += s;
+    result.ns_per_op_mean = sum / static_cast<double>(samples.size());
+    result.ns_per_op_min = samples.front();
+    result.ns_per_op_max = samples.back();
+    result.requests_per_sec =
+        static_cast<double>(c.requests_per_op) * 1e9 /
+        std::max(result.ns_per_op, 1.0);
+
+    if (options.collect_counters) {
+      PerfScope scope(result.counters);
+      c.op();
+    }
+    report.cases.push_back(std::move(result));
+
+    if (options.progress)
+      *options.progress << "  " << c.name << "  "
+                        << report.cases.back().ns_per_op / 1e6
+                        << " ms/op\n";
+  }
+  return report;
+}
+
+// -------------------------------------------------------- default suite ---
+
+namespace {
+
+/// One op = replay `instance` through `algorithm` (reset + full serve
+/// sequence; the ledger is discarded).
+BenchCase algorithm_case(std::string name,
+                         std::shared_ptr<OnlineAlgorithm> algorithm,
+                         std::shared_ptr<const Instance> instance) {
+  BenchCase c;
+  c.name = std::move(name);
+  c.requests_per_op = instance->num_requests();
+  c.op = [algorithm = std::move(algorithm),
+          instance = std::move(instance)] {
+    const SolutionLedger ledger = run_online(*algorithm, *instance);
+    // The total depends on every decision; reading it keeps the whole run
+    // observable.
+    volatile double sink = ledger.total_cost();
+    (void)sink;
+  };
+  return c;
+}
+
+}  // namespace
+
+BenchSuite default_bench_suite() {
+  BenchSuite suite("default");
+
+  // The shared workload: the uniform-line scenario at its modest default
+  // size. One instance, every roster algorithm — so per-case counter
+  // totals are directly comparable work measurements.
+  const auto instance = std::make_shared<const Instance>(
+      default_scenario_registry().make("uniform-line", /*seed=*/1));
+  const AlgorithmRegistry& registry = default_algorithm_registry();
+  for (const std::string& name : registry.names()) {
+    suite.add(algorithm_case(
+        "algo/" + name + "/uniform-line",
+        registry.make(name, derive_algorithm_seed(1)), instance));
+  }
+
+  // PD with from-scratch bid recomputation — the measured counterpart of
+  // the header's kReference/kIncremental equivalence claim.
+  suite.add(algorithm_case(
+      "pd-reference/uniform-line",
+      std::make_shared<PdOmflp>(
+          PdOptions{.bid_mode = PdOptions::BidMode::kReference}),
+      instance));
+
+  // DistanceOracle micro cases: all-pairs lookups through the cached
+  // matrix vs the virtual-call fallback (cache_limit = 0).
+  {
+    const auto metric = LineMetric::uniform_grid(256, 100.0);
+    const auto cached = std::make_shared<DistanceOracle>(metric);
+    const auto fallback =
+        std::make_shared<DistanceOracle>(metric, /*cache_limit=*/0);
+    const std::size_t n = metric->num_points();
+    const auto sweep = [n](std::shared_ptr<DistanceOracle> oracle) {
+      return [oracle = std::move(oracle), n] {
+        double sum = 0.0;
+        for (PointId a = 0; a < n; ++a)
+          for (PointId b = 0; b < n; ++b) sum += (*oracle)(a, b);
+        volatile double sink = sum;
+        (void)sink;
+      };
+    };
+    suite.add(BenchCase{"oracle/cached", n * n, sweep(cached)});
+    suite.add(BenchCase{"oracle/fallback", n * n, sweep(fallback)});
+  }
+
+  // The counter-overhead pair: the same PD replay with counting disabled
+  // (no sink — the default state every other case is timed in) and with a
+  // sink installed for the whole run. `omflp compare` across the two
+  // quantifies the cost of an enabled sink; "counters/off" vs the
+  // pre-telemetry binary measures the disabled-mode hook (a thread-local
+  // load + predicted branch).
+  {
+    const auto pd_off = std::make_shared<PdOmflp>();
+    const auto pd_on = std::make_shared<PdOmflp>();
+    suite.add(algorithm_case("counters/off", pd_off, instance));
+    BenchCase on;
+    on.name = "counters/on";
+    on.requests_per_op = instance->num_requests();
+    on.op = [pd_on, instance] {
+      PerfCounters counters;
+      {
+        PerfScope scope(counters);
+        const SolutionLedger ledger = run_online(*pd_on, *instance);
+        volatile double sink = ledger.total_cost();
+        (void)sink;
+      }
+      // Forward to the suite's collection sink (when one is installed)
+      // so the case's counter column matches counters/off.
+      if (PerfCounters* outer = perf::thread_sink()) *outer += counters;
+    };
+    suite.add(std::move(on));
+  }
+
+  return suite;
+}
+
+BenchOptions quick_bench_options() {
+  BenchOptions options;
+  options.warmup = 1;
+  options.trials = 3;
+  return options;
+}
+
+std::string default_bench_filename(const std::string& suite) {
+  return "BENCH_" + suite + ".json";
+}
+
+}  // namespace omflp

@@ -1,0 +1,129 @@
+// BenchSuite — the repo's first-class performance measurement runner.
+//
+// A BenchCase is a named closure (one "operation", e.g. replaying a
+// scenario instance through a roster algorithm) plus how many requests an
+// operation processes. A BenchSuite runs every case warmup+timed trials on
+// the calling thread, takes the median trial as ns/op (robust against a
+// scheduler hiccup inflating the mean), derives requests/s, and collects
+// PerfCounters totals from one extra *untimed* instrumented pass — so
+// wall times are measured with counting disabled, exactly the
+// configuration production code runs in.
+//
+// The resulting BenchReport serializes to the schema-versioned
+// BENCH_<suite>.json format (see README "Performance telemetry"):
+// build metadata (git sha, compiler, flags) plus per-case ns/op,
+// requests/s, and counter totals. bench_compare.hpp reads these files
+// back and diffs them; `omflp bench` / `omflp compare` are thin CLI
+// wrappers over this pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/perf_counters.hpp"
+
+namespace omflp {
+
+/// BENCH_*.json schema version; bump on any incompatible layout change.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Monotonic nanosecond timer for bench trials.
+class BenchTimer {
+ public:
+  BenchTimer();
+  /// Nanoseconds since construction or the last restart().
+  double elapsed_ns() const;
+  void restart();
+
+ private:
+  std::uint64_t start_ns_ = 0;
+};
+
+struct BenchCase {
+  std::string name;
+  /// Requests processed per op() call; feeds the requests/s column. Use
+  /// the natural work unit for micro cases (e.g. lookups per op).
+  std::size_t requests_per_op = 1;
+  std::function<void()> op;
+};
+
+struct BenchOptions {
+  std::size_t warmup = 2;
+  std::size_t trials = 7;
+  /// One extra instrumented pass per case for counter totals.
+  bool collect_counters = true;
+  /// When set, one progress line per finished case.
+  std::ostream* progress = nullptr;
+};
+
+struct BenchCaseResult {
+  std::string name;
+  std::size_t requests_per_op = 1;
+  std::size_t trials = 0;
+  double ns_per_op = 0.0;  // median of the timed trials
+  double ns_per_op_mean = 0.0;
+  double ns_per_op_min = 0.0;
+  double ns_per_op_max = 0.0;
+  double requests_per_sec = 0.0;  // requests_per_op / median seconds
+  PerfCounters counters;          // totals of one op; all-zero if skipped
+};
+
+struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
+  std::string suite;
+  std::string git_sha;
+  std::string build_type;
+  std::string compiler;
+  std::string build_flags;
+  std::size_t trials = 0;
+  std::size_t warmup = 0;
+  std::vector<BenchCaseResult> cases;
+
+  /// Null when the name is absent.
+  const BenchCaseResult* find(const std::string& name) const;
+
+  /// The BENCH_<suite>.json document (self-contained, schema-versioned).
+  void write_json(std::ostream& os) const;
+  /// Human-readable per-case summary table (markdown).
+  void write_table(std::ostream& os) const;
+};
+
+class BenchSuite {
+ public:
+  explicit BenchSuite(std::string name);
+
+  /// Registers a case; throws std::invalid_argument on an empty or
+  /// duplicate name or a missing op.
+  void add(BenchCase bench_case);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return cases_.size(); }
+  std::vector<std::string> case_names() const;
+
+  /// Runs every case (in registration order, single-threaded) and
+  /// assembles the report with build metadata filled in.
+  BenchReport run(const BenchOptions& options = {}) const;
+
+ private:
+  std::string name_;
+  std::vector<BenchCase> cases_;
+};
+
+/// The standard suite backing `omflp bench`: every registered algorithm
+/// replaying the uniform-line workload, the PD reference-bid ablation,
+/// DistanceOracle cached/fallback micro cases, and the counters on/off
+/// overhead pair (the disabled-mode case the telemetry claims are judged
+/// against). Workloads are identical at both scales so reports stay
+/// comparable; `quick` only shrinks warmup/trials via
+/// quick_bench_options().
+BenchSuite default_bench_suite();
+
+BenchOptions quick_bench_options();
+
+/// "BENCH_<suite>.json"
+std::string default_bench_filename(const std::string& suite);
+
+}  // namespace omflp

@@ -1,5 +1,6 @@
 #include "scenario/sweep.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -31,7 +32,7 @@ void SweepResult::write_csv(std::ostream& os) const {
   TableWriter table({"scenario", "algorithm", "seeds", "ratio_mean",
                      "ratio_ci95", "ratio_min", "ratio_max", "cost_mean",
                      "opening_mean", "connection_mean", "facilities_mean",
-                     "opt_exact"});
+                     "wall_ms_mean", "requests_per_sec_mean", "opt_exact"});
   table.set_precision(6);
   for (const SweepCell& c : cells_) {
     table.begin_row()
@@ -46,6 +47,8 @@ void SweepResult::write_csv(std::ostream& os) const {
         .add(c.opening_cost.mean())
         .add(c.connection_cost.mean())
         .add(c.facilities.mean())
+        .add(c.wall_ms.mean())
+        .add(c.requests_per_sec.mean())
         .add(c.opt_exact);
   }
   table.write_csv(os);
@@ -88,6 +91,9 @@ void SweepResult::write_json(std::ostream& os) const {
        << ", \"opening_mean\": " << c.opening_cost.mean()
        << ", \"connection_mean\": " << c.connection_cost.mean()
        << ", \"facilities_mean\": " << c.facilities.mean()
+       << ", \"wall_ms_mean\": " << c.wall_ms.mean()
+       << ", \"wall_ms_max\": " << c.wall_ms.max()
+       << ", \"requests_per_sec_mean\": " << c.requests_per_sec.mean()
        << ", \"opt_exact\": " << c.opt_exact << "}"
        << (i + 1 < cells_.size() ? "," : "") << "\n";
   }
@@ -103,6 +109,8 @@ struct TrialRow {
   double opening = 0.0;
   double connection = 0.0;
   double facilities = 0.0;
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
   bool opt_exact = false;
 };
 
@@ -170,6 +178,12 @@ SweepResult run_sweep(const SweepOptions& options,
           row.connection = measured.connection_cost;
           row.facilities =
               static_cast<double>(measured.facilities_opened);
+          row.wall_ms = measured.run_ns / 1e6;
+          // run_ns is clock-quantized; clamp so trivial runs do not
+          // divide by zero.
+          row.requests_per_sec =
+              static_cast<double>(instance.num_requests()) * 1e9 /
+              std::max(measured.run_ns, 1.0);
           row.opt_exact = measured.opt_exact;
         }
       },
@@ -190,6 +204,8 @@ SweepResult run_sweep(const SweepOptions& options,
         cell.opening_cost.add(row.opening);
         cell.connection_cost.add(row.connection);
         cell.facilities.add(row.facilities);
+        cell.wall_ms.add(row.wall_ms);
+        cell.requests_per_sec.add(row.requests_per_sec);
         if (row.opt_exact) ++cell.opt_exact;
       }
       cells.push_back(std::move(cell));

@@ -11,7 +11,10 @@
 //
 // Emission: write_csv produces one row per (scenario, algorithm) cell;
 // write_json the same cells as a JSON array, both with mean / CI /
-// min-max ratio statistics and cost decompositions.
+// min-max ratio statistics, cost decompositions, and per-cell timing
+// (wall_ms / requests_per_sec of the online runs). Cost statistics are a
+// deterministic function of the options; the timing columns are wall
+// clock and naturally vary run to run.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +54,8 @@ struct SweepCell {
   Summary opening_cost;
   Summary connection_cost;
   Summary facilities;        // facilities opened
+  Summary wall_ms;           // online run wall time per trial (ms)
+  Summary requests_per_sec;  // throughput per trial
   std::size_t opt_exact = 0;  // trials whose OPT estimate was exact
 };
 

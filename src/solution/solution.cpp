@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -51,6 +52,7 @@ FacilityId SolutionLedger::open_facility(PointId location,
   if (config.count() == 1) ++num_small_;
   if (config.is_full()) ++num_large_;
   facilities_.push_back(std::move(record));
+  OMFLP_PERF_COUNT(facilities_opened);
   return facilities_.back().id;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "perf/perf_counters.hpp"
+
 namespace omflp {
 
 namespace {
@@ -28,9 +30,11 @@ std::optional<VerificationError> verify_solution(const Instance& instance,
   const MetricSpace& metric = instance.metric();
   const FacilityCostModel& cost = instance.cost();
 
-  // Facilities: recompute opening costs.
+  // Facilities: recompute opening costs. One verifier_check per facility
+  // and per request record re-derived below.
   double opening = 0.0;
   for (const OpenFacilityRecord& f : ledger.facilities()) {
+    OMFLP_PERF_COUNT(verifier_checks);
     if (f.location >= metric.num_points())
       return fail("facility outside the metric space");
     if (f.config.universe_size() != cost.num_commodities())
@@ -51,6 +55,7 @@ std::optional<VerificationError> verify_solution(const Instance& instance,
   // Requests: coverage, causality, connection cost.
   double connection = 0.0;
   for (RequestId i = 0; i < instance.num_requests(); ++i) {
+    OMFLP_PERF_COUNT(verifier_checks);
     const Request& expected = instance.request(i);
     const RequestRecord& rec = ledger.request_records()[i];
     if (!(rec.request.location == expected.location &&

@@ -158,6 +158,89 @@ TEST(DistanceOracle, CachedMatchesDirect) {
       EXPECT_DOUBLE_EQ(cached(a, b), direct(a, b));
 }
 
+namespace {
+
+/// One representative of each shipped metric family, seeded so distances
+/// exercise non-trivial double values.
+std::vector<MetricPtr> representative_metrics() {
+  Rng rng(7);
+  std::vector<MetricPtr> metrics;
+
+  std::vector<double> positions;
+  for (int i = 0; i < 12; ++i) positions.push_back(rng.uniform(-50.0, 50.0));
+  metrics.push_back(std::make_shared<LineMetric>(positions));
+
+  std::vector<double> coords;
+  for (int i = 0; i < 10 * 3; ++i) coords.push_back(rng.uniform(0.0, 10.0));
+  metrics.push_back(std::make_shared<EuclideanMetric>(3, coords));
+
+  std::vector<GraphEdge> edges;
+  for (PointId v = 1; v < 9; ++v)
+    edges.push_back({static_cast<PointId>(rng.uniform_index(v)), v,
+                     rng.uniform(0.5, 4.0)});
+  edges.push_back({0, 8, 11.0});
+  metrics.push_back(std::make_shared<GraphMetric>(9, edges));
+
+  std::vector<std::vector<double>> matrix(6, std::vector<double>(6, 0.0));
+  for (PointId a = 0; a < 6; ++a)
+    for (PointId b = a + 1; b < 6; ++b)
+      matrix[a][b] = matrix[b][a] = 1.0 + rng.uniform(0.0, 1.0);
+  metrics.push_back(std::make_shared<MatrixMetric>(matrix));
+
+  return metrics;
+}
+
+}  // namespace
+
+// The fallback path (cache_limit = 0) must be *bit*-identical to the
+// cached path on every metric family: both evaluate the same
+// MetricSpace::distance, the cache merely memoizes it. EXPECT_EQ on
+// doubles (not NEAR) is the point of this test.
+TEST(DistanceOracle, FallbackBitIdenticalToCachedOnAllMetricTypes) {
+  for (const MetricPtr& metric : representative_metrics()) {
+    DistanceOracle cached(metric);
+    DistanceOracle fallback(metric, /*cache_limit=*/0);
+    ASSERT_TRUE(cached.cached()) << metric->description();
+    ASSERT_FALSE(fallback.cached()) << metric->description();
+    const std::size_t n = metric->num_points();
+    for (PointId a = 0; a < n; ++a)
+      for (PointId b = 0; b < n; ++b)
+        EXPECT_EQ(cached(a, b), fallback(a, b))
+            << metric->description() << " at (" << a << ", " << b << ")";
+  }
+}
+
+// The distance_lookups counter must tick on both paths — the whole point
+// of the telemetry is that cached and fallback runs report the same
+// *work* even though their wall times differ.
+TEST(DistanceOracle, LookupCounterCountsBothPaths) {
+  auto grid = LineMetric::uniform_grid(8, 10.0);
+  DistanceOracle cached(grid);
+  DistanceOracle fallback(grid, /*cache_limit=*/0);
+
+  PerfCounters counters;
+  {
+    PerfScope scope(counters);
+    for (PointId a = 0; a < 8; ++a)
+      for (PointId b = 0; b < 8; ++b) (void)cached(a, b);
+  }
+  EXPECT_EQ(counters.distance_lookups, 64u);
+
+  counters.reset();
+  {
+    PerfScope scope(counters);
+    for (PointId a = 0; a < 8; ++a)
+      for (PointId b = 0; b < 8; ++b) (void)fallback(a, b);
+  }
+  EXPECT_EQ(counters.distance_lookups, 64u);
+
+  // Without an installed sink nothing is counted.
+  counters.reset();
+  (void)cached(0, 1);
+  (void)fallback(0, 1);
+  EXPECT_EQ(counters.distance_lookups, 0u);
+}
+
 TEST(MetricSpaceBase, NearestPoint) {
   LineMetric line({0.0, 10.0, 1.0, 50.0});
   EXPECT_EQ(line.nearest_point(0), 2u);

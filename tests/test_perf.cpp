@@ -1,0 +1,365 @@
+// Tests for the perf telemetry subsystem: PerfCounters semantics, the
+// counter hooks through the algorithm roster, BenchSuite runs, the
+// BENCH_*.json write/read round-trip, and compare_reports thresholds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/online_algorithm.hpp"
+#include "perf/bench_compare.hpp"
+#include "perf/bench_suite.hpp"
+#include "perf/perf_counters.hpp"
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/sweep.hpp"
+#include "solution/verifier.hpp"
+
+namespace omflp {
+namespace {
+
+Instance small_instance() {
+  return default_scenario_registry().make(
+      "uniform-line", /*seed=*/3,
+      {{"points", 8}, {"requests", 16}, {"commodities", 4}});
+}
+
+// ------------------------------------------------------------- counters ---
+
+TEST(PerfCounters, NoSinkMeansNothingCounted) {
+  ASSERT_EQ(perf::thread_sink(), nullptr);
+  auto algorithm = default_algorithm_registry().make("pd");
+  (void)run_online(*algorithm, small_instance());
+  // Nothing observable: the only claim testable here is that running
+  // without a scope neither crashes nor leaves a sink behind.
+  EXPECT_EQ(perf::thread_sink(), nullptr);
+}
+
+TEST(PerfCounters, ScopeInstallsAndRestores) {
+  PerfCounters outer_counters;
+  {
+    PerfScope outer(outer_counters);
+    EXPECT_EQ(perf::thread_sink(), &outer_counters);
+    {
+      PerfCounters inner_counters;
+      PerfScope inner(inner_counters);
+      EXPECT_EQ(perf::thread_sink(), &inner_counters);
+      OMFLP_PERF_COUNT(coin_flips);
+      EXPECT_EQ(inner_counters.coin_flips, 1u);
+      EXPECT_EQ(outer_counters.coin_flips, 0u);
+    }
+    EXPECT_EQ(perf::thread_sink(), &outer_counters);
+    OMFLP_PERF_ADD(coin_flips, 2);
+    EXPECT_EQ(outer_counters.coin_flips, 2u);
+  }
+  EXPECT_EQ(perf::thread_sink(), nullptr);
+}
+
+TEST(PerfCounters, AggregationAndReset) {
+  PerfCounters a;
+  a.distance_lookups = 3;
+  a.coin_flips = 1;
+  PerfCounters b;
+  b.distance_lookups = 4;
+  b.verifier_checks = 2;
+  a += b;
+  EXPECT_EQ(a.distance_lookups, 7u);
+  EXPECT_EQ(a.coin_flips, 1u);
+  EXPECT_EQ(a.verifier_checks, 2u);
+  EXPECT_FALSE(a.all_zero());
+  a.reset();
+  EXPECT_TRUE(a.all_zero());
+}
+
+TEST(PerfCounters, PdRunCountsItsWorkUnits) {
+  const Instance instance = small_instance();
+  auto pd = default_algorithm_registry().make("pd");
+  PerfCounters counters;
+  {
+    PerfScope scope(counters);
+    (void)run_online(*pd, instance);
+  }
+  EXPECT_GT(counters.distance_lookups, 0u);
+  EXPECT_GT(counters.bids_evaluated, 0u);
+  EXPECT_GT(counters.bids_updated, 0u);  // incremental mode maintains rows
+  EXPECT_GT(counters.facilities_opened, 0u);
+  EXPECT_EQ(counters.requests_served, instance.num_requests());
+  EXPECT_EQ(counters.coin_flips, 0u);  // deterministic algorithm
+}
+
+TEST(PerfCounters, RandRunFlipsCoinsButEvaluatesNoBids) {
+  const Instance instance = small_instance();
+  auto rand = default_algorithm_registry().make("rand", /*seed=*/5);
+  PerfCounters counters;
+  {
+    PerfScope scope(counters);
+    (void)run_online(*rand, instance);
+  }
+  EXPECT_GT(counters.coin_flips, 0u);
+  EXPECT_GT(counters.distance_lookups, 0u);
+  // The §4 efficiency contrast, as a counter identity: RAND maintains no
+  // bid structures at all.
+  EXPECT_EQ(counters.bids_evaluated, 0u);
+  EXPECT_EQ(counters.bids_updated, 0u);
+}
+
+TEST(PerfCounters, CountsAreDeterministicAcrossRuns) {
+  const Instance instance = small_instance();
+  const AlgorithmRegistry& registry = default_algorithm_registry();
+  for (const std::string& name : registry.names()) {
+    PerfCounters first, second;
+    {
+      auto algorithm = registry.make(name, 9);
+      PerfScope scope(first);
+      (void)run_online(*algorithm, instance);
+    }
+    {
+      auto algorithm = registry.make(name, 9);
+      PerfScope scope(second);
+      (void)run_online(*algorithm, instance);
+    }
+    // Field-by-field equality via the visitor on both structs.
+    std::vector<std::uint64_t> lhs, rhs;
+    PerfCounters::for_each_field(
+        first, [&](const char*, std::uint64_t v) { lhs.push_back(v); });
+    PerfCounters::for_each_field(
+        second, [&](const char*, std::uint64_t v) { rhs.push_back(v); });
+    EXPECT_EQ(lhs, rhs) << name;
+  }
+}
+
+TEST(PerfCounters, VerifierChecksCountRecords) {
+  const Instance instance = small_instance();
+  auto pd = default_algorithm_registry().make("pd");
+  const SolutionLedger ledger = run_online(*pd, instance);
+  PerfCounters counters;
+  {
+    PerfScope scope(counters);
+    ASSERT_FALSE(verify_solution(instance, ledger).has_value());
+  }
+  EXPECT_EQ(counters.verifier_checks,
+            ledger.num_facilities() + instance.num_requests());
+}
+
+// ----------------------------------------------------------- bench suite ---
+
+TEST(BenchSuite, RejectsBadCases) {
+  BenchSuite suite("t");
+  EXPECT_THROW(suite.add(BenchCase{"", 1, [] {}}), std::invalid_argument);
+  EXPECT_THROW(suite.add(BenchCase{"x", 1, nullptr}),
+               std::invalid_argument);
+  suite.add(BenchCase{"x", 1, [] {}});
+  EXPECT_THROW(suite.add(BenchCase{"x", 1, [] {}}), std::invalid_argument);
+  EXPECT_THROW((void)suite.run(BenchOptions{.warmup = 0, .trials = 0}),
+               std::invalid_argument);
+}
+
+TEST(BenchSuite, RunProducesSaneReport) {
+  BenchSuite suite("tiny");
+  int calls = 0;
+  suite.add(BenchCase{"counting", 10, [&calls] {
+                        PerfCounters* sink = perf::thread_sink();
+                        if (sink) sink->coin_flips += 4;
+                        ++calls;
+                      }});
+  BenchOptions options;
+  options.warmup = 1;
+  options.trials = 3;
+  const BenchReport report = suite.run(options);
+  // warmup + timed trials + one counter pass.
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(report.cases.size(), 1u);
+  const BenchCaseResult& c = report.cases[0];
+  EXPECT_EQ(c.name, "counting");
+  EXPECT_EQ(c.trials, 3u);
+  EXPECT_GT(c.ns_per_op, 0.0);
+  EXPECT_LE(c.ns_per_op_min, c.ns_per_op);
+  EXPECT_LE(c.ns_per_op, c.ns_per_op_max);
+  EXPECT_GT(c.requests_per_sec, 0.0);
+  EXPECT_EQ(c.counters.coin_flips, 4u);  // exactly one instrumented pass
+  EXPECT_EQ(report.schema_version, kBenchSchemaVersion);
+  EXPECT_FALSE(report.git_sha.empty());
+  EXPECT_NE(report.find("counting"), nullptr);
+  EXPECT_EQ(report.find("absent"), nullptr);
+}
+
+TEST(BenchSuite, DefaultSuiteCoversTheFullRoster) {
+  const BenchSuite suite = default_bench_suite();
+  const std::vector<std::string> cases = suite.case_names();
+  for (const std::string& algorithm :
+       default_algorithm_registry().names()) {
+    const std::string expected = "algo/" + algorithm + "/uniform-line";
+    EXPECT_NE(std::find(cases.begin(), cases.end(), expected), cases.end())
+        << "missing case " << expected;
+  }
+  // The overhead pair and the oracle micro cases ride along.
+  EXPECT_NE(suite.case_names().end(),
+            std::find(cases.begin(), cases.end(), "counters/off"));
+  EXPECT_NE(suite.case_names().end(),
+            std::find(cases.begin(), cases.end(), "counters/on"));
+  EXPECT_NE(suite.case_names().end(),
+            std::find(cases.begin(), cases.end(), "oracle/cached"));
+  EXPECT_NE(suite.case_names().end(),
+            std::find(cases.begin(), cases.end(), "oracle/fallback"));
+}
+
+// ------------------------------------------------------- json round trip ---
+
+BenchReport tiny_report() {
+  BenchSuite suite("roundtrip \"quoted\"");
+  suite.add(BenchCase{"case/one", 7, [] {
+                        PerfCounters* sink = perf::thread_sink();
+                        if (sink) {
+                          sink->distance_lookups += 11;
+                          sink->verifier_checks += 2;
+                        }
+                      }});
+  suite.add(BenchCase{"case/two", 3, [] {}});
+  BenchOptions options;
+  options.warmup = 0;
+  options.trials = 2;
+  return suite.run(options);
+}
+
+TEST(BenchJson, WriteReadRoundTrip) {
+  const BenchReport written = tiny_report();
+  std::ostringstream os;
+  written.write_json(os);
+
+  std::istringstream is(os.str());
+  const BenchReport read = read_bench_report(is);
+
+  EXPECT_EQ(read.schema_version, written.schema_version);
+  EXPECT_EQ(read.suite, written.suite);
+  EXPECT_EQ(read.git_sha, written.git_sha);
+  EXPECT_EQ(read.build_type, written.build_type);
+  EXPECT_EQ(read.compiler, written.compiler);
+  EXPECT_EQ(read.build_flags, written.build_flags);
+  EXPECT_EQ(read.trials, written.trials);
+  EXPECT_EQ(read.warmup, written.warmup);
+  ASSERT_EQ(read.cases.size(), written.cases.size());
+  for (std::size_t i = 0; i < read.cases.size(); ++i) {
+    EXPECT_EQ(read.cases[i].name, written.cases[i].name);
+    EXPECT_EQ(read.cases[i].requests_per_op,
+              written.cases[i].requests_per_op);
+    // 17 significant digits in the writer: doubles round-trip exactly.
+    EXPECT_EQ(read.cases[i].ns_per_op, written.cases[i].ns_per_op);
+    EXPECT_EQ(read.cases[i].requests_per_sec,
+              written.cases[i].requests_per_sec);
+    std::vector<std::uint64_t> lhs, rhs;
+    PerfCounters::for_each_field(
+        read.cases[i].counters,
+        [&](const char*, std::uint64_t v) { lhs.push_back(v); });
+    PerfCounters::for_each_field(
+        written.cases[i].counters,
+        [&](const char*, std::uint64_t v) { rhs.push_back(v); });
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(BenchJson, RejectsMalformedAndWrongSchema) {
+  {
+    std::istringstream is("{\"schema_version\": 999}");
+    EXPECT_THROW((void)read_bench_report(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("{not json");
+    EXPECT_THROW((void)read_bench_report(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("{\"schema_version\": 1}");  // missing fields
+    EXPECT_THROW((void)read_bench_report(is), std::runtime_error);
+  }
+}
+
+// --------------------------------------------------------------- compare ---
+
+BenchReport synthetic_report(double ns_one, double ns_two) {
+  BenchReport report;
+  report.suite = "synthetic";
+  report.git_sha = "deadbeef";
+  report.build_type = "Release";
+  report.compiler = "test";
+  report.build_flags = "";
+  report.trials = 1;
+  BenchCaseResult one;
+  one.name = "one";
+  one.ns_per_op = ns_one;
+  one.counters.distance_lookups = 100;
+  report.cases.push_back(one);
+  BenchCaseResult two;
+  two.name = "two";
+  two.ns_per_op = ns_two;
+  report.cases.push_back(two);
+  return report;
+}
+
+TEST(Compare, FlagsRegressionsBeyondThreshold) {
+  const BenchReport old_report = synthetic_report(1000.0, 1000.0);
+  const BenchReport new_report = synthetic_report(1200.0, 1050.0);
+  const CompareReport comparison = compare_reports(
+      old_report, new_report, CompareOptions{.regression_threshold = 1.10});
+  ASSERT_EQ(comparison.deltas.size(), 2u);
+  EXPECT_EQ(comparison.deltas[0].status, CaseDelta::Status::kRegressed);
+  EXPECT_DOUBLE_EQ(comparison.deltas[0].time_ratio, 1.2);
+  EXPECT_EQ(comparison.deltas[1].status, CaseDelta::Status::kOk);
+  EXPECT_TRUE(comparison.any_regression());
+  EXPECT_EQ(comparison.regressions, 1u);
+}
+
+TEST(Compare, FlagsImprovementsAndMissingCases) {
+  BenchReport old_report = synthetic_report(1000.0, 1000.0);
+  BenchReport new_report = synthetic_report(500.0, 990.0);
+  new_report.cases[1].name = "renamed";
+  const CompareReport comparison =
+      compare_reports(old_report, new_report);
+  ASSERT_EQ(comparison.deltas.size(), 3u);
+  EXPECT_EQ(comparison.deltas[0].status, CaseDelta::Status::kImproved);
+  EXPECT_DOUBLE_EQ(comparison.deltas[0].lookup_ratio, 1.0);
+  EXPECT_EQ(comparison.deltas[1].status, CaseDelta::Status::kOnlyOld);
+  EXPECT_EQ(comparison.deltas[2].status, CaseDelta::Status::kOnlyNew);
+  // A baseline case missing from the new report fails the gate —
+  // renaming a slow case must not dodge the comparison.
+  EXPECT_TRUE(comparison.any_regression());
+  EXPECT_EQ(comparison.regressions, 1u);
+  EXPECT_EQ(comparison.improvements, 1u);
+}
+
+TEST(Compare, RejectsThresholdBelowOne) {
+  const BenchReport report = synthetic_report(1.0, 1.0);
+  EXPECT_THROW(
+      (void)compare_reports(report, report,
+                            CompareOptions{.regression_threshold = 0.9}),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------- sweep timing ---
+
+TEST(SweepTiming, CellsCarryWallTimeAndThroughput) {
+  SweepOptions options;
+  options.scenarios = {"theorem2"};
+  options.algorithms = {"pd", "greedy"};
+  options.seeds = 3;
+  options.threads = 1;
+  const SweepResult result = run_sweep(options);
+  for (const SweepCell& cell : result.cells()) {
+    EXPECT_EQ(cell.wall_ms.count(), 3u);
+    EXPECT_EQ(cell.requests_per_sec.count(), 3u);
+    EXPECT_GE(cell.wall_ms.min(), 0.0);
+    EXPECT_GT(cell.requests_per_sec.min(), 0.0);
+  }
+  std::ostringstream csv;
+  result.write_csv(csv);
+  EXPECT_NE(csv.str().find("wall_ms_mean"), std::string::npos);
+  EXPECT_NE(csv.str().find("requests_per_sec_mean"), std::string::npos);
+  std::ostringstream json;
+  result.write_json(json);
+  EXPECT_NE(json.str().find("\"wall_ms_mean\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"requests_per_sec_mean\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace omflp

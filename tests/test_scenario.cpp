@@ -3,6 +3,7 @@
 // and instance trace write -> replay round-trips.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -154,10 +155,37 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
   options.threads = 4;
   const SweepResult parallel = run_sweep(options);
 
+  // The CSV carries wall-clock timing columns (wall_ms_mean,
+  // requests_per_sec_mean) that legitimately differ run to run; strip
+  // them (located by header name, robust to column reordering) and
+  // compare everything else byte for byte.
+  const auto strip_timing_columns = [](const std::string& csv) {
+    std::istringstream lines(csv);
+    std::ostringstream out;
+    std::string line;
+    std::set<std::size_t> timing_columns;
+    bool header = true;
+    while (std::getline(lines, line)) {
+      std::istringstream fields(line);
+      std::string field;
+      std::size_t column = 0;
+      while (std::getline(fields, field, ',')) {
+        if (header &&
+            (field == "wall_ms_mean" || field == "requests_per_sec_mean"))
+          timing_columns.insert(column);
+        if (!timing_columns.count(column)) out << field << ",";
+        ++column;
+      }
+      if (header) EXPECT_EQ(timing_columns.size(), 2u);
+      header = false;
+      out << "\n";
+    }
+    return out.str();
+  };
   std::ostringstream a, b;
   serial.write_csv(a);
   parallel.write_csv(b);
-  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(strip_timing_columns(a.str()), strip_timing_columns(b.str()));
 
   // Re-running with the same options bit-reproduces every sample.
   const SweepResult again = run_sweep(options);

@@ -4,6 +4,8 @@
 //   omflp run    --scenario S ...       run one (scenario, algorithm, seed)
 //   omflp sweep  --scenarios a,b ...    mass-run a cross-product, emit CSV
 //   omflp replay FILE ...               re-run a saved instance trace
+//   omflp bench                         run the perf suite, emit BENCH json
+//   omflp compare OLD NEW               diff two BENCH json files
 //
 // Examples:
 //   omflp run --scenario clustered --algorithm pd --seed 3 --set clusters=8
@@ -11,6 +13,9 @@
 //   omflp replay trace.omflp --algorithm rand --seed 7
 //   omflp sweep --scenarios all --algorithms pd,rand --seeds 8 \
 //               --csv sweep.csv --json sweep.json
+//   omflp bench --quick --out BENCH_default.json
+//   omflp compare benchmarks/BENCH_baseline.json BENCH_default.json \
+//               --threshold 1.15
 //
 // Every run is a deterministic function of (scenario, parameters, seed):
 // `replay` on a trace saved by `run --save` reproduces the same total
@@ -19,12 +24,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/competitive.hpp"
 #include "instance/io.hpp"
+#include "perf/bench_compare.hpp"
+#include "perf/bench_suite.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/registry_util.hpp"
 #include "scenario/scenario_registry.hpp"
@@ -61,7 +69,18 @@ int usage(std::ostream& os, int exit_code) {
         "    --json FILE               also write per-cell JSON\n"
         "  replay FILE               re-run a saved instance trace\n"
         "    --algorithm NAME          default: pd\n"
-        "    --seed N                  default: 1\n";
+        "    --seed N                  default: 1\n"
+        "  bench                     run the perf suite, write BENCH json\n"
+        "    --out FILE                default: BENCH_<suite>.json\n"
+        "    --quick                   fewer warmup/timed trials (CI "
+        "smoke)\n"
+        "    --trials N                override timed trials per case\n"
+        "    --warmup N                override warmup runs per case\n"
+        "  compare OLD NEW           diff two BENCH json files\n"
+        "    --threshold X             regression gate on ns/op "
+        "(default: 1.10)\n"
+        "    --report-only             always exit 0 (CI trend "
+        "reporting)\n";
   return exit_code;
 }
 
@@ -81,6 +100,14 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
+double parse_double(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0')
+    throw std::invalid_argument(what + ": '" + text + "' is not a number");
+  return value;
+}
+
 void parse_set(const std::string& text,
                std::map<std::string, double>& overrides) {
   const auto eq = text.find('=');
@@ -88,13 +115,7 @@ void parse_set(const std::string& text,
     throw std::invalid_argument("--set expects key=value, got '" + text +
                                 "'");
   const std::string key = text.substr(0, eq);
-  const std::string value_text = text.substr(eq + 1);
-  char* end = nullptr;
-  const double value = std::strtod(value_text.c_str(), &end);
-  if (end == value_text.c_str() || *end != '\0')
-    throw std::invalid_argument("--set " + key + ": '" + value_text +
-                                "' is not a number");
-  overrides[key] = value;
+  overrides[key] = parse_double(text.substr(eq + 1), "--set " + key);
 }
 
 std::uint64_t parse_u64(const std::string& text, const char* what) {
@@ -266,6 +287,78 @@ int cmd_sweep(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ----------------------------------------------------------------- bench ---
+
+int cmd_bench(const std::vector<std::string>& args) {
+  bool quick = false;
+  std::optional<std::uint64_t> trials;
+  std::optional<std::uint64_t> warmup;
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--quick") quick = true;
+    else if (args[i] == "--trials")
+      trials = parse_u64(take_value(args, i), "--trials");
+    else if (args[i] == "--warmup")
+      warmup = parse_u64(take_value(args, i), "--warmup");
+    else if (args[i] == "--out") out_path = take_value(args, i);
+    else throw std::invalid_argument("bench: unknown option " + args[i]);
+  }
+  // --quick picks the base profile; explicit --trials/--warmup override
+  // it regardless of argument order.
+  BenchOptions options = quick ? quick_bench_options() : BenchOptions{};
+  if (trials) options.trials = *trials;
+  if (warmup) options.warmup = *warmup;
+
+  const BenchSuite suite = default_bench_suite();
+  std::cout << "suite " << suite.name() << ": " << suite.size()
+            << " cases, " << options.warmup << " warmup + "
+            << options.trials << " timed trials each\n";
+  options.progress = &std::cout;
+  const BenchReport report = suite.run(options);
+  std::cout << "\n";
+  report.write_table(std::cout);
+
+  if (out_path.empty()) out_path = default_bench_filename(suite.name());
+  std::ofstream file(out_path);
+  if (!file)
+    throw std::runtime_error("cannot open " + out_path + " for writing");
+  report.write_json(file);
+  std::cout << "\nwrote " << report.cases.size() << " cases (git "
+            << report.git_sha << ", " << report.build_type << ") to "
+            << out_path << "\n";
+  return 0;
+}
+
+// --------------------------------------------------------------- compare ---
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  CompareOptions options;
+  bool report_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold")
+      options.regression_threshold =
+          parse_double(take_value(args, i), "--threshold");
+    else if (args[i] == "--report-only") report_only = true;
+    else if (!args[i].empty() && args[i][0] != '-') paths.push_back(args[i]);
+    else throw std::invalid_argument("compare: unknown option " + args[i]);
+  }
+  if (paths.size() != 2)
+    throw std::invalid_argument(
+        "compare: exactly two BENCH json files are required");
+
+  const BenchReport old_report = read_bench_report_file(paths[0]);
+  const BenchReport new_report = read_bench_report_file(paths[1]);
+  std::cout << "old: " << paths[0] << " (git " << old_report.git_sha
+            << ", " << old_report.build_type << ")\n"
+            << "new: " << paths[1] << " (git " << new_report.git_sha
+            << ", " << new_report.build_type << ")\n\n";
+  const CompareReport comparison =
+      compare_reports(old_report, new_report, options);
+  comparison.write_table(std::cout);
+  return comparison.any_regression() && !report_only ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +370,8 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "bench") return cmd_bench(args);
+    if (command == "compare") return cmd_compare(args);
     if (command == "help" || command == "--help" || command == "-h")
       return usage(std::cout, 0);
     std::cerr << "unknown command '" << command << "'\n";
