@@ -4,14 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "kernel/kernels.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
-
-namespace {
-inline double positive_part(double x) noexcept { return x > 0.0 ? x : 0.0; }
-}  // namespace
 
 void FotakisOfl::reset(const ProblemContext& context) {
   OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
@@ -25,6 +22,10 @@ void FotakisOfl::reset(const ProblemContext& context) {
   facilities_.clear();
   past_.clear();
   bids_.assign(num_points_, 0.0);
+  const CommoditySet single = CommoditySet::full_set(1);
+  cost_row_.resize(num_points_);
+  for (PointId m = 0; m < num_points_; ++m)
+    cost_row_[m] = cost_->open_cost(m, single);
   total_dual_ = 0.0;
   duals_.clear();
 }
@@ -37,11 +38,15 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   OMFLP_PERF_ADD(facilities_probed, facilities_.size());
   double d1 = kInfiniteDistance;
   FacilityId f1 = kInvalidFacility;
-  for (const OpenRecord& f : facilities_) {
-    const double d = (*dist_)(loc, f.point);
-    if (d < d1) {
-      d1 = d;
-      f1 = f.id;
+  if (!facilities_.empty()) {
+    OMFLP_PERF_ADD(distance_lookups, facilities_.size());
+    const double* dist_loc = dist_->row(loc);
+    for (const OpenRecord& f : facilities_) {
+      const double d = dist_loc[f.point];
+      if (d < d1) {
+        d1 = d;
+        f1 = f.id;
+      }
     }
   }
 
@@ -53,15 +58,14 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   PointId best_point = kInvalidPoint;
   const CommoditySet single = CommoditySet::full_set(1);
   OMFLP_PERF_ADD(bids_evaluated, num_points_);
-  for (PointId m = 0; m < num_points_; ++m) {
-    const double g = positive_part(cost_->open_cost(m, single) - bids_[m]);
-    const double delta = positive_part((*dist_)(m, loc) + g);
-    if (delta < best_delta ||
-        (delta == best_delta && best_kind == 3 && m < best_point)) {
-      best_delta = delta;
-      best_kind = 3;
-      best_point = m;
-    }
+  OMFLP_PERF_ADD(distance_lookups, num_points_);
+  const kernel::RowEvent event = kernel::min_tightness_over_row(
+      dist_->row(loc), cost_row_.data(), bids_.data(), /*raised=*/0.0,
+      /*divisor=*/1.0, num_points_);
+  if (event.delta < best_delta) {
+    best_delta = event.delta;
+    best_kind = 3;
+    best_point = static_cast<PointId>(event.index);
   }
   OMFLP_CHECK(std::isfinite(best_delta),
               "FotakisOfl: no constraint can become tight");
@@ -80,10 +84,9 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
       const double v_new = std::min(pr.dual, d_new);
       if (v_new < v_old && v_old > 0.0) {
         OMFLP_PERF_ADD(bids_updated, num_points_);
-        for (PointId m = 0; m < num_points_; ++m) {
-          const double dm = (*dist_)(m, pr.location);
-          bids_[m] -= positive_part(v_old - dm) - positive_part(v_new - dm);
-        }
+        OMFLP_PERF_ADD(distance_lookups, num_points_);
+        kernel::shift_clipped_bid(bids_.data(), dist_->row(pr.location),
+                                  v_old, v_new, num_points_);
       }
       pr.facility_dist = d_new;
     }
@@ -95,13 +98,18 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   pr.location = loc;
   pr.dual = a;
   pr.facility_dist = kInfiniteDistance;
-  for (const OpenRecord& f : facilities_)
-    pr.facility_dist = std::min(pr.facility_dist, (*dist_)(loc, f.point));
+  if (!facilities_.empty()) {
+    OMFLP_PERF_ADD(distance_lookups, facilities_.size());
+    const double* dist_loc = dist_->row(loc);
+    for (const OpenRecord& f : facilities_)
+      pr.facility_dist = std::min(pr.facility_dist, dist_loc[f.point]);
+  }
   const double v = std::min(pr.dual, pr.facility_dist);
   if (v > 0.0) {
     OMFLP_PERF_ADD(bids_updated, num_points_);
-    for (PointId m = 0; m < num_points_; ++m)
-      bids_[m] += positive_part(v - (*dist_)(m, loc));
+    OMFLP_PERF_ADD(distance_lookups, num_points_);
+    kernel::accumulate_clipped_bid(bids_.data(), dist_->row(loc), v,
+                                   num_points_);
   }
   past_.push_back(pr);
 

@@ -57,6 +57,10 @@ class FotakisOfl final : public OnlineAlgorithm {
 
   /// bids_[m] = Σ_j (min{a_j, d(F, j)} − d(m, j))+ over past requests.
   std::vector<double> bids_;
+  /// f_m for the single-commodity configuration, materialized at reset
+  /// (the cost model is immutable per run) so the event scan is a pure
+  /// row sweep.
+  std::vector<double> cost_row_;
 
   double total_dual_ = 0.0;
   std::vector<double> duals_;

@@ -15,9 +15,10 @@ void MeyersonOfl::reset(const ProblemContext& context) {
                 "MeyersonOfl: single-commodity algorithm; wrap in "
                 "PerCommodityAdapter for |S| > 1");
   cost_ = context.cost;
-  dist_ = std::make_unique<DistanceOracle>(context.metric);
+  dist_ = std::make_shared<DistanceOracle>(context.metric);
   classes_ = std::make_unique<CostClassIndex>(context.metric, context.cost,
-                                              CommoditySet::full_set(1));
+                                              CommoditySet::full_set(1),
+                                              dist_);
   facilities_.clear();
   rng_ = Rng(seed_);
 }
@@ -28,8 +29,12 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
 
   OMFLP_PERF_ADD(facilities_probed, facilities_.size());
   double connect = kInfiniteDistance;
-  for (const OpenRecord& f : facilities_)
-    connect = std::min(connect, (*dist_)(loc, f.point));
+  if (!facilities_.empty()) {
+    OMFLP_PERF_ADD(distance_lookups, facilities_.size());
+    const double* dist_loc = dist_->row(loc);
+    for (const OpenRecord& f : facilities_)
+      connect = std::min(connect, dist_loc[f.point]);
+  }
   const auto open = classes_->best_open_option(loc);
   const double budget = std::min(connect, open.cost);
   OMFLP_CHECK(std::isfinite(budget), "MeyersonOfl: unserviceable request");
@@ -63,8 +68,10 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
   FacilityId best_id = kInvalidFacility;
   double best_d = kInfiniteDistance;
   OMFLP_PERF_ADD(facilities_probed, facilities_.size());
+  OMFLP_PERF_ADD(distance_lookups, facilities_.size());
+  const double* dist_loc = dist_->row(loc);
   for (const OpenRecord& f : facilities_) {
-    const double d = (*dist_)(loc, f.point);
+    const double d = dist_loc[f.point];
     if (d < best_d) {
       best_d = d;
       best_id = f.id;

@@ -33,7 +33,8 @@ class MeyersonOfl final : public OnlineAlgorithm {
   std::uint64_t seed_;
   Rng rng_;
   CostModelPtr cost_;
-  std::unique_ptr<DistanceOracle> dist_;
+  /// Shared with classes_ so both sweep the same distance rows.
+  std::shared_ptr<DistanceOracle> dist_;
   std::unique_ptr<CostClassIndex> classes_;
 
   struct OpenRecord {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "kernel/kernels.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
@@ -52,11 +53,36 @@ void PdOmflp::reset(const ProblemContext& context) {
   }
   past_.clear();
   by_commodity_.assign(num_commodities_, {});
-  small_bids_.assign(num_commodities_, {});
-  large_bids_.assign(num_points_, 0.0);
+  large_row_ = num_commodities_;
+  bids_.reset(num_commodities_ + 1, num_points_);
+  if (options_.bid_mode == PdOptions::BidMode::kIncremental)
+    bids_.activate(large_row_);
+  cost_rows_.reset(num_commodities_, num_points_);
+  large_cost_row_.clear();
+  large_cost_valid_ = false;
+  ref_bid_scratch_.clear();
+  large_bid_scratch_.clear();
   total_dual_ = 0.0;
   dual_records_.clear();
   trace_.clear();
+}
+
+void PdOmflp::ensure_singleton_cost_row(CommodityId e) {
+  if (cost_rows_.active(e)) return;
+  double* row = cost_rows_.activate(e);
+  for (PointId m = 0; m < num_points_; ++m)
+    row[m] = cost_->singleton_cost(m, e);
+}
+
+const double* PdOmflp::large_cost_row(const CommoditySet& config) {
+  if (!large_cost_valid_ || !(large_cost_config_ == config)) {
+    large_cost_row_.resize(num_points_);
+    for (PointId m = 0; m < num_points_; ++m)
+      large_cost_row_[m] = cost_->open_cost(m, config);
+    large_cost_config_ = config;
+    large_cost_valid_ = true;
+  }
+  return large_cost_row_.data();
 }
 
 CommoditySet PdOmflp::current_large_config() const {
@@ -68,26 +94,34 @@ CommoditySet PdOmflp::current_large_config() const {
 std::pair<double, FacilityId> PdOmflp::nearest_large(
     PointId p, const CommoditySet& eligible_demand) const {
   OMFLP_PERF_ADD(facilities_probed, larges_.size());
+  if (larges_.empty()) return {kInfiniteDistance, kInvalidFacility};
+  const double* dist_p = dist_->row(p);
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
+  std::size_t probed = 0;
   for (const LargeRecord& lf : larges_) {
     if (!eligible_demand.is_subset_of(lf.config)) continue;
-    const double d = (*dist_)(p, lf.point);
+    ++probed;
+    const double d = dist_p[lf.point];
     if (d < best) {
       best = d;
       best_id = lf.id;
     }
   }
+  OMFLP_PERF_ADD(distance_lookups, probed);
   return {best, best_id};
 }
 
 std::pair<double, FacilityId> PdOmflp::nearest_offering(CommodityId e,
                                                         PointId p) const {
   OMFLP_PERF_ADD(facilities_probed, offering_[e].size());
+  if (offering_[e].empty()) return {kInfiniteDistance, kInvalidFacility};
+  OMFLP_PERF_ADD(distance_lookups, offering_[e].size());
+  const double* dist_p = dist_->row(p);
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
   for (const OpenRecord& f : offering_[e]) {
-    const double d = (*dist_)(p, f.point);
+    const double d = dist_p[f.point];
     if (d < best) {
       best = d;
       best_id = f.id;
@@ -99,24 +133,38 @@ std::pair<double, FacilityId> PdOmflp::nearest_offering(CommodityId e,
 void PdOmflp::recompute_small_bid_row(CommodityId e,
                                       std::vector<double>& out) const {
   out.assign(num_points_, 0.0);
+  if (by_commodity_[e].empty()) return;
+  OMFLP_PERF_ADD(distance_lookups,
+                 by_commodity_[e].size() * offering_[e].size());
   for (const auto& [j, slot] : by_commodity_[e]) {
     const PastRequest& pr = past_[j];
+    // Lazily fetched: a request with no facility to scan and no positive
+    // bid never pays for a row materialization on the uncached-oracle
+    // path. One fetch serves both the facility scan and the accumulation.
+    const double* dist_j = nullptr;
     // d(F(e), j) from first principles: scan every facility offering e.
     double dist_e = kInfiniteDistance;
-    for (const OpenRecord& f : offering_[e])
-      dist_e = std::min(dist_e, (*dist_)(pr.location, f.point));
+    if (!offering_[e].empty()) {
+      dist_j = dist_->row(pr.location);
+      for (const OpenRecord& f : offering_[e])
+        dist_e = std::min(dist_e, dist_j[f.point]);
+    }
     const double v = std::min(pr.duals[slot], dist_e);
     if (v <= 0.0) continue;
+    if (dist_j == nullptr) dist_j = dist_->row(pr.location);
     OMFLP_PERF_ADD(bids_evaluated, num_points_);
-    for (PointId m = 0; m < num_points_; ++m)
-      out[m] += positive_part(v - (*dist_)(m, pr.location));
+    OMFLP_PERF_ADD(distance_lookups, num_points_);
+    kernel::accumulate_clipped_bid(out.data(), dist_j, v, num_points_);
   }
 }
 
 void PdOmflp::recompute_large_bid_row(std::vector<double>& out) const {
   out.assign(num_points_, 0.0);
   for (const PastRequest& pr : past_) {
+    const double* dist_j = larges_.empty() ? nullptr
+                                           : dist_->row(pr.location);
     double dist_large = kInfiniteDistance;
+    std::size_t probed = 0;
     for (const LargeRecord& lf : larges_) {
       bool covers = true;
       for (CommodityId e : pr.commodities) {
@@ -127,13 +175,16 @@ void PdOmflp::recompute_large_bid_row(std::vector<double>& out) const {
         }
       }
       if (!covers) continue;
-      dist_large = std::min(dist_large, (*dist_)(pr.location, lf.point));
+      ++probed;
+      dist_large = std::min(dist_large, dist_j[lf.point]);
     }
+    OMFLP_PERF_ADD(distance_lookups, probed);
     const double v = std::min(pr.dual_sum_large, dist_large);
     if (v <= 0.0) continue;
     OMFLP_PERF_ADD(bids_evaluated, num_points_);
-    for (PointId m = 0; m < num_points_; ++m)
-      out[m] += positive_part(v - (*dist_)(m, pr.location));
+    OMFLP_PERF_ADD(distance_lookups, num_points_);
+    kernel::accumulate_clipped_bid(out.data(), dist_->row(pr.location), v,
+                                   num_points_);
   }
 }
 
@@ -142,10 +193,12 @@ void PdOmflp::small_bid_row(CommodityId e, std::vector<double>& out) const {
     recompute_small_bid_row(e, out);
     return;
   }
-  if (small_bids_[e].empty())
+  if (!bids_.active(e)) {
     out.assign(num_points_, 0.0);
-  else
-    out = small_bids_[e];
+  } else {
+    const double* row = bids_.row(e);
+    out.assign(row, row + num_points_);
+  }
 }
 
 void PdOmflp::large_bid_row(std::vector<double>& out) const {
@@ -153,7 +206,8 @@ void PdOmflp::large_bid_row(std::vector<double>& out) const {
     recompute_large_bid_row(out);
     return;
   }
-  out = large_bids_;
+  const double* row = bids_.row(large_row_);
+  out.assign(row, row + num_points_);
 }
 
 void PdOmflp::integrate_facility(PointId point, const CommoditySet& config,
@@ -173,15 +227,11 @@ void PdOmflp::integrate_facility(PointId point, const CommoditySet& config,
       if (incremental) {
         const double v_old = std::min(pr.duals[slot], pr.small_dist[slot]);
         const double v_new = std::min(pr.duals[slot], d_new);
-        if (v_new < v_old && v_old > 0.0) {
-          auto& row = small_bids_[e];
-          if (!row.empty()) {
-            OMFLP_PERF_ADD(bids_updated, num_points_);
-            for (PointId m = 0; m < num_points_; ++m) {
-              const double dm = (*dist_)(m, pr.location);
-              row[m] -= positive_part(v_old - dm) - positive_part(v_new - dm);
-            }
-          }
+        if (v_new < v_old && v_old > 0.0 && bids_.active(e)) {
+          OMFLP_PERF_ADD(bids_updated, num_points_);
+          OMFLP_PERF_ADD(distance_lookups, num_points_);
+          kernel::shift_clipped_bid(bids_.row(e), dist_->row(pr.location),
+                                    v_old, v_new, num_points_);
         }
       }
       pr.small_dist[slot] = d_new;
@@ -207,11 +257,10 @@ void PdOmflp::integrate_facility(PointId point, const CommoditySet& config,
       const double v_new = std::min(pr.dual_sum_large, d_new);
       if (v_new < v_old && v_old > 0.0) {
         OMFLP_PERF_ADD(bids_updated, num_points_);
-        for (PointId m = 0; m < num_points_; ++m) {
-          const double dm = (*dist_)(m, pr.location);
-          large_bids_[m] -=
-              positive_part(v_old - dm) - positive_part(v_new - dm);
-        }
+        OMFLP_PERF_ADD(distance_lookups, num_points_);
+        kernel::shift_clipped_bid(bids_.row(large_row_),
+                                  dist_->row(pr.location), v_old, v_new,
+                                  num_points_);
       }
     }
     pr.large_dist = d_new;
@@ -246,11 +295,11 @@ void PdOmflp::archive_request(const Request& request,
     if (incremental) {
       const double v = std::min(pr.duals[slot], pr.small_dist[slot]);
       if (v > 0.0) {
-        auto& row = small_bids_[commodities[slot]];
-        if (row.empty()) row.assign(num_points_, 0.0);
+        double* row = bids_.activate(commodities[slot]);
         OMFLP_PERF_ADD(bids_updated, num_points_);
-        for (PointId m = 0; m < num_points_; ++m)
-          row[m] += positive_part(v - (*dist_)(m, pr.location));
+        OMFLP_PERF_ADD(distance_lookups, num_points_);
+        kernel::accumulate_clipped_bid(row, dist_->row(pr.location), v,
+                                       num_points_);
       }
     }
   }
@@ -258,8 +307,10 @@ void PdOmflp::archive_request(const Request& request,
     const double v = std::min(pr.dual_sum_large, pr.large_dist);
     if (v > 0.0) {
       OMFLP_PERF_ADD(bids_updated, num_points_);
-      for (PointId m = 0; m < num_points_; ++m)
-        large_bids_[m] += positive_part(v - (*dist_)(m, pr.location));
+      OMFLP_PERF_ADD(distance_lookups, num_points_);
+      kernel::accumulate_clipped_bid(bids_.row(large_row_),
+                                     dist_->row(pr.location), v,
+                                     num_points_);
     }
   }
   past_.push_back(std::move(pr));
@@ -309,15 +360,17 @@ std::optional<std::string> PdOmflp::audit_state(double tolerance) const {
   //    constraint-(3) invariant Σ_j bids ≤ f^{{e}}_m.
   std::vector<double> fresh_row;
   for (CommodityId e = 0; e < num_commodities_; ++e) {
-    if (by_commodity_[e].empty() && small_bids_[e].empty()) continue;
+    if (by_commodity_[e].empty() && !bids_.active(e)) continue;
     recompute_small_bid_row(e, fresh_row);
+    const bool check_drift =
+        options_.bid_mode == PdOptions::BidMode::kIncremental &&
+        bids_.active(e);
+    const double* maintained = check_drift ? bids_.row(e) : nullptr;
     for (PointId m = 0; m < num_points_; ++m) {
-      if (options_.bid_mode == PdOptions::BidMode::kIncremental &&
-          !small_bids_[e].empty() &&
-          std::abs(small_bids_[e][m] - fresh_row[m]) >
-              tolerance * (1.0 + fresh_row[m])) {
+      if (check_drift && std::abs(maintained[m] - fresh_row[m]) >
+                             tolerance * (1.0 + fresh_row[m])) {
         os << "incremental small bids drifted for e=" << e << " at m=" << m
-           << ": " << small_bids_[e][m] << " vs " << fresh_row[m];
+           << ": " << maintained[m] << " vs " << fresh_row[m];
         return os.str();
       }
       const double f = cost_->singleton_cost(m, e);
@@ -334,12 +387,14 @@ std::optional<std::string> PdOmflp::audit_state(double tolerance) const {
   if (prediction_enabled()) {
     const CommoditySet large_cfg = current_large_config();
     recompute_large_bid_row(fresh_row);
+    const bool check_drift =
+        options_.bid_mode == PdOptions::BidMode::kIncremental;
+    const double* maintained = check_drift ? bids_.row(large_row_) : nullptr;
     for (PointId m = 0; m < num_points_; ++m) {
-      if (options_.bid_mode == PdOptions::BidMode::kIncremental &&
-          std::abs(large_bids_[m] - fresh_row[m]) >
-              tolerance * (1.0 + fresh_row[m])) {
+      if (check_drift && std::abs(maintained[m] - fresh_row[m]) >
+                             tolerance * (1.0 + fresh_row[m])) {
         os << "incremental large bids drifted at m=" << m << ": "
-           << large_bids_[m] << " vs " << fresh_row[m];
+           << maintained[m] << " vs " << fresh_row[m];
         return os.str();
       }
       if (!large_cfg.empty()) {
@@ -398,34 +453,56 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
           : std::pair<double, FacilityId>{kInfiniteDistance,
                                           kInvalidFacility};
 
-  // Per-slot singleton cost rows and bid rows.
-  std::vector<std::vector<double>> f_small(k);
-  std::vector<std::vector<double>> bids_small_scratch(k);
-  std::vector<const std::vector<double>*> bids_small(k);
+  // Per-slot singleton cost rows and bid rows — raw pointers into the
+  // cost-row arena, the bid arena (incremental) or the reusable
+  // reference-mode scratch. Every cost row is ensured before any pointer
+  // is taken: activation can grow the arena and move earlier rows.
+  if (ref_bid_scratch_.size() < k) ref_bid_scratch_.resize(k);
+  for (std::size_t slot = 0; slot < k; ++slot)
+    ensure_singleton_cost_row(commodities[slot]);
+  std::vector<const double*> f_small(k);
+  std::vector<const double*> bids_small(k);
   for (std::size_t slot = 0; slot < k; ++slot) {
-    f_small[slot].resize(num_points_);
-    for (PointId m = 0; m < num_points_; ++m)
-      f_small[slot][m] = cost_->singleton_cost(m, commodities[slot]);
+    const CommodityId e = commodities[slot];
+    f_small[slot] = cost_rows_.row(e);
     if (options_.bid_mode == PdOptions::BidMode::kIncremental &&
-        !small_bids_[commodities[slot]].empty()) {
-      bids_small[slot] = &small_bids_[commodities[slot]];
+        bids_.active(e)) {
+      bids_small[slot] = bids_.row(e);
     } else {
-      small_bid_row(commodities[slot], bids_small_scratch[slot]);
-      bids_small[slot] = &bids_small_scratch[slot];
+      small_bid_row(e, ref_bid_scratch_[slot]);
+      bids_small[slot] = ref_bid_scratch_[slot].data();
     }
   }
 
   CommoditySet large_cfg(num_commodities_);
-  std::vector<double> f_large;
-  std::vector<double> bids_large;
+  const double* f_large = nullptr;
+  const double* bids_large = nullptr;
   const bool can_open_large =
       prediction_enabled() && unserved_eligible > 0 &&
       !(large_cfg = current_large_config()).empty();
   if (can_open_large) {
-    f_large.resize(num_points_);
-    for (PointId m = 0; m < num_points_; ++m)
-      f_large[m] = cost_->open_cost(m, large_cfg);
-    large_bid_row(bids_large);
+    f_large = large_cost_row(large_cfg);
+    if (options_.bid_mode == PdOptions::BidMode::kIncremental) {
+      bids_large = bids_.row(large_row_);
+    } else {
+      large_bid_row(large_bid_scratch_);
+      bids_large = large_bid_scratch_.data();
+    }
+  }
+
+  // Bid rows and permanent facilities do not change mid-round, so one
+  // distance row serves every event scan of the round. On the uncached
+  // oracle path the row is copied into owned scratch: the oracle's
+  // fallback buffer is single-slot, and a pointer held across the whole
+  // event loop must not be silently repointed by a future row() call.
+  // Counters still tick once per sweep.
+  const double* dist_loc;
+  if (dist_->cached()) {
+    dist_loc = dist_->row(loc);
+  } else {
+    const double* fallback = dist_->row(loc);
+    dist_loc_scratch_.assign(fallback, fallback + num_points_);
+    dist_loc = dist_loc_scratch_.data();
   }
 
   // Round outcome.
@@ -470,13 +547,11 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
     // Constraint (4): joint investment pays for a new large facility at m.
     if (can_open_large && unserved_eligible > 0) {
       OMFLP_PERF_ADD(bids_evaluated, num_points_);
-      for (PointId m = 0; m < num_points_; ++m) {
-        const double g = positive_part(f_large[m] - bids_large[m]);
-        const double delta =
-            positive_part((*dist_)(m, loc) + g - sum_eligible) /
-            static_cast<double>(unserved_eligible);
-        consider(delta, 1, 0, m);
-      }
+      OMFLP_PERF_ADD(distance_lookups, num_points_);
+      const kernel::RowEvent event = kernel::min_tightness_over_row(
+          dist_loc, f_large, bids_large, sum_eligible,
+          static_cast<double>(unserved_eligible), num_points_);
+      consider(event.delta, 1, 0, static_cast<PointId>(event.index));
     }
 
     for (std::size_t slot = 0; slot < k; ++slot) {
@@ -486,12 +561,12 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
         consider(positive_part(dist1[slot] - a[slot]), 2, slot,
                  kInvalidPoint);
       // Constraint (3): investment pays for a small facility {e} at m.
-      const std::vector<double>& row = *bids_small[slot];
       OMFLP_PERF_ADD(bids_evaluated, num_points_);
-      for (PointId m = 0; m < num_points_; ++m) {
-        const double g = positive_part(f_small[slot][m] - row[m]);
-        consider(positive_part((*dist_)(m, loc) + g - a[slot]), 3, slot, m);
-      }
+      OMFLP_PERF_ADD(distance_lookups, num_points_);
+      const kernel::RowEvent event = kernel::min_tightness_over_row(
+          dist_loc, f_small[slot], bids_small[slot], a[slot], 1.0,
+          num_points_);
+      consider(event.delta, 3, slot, static_cast<PointId>(event.index));
     }
 
     OMFLP_CHECK(std::isfinite(best.delta),

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "core/online_algorithm.hpp"
+#include "kernel/bid_plane.hpp"
 #include "metric/distance_oracle.hpp"
 
 namespace omflp {
@@ -122,6 +123,12 @@ class PdOmflp final : public OnlineAlgorithm {
 
   const PdOptions& options() const noexcept { return options_; }
 
+  /// The contiguous bid arena: rows 0..|S|-1 are the per-commodity small
+  /// bids, row |S| the large side. Exposed for the activated_rows stat
+  /// (sparse workloads activate only the commodities they touch) and the
+  /// kernel-layer tests.
+  const kernel::BidPlane& bid_plane() const noexcept { return bids_; }
+
  private:
   // ---- per-run immutable context ------------------------------------------
   PdOptions options_;
@@ -163,10 +170,29 @@ class PdOmflp final : public OnlineAlgorithm {
       by_commodity_;
 
   // ---- incremental bid sums (kIncremental only) ---------------------------
-  /// small_bids_[e][m] = Σ_j (min{a_je, d(F(e),j)} − d(m,j))+ over past j.
-  std::vector<std::vector<double>> small_bids_;
-  /// large_bids_[m] = Σ_j (min{Σ_e a_je, d(F̂,j)} − d(m,j))+ over past j.
-  std::vector<double> large_bids_;
+  /// One arena for every bid row (see kernel/bid_plane.hpp). Row e:
+  /// Σ_j (min{a_je, d(F(e),j)} − d(m,j))+ over past j, lazily activated on
+  /// the first posting to commodity e. Row |S| (kLargeRow):
+  /// Σ_j (min{Σ_e a_je, d(F̂,j)} − d(m,j))+, activated at reset.
+  kernel::BidPlane bids_;
+  std::size_t large_row_ = 0;  // == num_commodities_
+
+  // ---- cached cost rows (the cost model is immutable per run) -------------
+  /// Row e = f^{{e}}_m for every m, materialized on first use.
+  kernel::BidPlane cost_rows_;
+  /// f^σ_m row for the most recent large configuration σ (constant in
+  /// kFullS mode, refreshed when the seen-union changes).
+  std::vector<double> large_cost_row_;
+  CommoditySet large_cost_config_;
+  bool large_cost_valid_ = false;
+
+  // ---- serve() scratch (reused across requests) ---------------------------
+  std::vector<std::vector<double>> ref_bid_scratch_;  // reference-mode rows
+  std::vector<double> large_bid_scratch_;
+  /// Owned copy of the request's distance row on the uncached-oracle
+  /// path (the oracle's fallback buffer is single-slot; a row held for a
+  /// whole event loop must not alias it).
+  std::vector<double> dist_loc_scratch_;
 
   // ---- outputs -------------------------------------------------------------
   double total_dual_ = 0.0;
@@ -196,6 +222,14 @@ class PdOmflp final : public OnlineAlgorithm {
   void large_bid_row(std::vector<double>& out) const;
   void recompute_small_bid_row(CommodityId e, std::vector<double>& out) const;
   void recompute_large_bid_row(std::vector<double>& out) const;
+
+  /// Materializes (once) and returns the f^{{e}}_m cost row. The returned
+  /// pointer is invalidated by a later ensure call for a new commodity
+  /// (arena growth), so serve() ensures every row it needs before taking
+  /// pointers.
+  void ensure_singleton_cost_row(CommodityId e);
+  /// Refreshes large_cost_row_ for `config` when it changed.
+  const double* large_cost_row(const CommoditySet& config);
 
   /// Registers a newly permanent facility at `point` offering `config`
   /// with the internal indexes and (kIncremental) adjusts bid sums of past

@@ -18,7 +18,7 @@ void RandOmflp::reset(const ProblemContext& context) {
                 "RandOmflp::reset: incomplete context");
   cost_ = context.cost;
   metric_ = context.metric;
-  dist_ = std::make_unique<DistanceOracle>(metric_);
+  dist_ = std::make_shared<DistanceOracle>(metric_);
   num_commodities_ = cost_->num_commodities();
   num_points_ = dist_->num_points();
   rng_ = Rng(options_.seed);
@@ -34,7 +34,8 @@ const CostClassIndex& RandOmflp::singleton_classes(CommodityId e) {
   auto& slot = class_index_[e];
   if (!slot)
     slot = std::make_unique<CostClassIndex>(
-        metric_, cost_, CommoditySet::singleton(num_commodities_, e));
+        metric_, cost_, CommoditySet::singleton(num_commodities_, e),
+        dist_);
   return *slot;
 }
 
@@ -42,7 +43,7 @@ const CostClassIndex& RandOmflp::full_classes() {
   auto& slot = class_index_[num_commodities_];
   if (!slot)
     slot = std::make_unique<CostClassIndex>(
-        metric_, cost_, CommoditySet::full_set(num_commodities_));
+        metric_, cost_, CommoditySet::full_set(num_commodities_), dist_);
   return *slot;
 }
 
@@ -51,8 +52,11 @@ std::pair<double, FacilityId> RandOmflp::nearest_offering(CommodityId e,
   OMFLP_PERF_ADD(facilities_probed, offering_[e].size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
+  if (offering_[e].empty()) return {best, best_id};
+  OMFLP_PERF_ADD(distance_lookups, offering_[e].size());
+  const double* dist_p = dist_->row(p);
   for (const OpenRecord& f : offering_[e]) {
-    const double d = (*dist_)(p, f.point);
+    const double d = dist_p[f.point];
     if (d < best) {
       best = d;
       best_id = f.id;
@@ -65,8 +69,11 @@ std::pair<double, FacilityId> RandOmflp::nearest_large(PointId p) const {
   OMFLP_PERF_ADD(facilities_probed, larges_.size());
   double best = kInfiniteDistance;
   FacilityId best_id = kInvalidFacility;
+  if (larges_.empty()) return {best, best_id};
+  OMFLP_PERF_ADD(distance_lookups, larges_.size());
+  const double* dist_p = dist_->row(p);
   for (const OpenRecord& f : larges_) {
-    const double d = (*dist_)(p, f.point);
+    const double d = dist_p[f.point];
     if (d < best) {
       best = d;
       best_id = f.id;

@@ -83,7 +83,9 @@ class RandOmflp final : public OnlineAlgorithm {
   Rng rng_;
   CostModelPtr cost_;
   MetricPtr metric_;
-  std::unique_ptr<DistanceOracle> dist_;
+  /// Shared with the lazily-built class indexes so the dense distance
+  /// matrix (and its fallback row cache) is materialized once per run.
+  std::shared_ptr<DistanceOracle> dist_;
   CommodityId num_commodities_ = 0;
   std::size_t num_points_ = 0;
 

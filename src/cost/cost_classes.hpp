@@ -13,17 +13,26 @@
 // with rounded cost 0 in front of all power-of-two classes.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "metric/distance_oracle.hpp"
 #include "metric/metric_space.hpp"
 
 namespace omflp {
 
 class CostClassIndex {
  public:
-  CostClassIndex(MetricPtr metric, CostModelPtr cost, CommoditySet config);
+  /// `oracle` (optional) must wrap the same metric; when provided, the
+  /// prefix_nearest point sweep runs over the oracle's contiguous
+  /// distance rows (kernel::argmin_over_row_where) instead of per-point
+  /// virtual metric calls. Algorithms share one oracle across all their
+  /// class indexes so the dense matrix is materialized once.
+  CostClassIndex(MetricPtr metric, CostModelPtr cost, CommoditySet config,
+                 std::shared_ptr<const DistanceOracle> oracle = nullptr);
 
   std::size_t num_classes() const noexcept { return class_costs_.size(); }
 
@@ -56,8 +65,11 @@ class CostClassIndex {
   MetricPtr metric_;
   CostModelPtr cost_;
   CommoditySet config_;
+  std::shared_ptr<const DistanceOracle> oracle_;  // may be null
   std::vector<double> class_costs_;        // ascending rounded costs
   std::vector<std::size_t> point_class_;   // point -> class index
+  /// point -> class as u32, the mask row for the branch-free argmin.
+  std::vector<std::uint32_t> point_class32_;
   std::vector<double> point_true_cost_;    // point -> f^σ_m
 };
 

@@ -1,0 +1,64 @@
+#include "kernel/bid_plane.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace omflp::kernel {
+
+namespace {
+
+constexpr std::size_t kAlignDoubles = 8;  // 64 bytes / sizeof(double)
+
+double* align_up(double* p) noexcept {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t aligned = (addr + 63u) & ~std::uintptr_t{63u};
+  return reinterpret_cast<double*>(aligned);
+}
+
+}  // namespace
+
+void BidPlane::reset(std::size_t num_rows, std::size_t row_length) {
+  OMFLP_REQUIRE(num_rows < kInactive, "BidPlane: too many rows");
+  row_length_ = row_length;
+  stride_ = (row_length + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+  active_rows_ = 0;
+  slot_capacity_ = 0;
+  slot_of_row_.assign(num_rows, kInactive);
+  storage_.reset();
+  arena_ = nullptr;
+}
+
+double* BidPlane::activate(std::size_t r) {
+  OMFLP_REQUIRE(r < slot_of_row_.size(), "BidPlane: row out of range");
+  if (slot_of_row_[r] == kInactive) {
+    if (active_rows_ == slot_capacity_) grow(active_rows_ + 1);
+    slot_of_row_[r] = static_cast<std::uint32_t>(active_rows_++);
+    double* fresh = row(r);
+    std::memset(fresh, 0, stride_ * sizeof(double));
+  }
+  return row(r);
+}
+
+void BidPlane::grow(std::size_t min_slots) {
+  std::size_t capacity = std::max<std::size_t>(4, slot_capacity_ * 2);
+  capacity = std::max(capacity, min_slots);
+  capacity = std::min(capacity, slot_of_row_.size());
+  // stride_ can be 0 when row_length is 0; keep the arena pointer valid
+  // (aligned, never dereferenced for a 0-length row). for_overwrite:
+  // live rows are memcpy'd over the fresh storage and new rows are
+  // zeroed by activate(), so value-initialization here would be a
+  // redundant full-arena store.
+  auto fresh = std::make_unique_for_overwrite<double[]>(
+      capacity * stride_ + kAlignDoubles);
+  double* fresh_arena = align_up(fresh.get());
+  if (active_rows_ > 0)
+    std::memcpy(fresh_arena, arena_,
+                active_rows_ * stride_ * sizeof(double));
+  storage_ = std::move(fresh);
+  arena_ = fresh_arena;
+  slot_capacity_ = capacity;
+}
+
+}  // namespace omflp::kernel

@@ -1,0 +1,80 @@
+// BidPlane — a contiguous, 64-byte-aligned arena of per-row bid sums.
+//
+// PD-style algorithms keep one |M|-length row of accumulated bids per
+// commodity (plus one for the large side). Storing each row in its own
+// std::vector scatters them across the heap and pays a pointer chase per
+// access; BidPlane packs every *activated* row into one arena, row-major,
+// with rows padded to a 64-byte stride so each starts on a cache-line
+// boundary and vectorized kernels never straddle rows.
+//
+// Rows are activated lazily: a plane over |E| commodities whose workload
+// only ever touches a handful of them allocates storage for exactly those
+// (the activated_rows() stat makes this observable), not O(|E|·|M|).
+// Activation order determines arena placement; lookups go through a
+// row -> slot index so callers keep addressing rows by their natural id.
+//
+// Pointer validity: activate() may grow the arena and therefore
+// invalidates previously returned row pointers. row() pointers are stable
+// until the next activate()/reset(). Hot loops fetch their row pointer
+// once per row operation, after any activations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace omflp::kernel {
+
+class BidPlane {
+ public:
+  BidPlane() = default;
+
+  /// Re-shapes the plane to `num_rows` rows of `row_length` doubles each
+  /// and deactivates everything. Arena storage is released.
+  void reset(std::size_t num_rows, std::size_t row_length);
+
+  std::size_t num_rows() const noexcept { return slot_of_row_.size(); }
+  std::size_t row_length() const noexcept { return row_length_; }
+  /// Doubles between consecutive row starts (row_length rounded up to a
+  /// multiple of 8; the padding lanes are zero and stay zero).
+  std::size_t stride() const noexcept { return stride_; }
+
+  /// How many rows have been activated since the last reset() — the
+  /// memory footprint stat for sparse-commodity workloads.
+  std::size_t activated_rows() const noexcept { return active_rows_; }
+
+  bool active(std::size_t r) const noexcept {
+    return slot_of_row_[r] != kInactive;
+  }
+
+  /// Returns row r's storage, zero-filling it on first activation.
+  /// Idempotent. Invalidates pointers returned by earlier calls when the
+  /// arena grows.
+  double* activate(std::size_t r);
+
+  /// Row r's storage; r must be active.
+  double* row(std::size_t r) noexcept {
+    return arena_ + static_cast<std::size_t>(slot_of_row_[r]) * stride_;
+  }
+  const double* row(std::size_t r) const noexcept {
+    return arena_ + static_cast<std::size_t>(slot_of_row_[r]) * stride_;
+  }
+
+ private:
+  static constexpr std::uint32_t kInactive = 0xffffffffu;
+
+  void grow(std::size_t min_slots);
+
+  std::size_t row_length_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t active_rows_ = 0;
+  std::size_t slot_capacity_ = 0;
+  /// row id -> arena slot, kInactive when not yet activated.
+  std::vector<std::uint32_t> slot_of_row_;
+  /// Raw storage, over-allocated so arena_ can be 64-byte aligned.
+  std::unique_ptr<double[]> storage_;
+  double* arena_ = nullptr;
+};
+
+}  // namespace omflp::kernel

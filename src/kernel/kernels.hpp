@@ -1,0 +1,103 @@
+// Hot-loop kernels — the branch-free inner loops of every bid-plane sweep.
+//
+// All PD-style algorithms in this repo (PD-OMFLP, Fotakis' OFL) spend their
+// time in four |M|-length row operations over a request's archived-bid
+// state:
+//
+//   accumulate_clipped_bid   row[m] += (v − dist[m])+          (archive)
+//   shift_clipped_bid        row[m] −= (v_old−d)+ − (v_new−d)+ (reinvest)
+//   min_tightness_over_row   min_m (dist[m] + (cost[m]−bids[m])+ − a)+ / c
+//                            with first-index tie-break        (events)
+//   argmin_over_row[_where]  nearest-point scans               (classes)
+//
+// The kernels take raw restrict-qualified pointers into contiguous rows
+// (BidPlane rows, DistanceOracle::row()) so compilers can auto-vectorize
+// them: no virtual calls, no perf hooks, no aliasing hazards in the loop
+// body. Callers are responsible for the perf counters — one bulk
+// OMFLP_PERF_ADD per row, which keeps BENCH counter totals identical to
+// the historical per-element ticks.
+//
+// Rows at or above parallel_threshold() are split over parallel_for
+// (src/support/parallel.hpp) in fixed 8192-element chunks. Chunk
+// boundaries — not thread boundaries — define the work units, and
+// per-chunk partial results are combined in chunk order, so every kernel
+// is bit-identical for any thread count (the threads=1 vs threads=N
+// determinism test in tests/test_kernel.cpp pins this down). Within a
+// chunk the summation order equals the historical scalar loop, which is
+// what keeps reference-mode PD runs bit-compatible. parallel_for spawns
+// and joins its std::jthread workers per call (there is no persistent
+// pool), so the default threshold sits far past spawn break-even; rows
+// below it always run on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace omflp::kernel {
+
+/// Rows shorter than this stay on the calling thread. The default (2^20
+/// elements, ~8 MiB of doubles) is deliberately conservative: a kernel
+/// pass over a shorter row is cheaper than spawning and joining the
+/// per-call worker threads. Overridable with the OMFLP_KERNEL_THRESHOLD
+/// environment variable (read once, at first use);
+/// set_parallel_threshold() overrides both.
+inline constexpr std::size_t kDefaultParallelThreshold = 1u << 20;
+
+std::size_t parallel_threshold() noexcept;
+
+/// Test / tuning hook. 0 forces the parallel split for every row;
+/// SIZE_MAX disables it. Not thread-safe against concurrently running
+/// kernels.
+void set_parallel_threshold(std::size_t threshold) noexcept;
+
+/// row[m] += (v − dist_row[m])+ for m in [0, n).
+void accumulate_clipped_bid(double* row, const double* dist_row, double v,
+                            std::size_t n);
+
+/// row[m] −= (v_old − dist_row[m])+ − (v_new − dist_row[m])+ — the
+/// reinvestment update when a bid's clip value drops from v_old to v_new.
+void shift_clipped_bid(double* row, const double* dist_row, double v_old,
+                       double v_new, std::size_t n);
+
+/// First index of the minimum of row[0..n). Requires n > 0.
+std::size_t argmin_over_row(const double* row, std::size_t n);
+
+/// First index of the minimum of row[m] over the m with keys[m] <= limit.
+/// Returns n when no index is eligible.
+std::size_t argmin_over_row_where(const double* row,
+                                  const std::uint32_t* keys,
+                                  std::uint32_t limit,
+                                  std::size_t n);
+
+/// A constraint-tightness event over one row: the first index attaining
+/// the minimal delta. Default state = "no event" (infinite delta).
+struct RowEvent {
+  double delta = std::numeric_limits<double>::infinity();
+  std::size_t index = static_cast<std::size_t>(-1);
+};
+
+/// min over m of (dist_row[m] + (cost_row[m] − bids_row[m])+ − raised)+ /
+/// divisor, with first-index tie-break — the constraint-(3)/(4) event
+/// search of the primal–dual scheme. divisor must be positive; the
+/// division is applied per element so results are bit-identical to the
+/// historical scalar loop. Requires n > 0.
+RowEvent min_tightness_over_row(const double* dist_row,
+                                const double* cost_row,
+                                const double* bids_row, double raised,
+                                double divisor, std::size_t n);
+
+/// First m where the investment already covers point m at the current
+/// raised amount: dist_row[m] <= raised and
+/// bids_row[m] + (raised − dist_row[m]) >= cost_row[m] (i.e. the
+/// tightness delta is exactly 0). Returns n when no point is tight.
+/// Answers the same zero-delta predicate min_tightness_over_row's serial
+/// path early-exits on (that path implements it inline as blocked
+/// scans); exposed as a standalone kernel for callers that only need
+/// tightness membership, not the minimizing event.
+std::size_t first_index_where_tight(const double* dist_row,
+                                    const double* cost_row,
+                                    const double* bids_row, double raised,
+                                    std::size_t n) noexcept;
+
+}  // namespace omflp::kernel

@@ -17,4 +17,14 @@ DistanceOracle::DistanceOracle(MetricPtr metric, std::size_t cache_limit)
   }
 }
 
+const double* DistanceOracle::fallback_row(PointId p) const {
+  if (fallback_point_ != p) {
+    fallback_row_.resize(n_);
+    for (PointId b = 0; b < n_; ++b)
+      fallback_row_[b] = metric_->distance(p, b);
+    fallback_point_ = p;
+  }
+  return fallback_row_.data();
+}
+
 }  // namespace omflp

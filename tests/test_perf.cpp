@@ -203,6 +203,14 @@ TEST(BenchSuite, DefaultSuiteCoversTheFullRoster) {
             std::find(cases.begin(), cases.end(), "oracle/cached"));
   EXPECT_NE(suite.case_names().end(),
             std::find(cases.begin(), cases.end(), "oracle/fallback"));
+  // The hot-loop kernel micro cases (see src/kernel/) ride along too.
+  for (const char* kernel_case :
+       {"kernel/accumulate-shift", "kernel/min-tightness",
+        "kernel/argmin-masked"}) {
+    EXPECT_NE(std::find(cases.begin(), cases.end(), kernel_case),
+              cases.end())
+        << "missing case " << kernel_case;
+  }
 }
 
 // ------------------------------------------------------- json round trip ---
