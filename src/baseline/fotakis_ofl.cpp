@@ -117,4 +117,24 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   duals_.push_back(a);
 }
 
+void FotakisOfl::depart(RequestId id, const Request& request,
+                        SolutionLedger& ledger) {
+  (void)request;
+  (void)ledger;
+  OMFLP_CHECK(cost_ != nullptr, "FotakisOfl: depart() before reset()");
+  OMFLP_REQUIRE(id < past_.size(), "FotakisOfl: depart of unknown request");
+  PastRequest& pr = past_[id];
+  OMFLP_REQUIRE(!pr.departed, "FotakisOfl: request departed twice");
+  pr.departed = true;
+  const double v = std::min(pr.dual, pr.facility_dist);
+  if (v > 0.0) {
+    OMFLP_PERF_ADD(bids_updated, num_points_);
+    OMFLP_PERF_ADD(distance_lookups, num_points_);
+    kernel::shift_clipped_bid(bids_.data(), dist_->row(pr.location), v,
+                              0.0, num_points_);
+  }
+  total_dual_ -= pr.dual;
+  pr.dual = 0.0;  // reinvestment shifts for this request become no-ops
+}
+
 }  // namespace omflp

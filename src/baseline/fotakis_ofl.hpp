@@ -32,6 +32,11 @@ class FotakisOfl final : public OnlineAlgorithm {
   /// PerCommodityAdapter for multi-commodity instances.
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  /// Deletion policy: bid rollback, the single-commodity restriction of
+  /// PD-OMFLP's — the departed request's posted bid min{a_j, d(F, j)} is
+  /// shifted out of bids_ and its dual zeroed.
+  void depart(RequestId id, const Request& request,
+              SolutionLedger& ledger) override;
 
   double total_dual() const noexcept { return total_dual_; }
   /// Final dual a_r of every request, in arrival order.
@@ -50,8 +55,9 @@ class FotakisOfl final : public OnlineAlgorithm {
 
   struct PastRequest {
     PointId location = 0;
-    double dual = 0.0;
+    double dual = 0.0;                         // zeroed by rollback
     double facility_dist = kInfiniteDistance;  // d(F, j), maintained
+    bool departed = false;  // rollback guard: a bid withdraws only once
   };
   std::vector<PastRequest> past_;
 

@@ -19,6 +19,13 @@
 //                      before a new facility may open. A folklore
 //                      doubling heuristic; included as an ablation of
 //                      PD-OMFLP's amortized bidding.
+//
+// Deletion policy on dynamic streams: all three are frozen (the
+// inherited no-op depart). Their state is the opened facilities plus, for
+// RentOrBuy, the ski-rental accounts; a departure leaves facilities in
+// place by irrevocability, and rent already paid is sunk by the ski-rental
+// argument, so ledger-level active-interval re-accounting is the whole
+// policy.
 #pragma once
 
 #include <string>

@@ -28,6 +28,8 @@ class MeyersonOfl final : public OnlineAlgorithm {
   /// Requires |S| == 1; wrap in PerCommodityAdapter otherwise.
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  // Deletion policy: frozen (inherited no-op depart) — Meyerson's
+  // algorithm is memoryless beyond its opened facilities.
 
  private:
   std::uint64_t seed_;

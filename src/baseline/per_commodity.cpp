@@ -57,6 +57,7 @@ void PerCommodityAdapter::reset(const ProblemContext& context) {
   context_ = context;
   subs_.clear();
   subs_.resize(context.num_commodities());
+  sub_ids_.clear();
 }
 
 PerCommodityAdapter::SubInstance& PerCommodityAdapter::sub_for(CommodityId e) {
@@ -77,8 +78,12 @@ PerCommodityAdapter::SubInstance& PerCommodityAdapter::sub_for(CommodityId e) {
 void PerCommodityAdapter::serve(const Request& request,
                                 SolutionLedger& ledger) {
   const CommodityId s = context_.num_commodities();
+  OMFLP_CHECK(ledger.num_requests() == sub_ids_.size() + 1,
+              "PerCommodityAdapter: serve out of step with the ledger");
+  sub_ids_.emplace_back();
   request.commodities.for_each([&](CommodityId e) {
     SubInstance& sub = sub_for(e);
+    sub_ids_.back().emplace_back(e, sub.ledger->num_requests());
 
     Request sub_request;
     sub_request.location = request.location;
@@ -103,6 +108,20 @@ void PerCommodityAdapter::serve(const Request& request,
                 "commodity");
     ledger.assign(e, sub.facility_map[rec.served.front().facility]);
   });
+}
+
+void PerCommodityAdapter::depart(RequestId id, const Request& request,
+                                 SolutionLedger& ledger) {
+  (void)ledger;
+  OMFLP_REQUIRE(id < sub_ids_.size(),
+                "PerCommodityAdapter: depart of unknown request");
+  Request sub_request;
+  sub_request.location = request.location;
+  sub_request.commodities = CommoditySet::full_set(1);
+  for (const auto& [e, sub_id] : sub_ids_[id]) {
+    SubInstance& sub = sub_for(e);
+    sub.algorithm->depart(sub_id, sub_request, *sub.ledger);
+  }
 }
 
 }  // namespace omflp

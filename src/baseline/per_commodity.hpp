@@ -56,6 +56,12 @@ class PerCommodityAdapter final : public OnlineAlgorithm {
   std::string name() const override { return label_; }
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  /// Deletion policy: forward the departure to every per-commodity
+  /// sub-algorithm the request touched (translated to the sub-instance's
+  /// own request numbering), so a rollback-capable sub-algorithm like
+  /// Fotakis' withdraws the departed bids per commodity.
+  void depart(RequestId id, const Request& request,
+              SolutionLedger& ledger) override;
 
  private:
   Factory factory_;
@@ -69,6 +75,9 @@ class PerCommodityAdapter final : public OnlineAlgorithm {
     bool initialized = false;
   };
   std::vector<SubInstance> subs_;
+  /// sub_ids_[real request id]: (commodity, sub request id) per demanded
+  /// commodity — the translation table depart() needs.
+  std::vector<std::vector<std::pair<CommodityId, RequestId>>> sub_ids_;
 
   SubInstance& sub_for(CommodityId e);
 };

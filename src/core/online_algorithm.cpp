@@ -5,6 +5,14 @@
 
 namespace omflp {
 
+void OnlineAlgorithm::depart(RequestId id, const Request& request,
+                             SolutionLedger& ledger) {
+  // Frozen deletion policy: nothing to undo.
+  (void)id;
+  (void)request;
+  (void)ledger;
+}
+
 SolutionLedger run_online(OnlineAlgorithm& algorithm, const Instance& instance,
                           ConnectionChargePolicy policy) {
   SolutionLedger ledger(instance.metric_ptr(), instance.cost_ptr(), policy);

@@ -37,6 +37,19 @@ class OnlineAlgorithm {
   /// ledger. run_online() brackets this with begin_request /
   /// finish_request, so implementations only open and assign.
   virtual void serve(const Request& request, SolutionLedger& ledger) = 0;
+
+  /// Dynamic streams (core/stream_runner.hpp): notification that the
+  /// earlier arrival `id` has departed. Called between serve()s, after
+  /// the ledger has already retired the request (active-interval cost
+  /// re-accounting is ledger-level and applies to every algorithm). The
+  /// default is the *frozen* deletion policy: internal state keeps the
+  /// departed request's contributions — decisions stay irrevocable and
+  /// past investment is treated as sunk, which is the right (and only
+  /// possible) policy for the memoryless algorithms (RAND-OMFLP,
+  /// Meyerson, the greedy family). Algorithms that maintain per-request
+  /// potentials override this with bid rollback (PD-OMFLP, Fotakis).
+  virtual void depart(RequestId id, const Request& request,
+                      SolutionLedger& ledger);
 };
 
 /// Replay the instance through the algorithm; returns the priced ledger.

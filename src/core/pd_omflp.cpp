@@ -323,6 +323,54 @@ void PdOmflp::archive_request(const Request& request,
   for (double a : duals) total_dual_ += a;
 }
 
+void PdOmflp::depart(RequestId id, const Request& request,
+                     SolutionLedger& ledger) {
+  (void)request;
+  (void)ledger;  // ledger-level re-accounting already happened
+  OMFLP_CHECK(cost_ != nullptr, "PdOmflp: depart() before reset()");
+  if (options_.deletion_policy == PdOptions::DeletionPolicy::kFrozen)
+    return;
+  OMFLP_REQUIRE(id < past_.size(), "PdOmflp: depart of unknown request");
+  PastRequest& pr = past_[id];
+  OMFLP_REQUIRE(!pr.departed, "PdOmflp: request departed twice");
+  const bool incremental =
+      options_.bid_mode == PdOptions::BidMode::kIncremental;
+
+  // Withdraw the currently-posted clipped contribution of every slot:
+  // min{a_je, d(F(e), j)} with the *maintained* nearest distance is
+  // exactly what archive_request posted and integrate_facility has been
+  // shifting, so shifting it to zero removes the request from the row.
+  for (std::size_t slot = 0; slot < pr.commodities.size(); ++slot) {
+    const CommodityId e = pr.commodities[slot];
+    const double v = std::min(pr.duals[slot], pr.small_dist[slot]);
+    if (incremental && v > 0.0 && bids_.active(e)) {
+      OMFLP_PERF_ADD(bids_updated, num_points_);
+      OMFLP_PERF_ADD(distance_lookups, num_points_);
+      kernel::shift_clipped_bid(bids_.row(e), dist_->row(pr.location), v,
+                                0.0, num_points_);
+    }
+    total_dual_ -= pr.duals[slot];
+    pr.duals[slot] = 0.0;
+  }
+  if (incremental && prediction_enabled()) {
+    const double v = std::min(pr.dual_sum_large, pr.large_dist);
+    if (v > 0.0) {
+      OMFLP_PERF_ADD(bids_updated, num_points_);
+      OMFLP_PERF_ADD(distance_lookups, num_points_);
+      kernel::shift_clipped_bid(bids_.row(large_row_),
+                                dist_->row(pr.location), v, 0.0,
+                                num_points_);
+    }
+  }
+  pr.dual_sum_large = 0.0;
+  pr.departed = true;
+  // With the duals zeroed, reference-mode recomputation skips the slot
+  // (min{0, d} is never positive) and integrate_facility's shifts become
+  // no-ops, so both bid modes keep agreeing after deletions. The
+  // maintained small_dist / large_dist stay updated — that keeps
+  // audit_state's stale-distance check meaningful for departed slots too.
+}
+
 std::optional<std::string> PdOmflp::audit_state(double tolerance) const {
   if (cost_ == nullptr) return std::nullopt;  // never reset: nothing to audit
   std::ostringstream os;

@@ -69,10 +69,18 @@ struct PdOptions {
   enum class BidMode { kReference, kIncremental };
   enum class Prediction { kOn, kOff };
   enum class LargeConfig { kFullS, kSeenUnion };
+  /// What depart() does on a dynamic stream (static runs never call it):
+  ///   * kRollback — withdraw the departed request's frozen bids from
+  ///     every bid row (shift its clipped contribution to zero) and zero
+  ///     its duals, so future facility openings are no longer subsidized
+  ///     by ghosts. Decisions already made stay irrevocable.
+  ///   * kFrozen   — keep the bids (the sunk-investment policy).
+  enum class DeletionPolicy { kRollback, kFrozen };
 
   BidMode bid_mode = BidMode::kIncremental;
   Prediction prediction = Prediction::kOn;
   LargeConfig large_config = LargeConfig::kFullS;
+  DeletionPolicy deletion_policy = DeletionPolicy::kRollback;
   /// Commodities kept out of large facilities (§5 heavy commodities).
   /// Default-constructed (empty universe) means "exclude nothing"; a
   /// non-empty universe must match the instance's |S|.
@@ -104,8 +112,17 @@ class PdOmflp final : public OnlineAlgorithm {
   std::string name() const override;
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  /// Deletion handling per PdOptions::deletion_policy (kRollback by
+  /// default): the departed request's clipped bid contributions are
+  /// shifted out of the small and large rows and its duals zeroed, in
+  /// both bid modes, so reference and incremental dynamic runs stay
+  /// trace-identical.
+  void depart(RequestId id, const Request& request,
+              SolutionLedger& ledger) override;
 
-  /// Σ_r Σ_{e∈s_r} a_re — the dual objective before scaling.
+  /// Σ_r Σ_{e∈s_r} a_re — the dual objective before scaling. On dynamic
+  /// runs with kRollback, departed requests' duals leave the sum (the
+  /// dual bound is argued on the surviving set).
   double total_dual() const noexcept { return total_dual_; }
 
   /// Deep self-check of the algorithm's internal state (test hook):
@@ -159,10 +176,14 @@ class PdOmflp final : public OnlineAlgorithm {
   struct PastRequest {
     PointId location = 0;
     std::vector<CommodityId> commodities;
-    std::vector<double> duals;       // frozen a_je
+    std::vector<double> duals;       // frozen a_je (zeroed by rollback)
     std::vector<double> small_dist;  // d(F(e), j), maintained per slot
     double dual_sum_large = 0.0;     // Σ a_je over non-excluded commodities
     double large_dist = kInfiniteDistance;  // d(F̂, j), maintained
+    /// Departed and rolled back: duals are zero, bids withdrawn. The slot
+    /// stays resident so arrival-order indexing keeps working; the
+    /// maintained distances are still updated (cheap) so audits hold.
+    bool departed = false;
   };
   std::vector<PastRequest> past_;
   /// by_commodity_[e]: (request index, slot in its commodity list).

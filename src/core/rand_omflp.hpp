@@ -73,6 +73,11 @@ class RandOmflp final : public OnlineAlgorithm {
   std::string name() const override;
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  // Deletion policy on dynamic streams: frozen (the inherited no-op
+  // depart). RAND-OMFLP keeps no per-request potentials — its state is
+  // the opened facilities and the cost classes, both of which survive a
+  // departure unchanged — so ledger-level active-interval re-accounting
+  // is the whole policy.
 
   const std::vector<RandAccounting>& accounting() const noexcept {
     return accounting_;

@@ -1,0 +1,137 @@
+#include "core/stream_runner.hpp"
+
+#include <chrono>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/perf_counters.hpp"
+#include "support/assert.hpp"
+
+namespace omflp {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[noreturn]] void bad_event(std::uint64_t t, const std::string& what) {
+  throw std::invalid_argument("run_stream: event " + std::to_string(t) +
+                              ": " + what);
+}
+
+}  // namespace
+
+StreamRunResult run_stream(OnlineAlgorithm& algorithm, EventSource& source,
+                           const StreamRunOptions& options) {
+  OMFLP_REQUIRE(options.batch_size > 0, "run_stream: batch_size must be "
+                                        "positive");
+  MetricPtr metric = source.metric();
+  CostModelPtr cost = source.cost();
+  OMFLP_REQUIRE(metric != nullptr && cost != nullptr,
+                "run_stream: incomplete event source");
+
+  StreamRunResult result(SolutionLedger(metric, cost, options.policy));
+  SolutionLedger& ledger = result.ledger;
+  algorithm.reset(ProblemContext{metric, cost});
+
+  std::optional<StreamVerifier> verifier;
+  if (options.verify) verifier.emplace(metric, cost);
+
+  // Pending lease expiries, min-ordered on (deadline, arrival id) so
+  // simultaneous expiries fire in arrival order. Entries for arrivals
+  // that were explicitly departed first are skipped lazily.
+  using Expiry = std::pair<std::uint64_t, RequestId>;
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>>
+      expiries;
+  std::vector<bool> active;  // by arrival id
+  std::size_t num_active = 0;
+
+  const std::uint64_t start_ns = now_ns();
+  std::vector<StreamEvent> batch;
+  batch.reserve(options.batch_size);
+  std::uint64_t t = 0;
+
+  auto retire = [&](RequestId id, std::uint64_t event_index) {
+    ledger.retire_request(id, event_index);
+    active[id] = false;
+    --num_active;
+    if (verifier) verifier->on_retire(id, event_index, ledger);
+    // The record survives until the post-batch compaction, so the
+    // depart() hook may still read it.
+    algorithm.depart(id, ledger.request_record(id).request, ledger);
+  };
+
+  for (;;) {
+    batch.clear();
+    if (source.next_batch(batch, options.batch_size) == 0) break;
+    for (const StreamEvent& event : batch) {
+      while (!expiries.empty() && expiries.top().first <= t) {
+        const auto [deadline, id] = expiries.top();
+        expiries.pop();
+        if (!active[id]) continue;  // departed explicitly before expiry
+        retire(id, deadline);
+        ++result.lease_expiries;
+      }
+
+      if (event.kind == StreamEvent::Kind::kArrival) {
+        // Same checks as EventStream::validate, with the event index in
+        // the message. (begin_request would also reject these, but a
+        // programmatically-built source deserves a stream-level error,
+        // and nothing malformed may reach the raw-pointer kernels.)
+        if (event.request.location >= metric->num_points())
+          bad_event(t, "arrival location outside the metric space");
+        if (event.request.commodities.universe_size() !=
+            cost->num_commodities())
+          bad_event(t, "arrival demand set over the wrong universe");
+        if (event.request.commodities.empty())
+          bad_event(t, "empty demand set");
+        const RequestId id = active.size();
+        ledger.begin_request(event.request);
+        algorithm.serve(event.request, ledger);
+        ledger.finish_request();
+        OMFLP_PERF_COUNT(requests_served);
+        active.push_back(true);
+        ++num_active;
+        if (event.lease > 0)
+          expiries.emplace(lease_deadline(t, event.lease), id);
+        if (verifier) verifier->on_arrival(id, event.request, ledger);
+        ++result.arrivals;
+      } else {
+        if (event.target >= active.size())
+          bad_event(t, "departure of an arrival that has not happened");
+        if (!active[event.target])
+          bad_event(t, "departure of an arrival that is no longer active");
+        retire(event.target, t);
+        ++result.departures;
+      }
+
+      ++t;
+      if (num_active > result.peak_active) result.peak_active = num_active;
+      const std::size_t resident = ledger.request_records().size();
+      if (resident > result.peak_resident_records)
+        result.peak_resident_records = resident;
+    }
+    if (options.compact) ledger.compact_retired_prefix();
+  }
+  result.run_ns = static_cast<double>(now_ns() - start_ns);
+  result.events = t;
+
+  if (verifier) result.violation = verifier->finish(ledger);
+  return result;
+}
+
+StreamRunResult run_stream(OnlineAlgorithm& algorithm,
+                           const EventStream& stream,
+                           const StreamRunOptions& options) {
+  MaterializedEventSource source(stream);
+  return run_stream(algorithm, source, options);
+}
+
+}  // namespace omflp

@@ -1,0 +1,86 @@
+// run_stream — the dynamic counterpart of run_online: drives an
+// OnlineAlgorithm over an EventSource's arrival/departure/lease timeline
+// into a SolutionLedger with active-interval accounting.
+//
+// Processing model (the timeline semantics of instance/event_stream.hpp):
+// events are pulled from the source in batches of `batch_size` — the only
+// buffering between a disk-backed trace and the algorithm — and for each
+// event index t the runner first fires due lease expiries (arrival + lease
+// <= t, ascending arrival id), then processes the event:
+//   * arrival   — begin_request / serve / finish_request, exactly like
+//                 run_online, plus lease bookkeeping;
+//   * departure — ledger.retire_request (retroactive cost re-accounting)
+//                 followed by the algorithm's depart() hook (bid rollback
+//                 for PD/Fotakis, the frozen no-op otherwise).
+// After each batch, retired records are compacted away (opt-out via
+// `compact`), so resident *ledger* state is O(active set + batch), not
+// O(arrivals) — peak_resident_records in the stats is the measured
+// high-water mark. (The algorithm's own state is outside the runner's
+// control: greedy/RAND hold only facilities, PD archives every
+// arrival's duals.) With `verify` set, a StreamVerifier shadows the run
+// and checks every record before it can be compacted.
+//
+// Determinism: the result is a pure function of the event sequence and
+// the algorithm (kernel chunking keeps it bit-identical across thread
+// counts, as for static runs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/online_algorithm.hpp"
+#include "instance/event_stream.hpp"
+#include "solution/verifier.hpp"
+
+namespace omflp {
+
+struct StreamRunOptions {
+  ConnectionChargePolicy policy = ConnectionChargePolicy::kPerFacility;
+  /// Events pulled from the source per batch (and compaction cadence).
+  std::size_t batch_size = 8192;
+  /// Drop all-retired record prefixes after each batch (bounded memory).
+  bool compact = true;
+  /// Shadow the run with an incremental StreamVerifier; the first
+  /// violation is reported in StreamRunResult::violation.
+  bool verify = false;
+};
+
+struct StreamRunResult {
+  explicit StreamRunResult(SolutionLedger result_ledger)
+      : ledger(std::move(result_ledger)) {}
+
+  SolutionLedger ledger;
+
+  std::uint64_t events = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;       // explicit departure events
+  std::uint64_t lease_expiries = 0;   // retirements fired by leases
+  /// High-water mark of simultaneously active requests.
+  std::size_t peak_active = 0;
+  /// High-water mark of resident ledger records (the bounded-memory
+  /// evidence: stays near peak_active + batch_size when compacting).
+  std::size_t peak_resident_records = 0;
+  /// Wall time of the processing loop (excluding source construction).
+  double run_ns = 0.0;
+  /// First verification failure (only when options.verify).
+  std::optional<VerificationError> violation;
+
+  double events_per_sec() const noexcept {
+    return run_ns > 0.0 ? static_cast<double>(events) * 1e9 / run_ns : 0.0;
+  }
+};
+
+/// Drive `source` through `algorithm`. Throws std::invalid_argument on a
+/// malformed event (departure of an unknown / inactive arrival, arrival
+/// outside the metric) — the same conditions EventStream::validate
+/// rejects.
+StreamRunResult run_stream(OnlineAlgorithm& algorithm, EventSource& source,
+                           const StreamRunOptions& options = {});
+
+/// Convenience overload for materialized streams.
+StreamRunResult run_stream(OnlineAlgorithm& algorithm,
+                           const EventStream& stream,
+                           const StreamRunOptions& options = {});
+
+}  // namespace omflp

@@ -1,0 +1,159 @@
+// Dynamic request streams: arrivals, departures and lease expiry.
+//
+// The paper's model is insert-only; production traffic is not. Following
+// *Online Facility Location with Deletions* (Cygan, Czumaj, Jiang,
+// Krauthgamer) and *Online Multi-Facility Location* (Markarian et al.),
+// an EventStream generalizes the request sequence to a timeline of
+// events, revealed one at a time:
+//
+//   * an **arrival** is a paper Request (location + demand set),
+//     optionally carrying a **lease** L > 0: the request automatically
+//     departs L events after it arrived (time-window / TTL traffic);
+//   * a **departure** retroactively removes an earlier arrival,
+//     identified by its arrival id (position among arrivals — the same
+//     numbering as SolutionLedger request ids).
+//
+// Timeline semantics (shared by the validator, the offline stream
+// verifier and the stream runner — all three implement it independently,
+// in this repo's verifier tradition):
+//   * events are processed in order; event t's lease expiries (arrivals
+//     with arrival_index + lease <= t, ascending arrival id) fire
+//     *before* event t itself is processed;
+//   * an explicit departure must target an arrival that is still active
+//     at that moment (neither departed nor expired); a departure may
+//     retire a leased arrival early, in which case the later lease
+//     expiry is skipped;
+//   * leases that would expire past the end of the stream never fire —
+//     those requests survive.
+//
+// The requests active after the final event are the **surviving set**;
+// competitive ratios of dynamic runs are measured as
+// ledger.active_cost() / OPT(surviving set) (see solution/verifier.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instance/instance.hpp"
+
+namespace omflp {
+
+struct StreamEvent {
+  enum class Kind : std::uint8_t { kArrival, kDeparture };
+
+  Kind kind = Kind::kArrival;
+  /// Arrival payload; ignored for departures.
+  Request request;
+  /// Arrival: auto-depart this many events after arrival (0 = pinned, the
+  /// request never expires on its own).
+  std::uint64_t lease = 0;
+  /// Departure: the arrival id (index among arrivals) to retire.
+  RequestId target = 0;
+
+  static StreamEvent arrival(Request request, std::uint64_t lease = 0) {
+    StreamEvent e;
+    e.kind = Kind::kArrival;
+    e.request = std::move(request);
+    e.lease = lease;
+    return e;
+  }
+  static StreamEvent departure(RequestId target) {
+    StreamEvent e;
+    e.kind = Kind::kDeparture;
+    e.target = target;
+    return e;
+  }
+};
+
+/// Expiry deadline of a lease granted at event index `t`, saturating at
+/// the uint64 maximum: a lease so large that t + lease would wrap must
+/// behave as "past every possible stream end" (the request survives),
+/// not wrap around to fire before its own arrival. Every timeline
+/// implementation (validator, runner, offline verifier) must use this.
+inline std::uint64_t lease_deadline(std::uint64_t t,
+                                    std::uint64_t lease) noexcept {
+  const std::uint64_t max = ~std::uint64_t{0};
+  return lease > max - t ? max : t + lease;
+}
+
+class EventStream {
+ public:
+  EventStream(MetricPtr metric, CostModelPtr cost,
+              std::vector<StreamEvent> events,
+              std::string name = "stream");
+
+  const MetricSpace& metric() const noexcept { return *metric_; }
+  const FacilityCostModel& cost() const noexcept { return *cost_; }
+  MetricPtr metric_ptr() const noexcept { return metric_; }
+  CostModelPtr cost_ptr() const noexcept { return cost_; }
+  CommodityId num_commodities() const noexcept {
+    return cost_->num_commodities();
+  }
+
+  const std::vector<StreamEvent>& events() const noexcept { return events_; }
+  std::size_t num_events() const noexcept { return events_.size(); }
+  /// Arrivals among the events (counted at construction).
+  std::size_t num_arrivals() const noexcept { return num_arrivals_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Throws std::invalid_argument on the first malformed event: a
+  /// location outside M, a demand set that is empty or over the wrong
+  /// universe, or a departure whose target is unknown or no longer
+  /// active under the timeline semantics above.
+  void validate() const;
+
+  /// Arrival ids still active after the last event, ascending.
+  std::vector<RequestId> surviving_arrivals() const;
+
+  /// The surviving set as a static Instance (same metric and cost model,
+  /// requests in arrival order) — the input OPT is estimated on when
+  /// measuring dynamic competitive ratios.
+  Instance surviving_instance() const;
+
+ private:
+  MetricPtr metric_;
+  CostModelPtr cost_;
+  std::vector<StreamEvent> events_;
+  std::size_t num_arrivals_ = 0;
+  std::string name_;
+};
+
+/// Batched event supply for the stream runner: materialized streams and
+/// disk-backed trace readers (instance/stream_io.hpp) behind one
+/// interface, so million-event traces are processed without ever holding
+/// the whole timeline in memory.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  virtual MetricPtr metric() const = 0;
+  virtual CostModelPtr cost() const = 0;
+  virtual const std::string& name() const = 0;
+
+  /// Appends up to `max_events` further events to `out` (which the
+  /// caller clears); returns the number appended — 0 means the stream is
+  /// exhausted.
+  virtual std::size_t next_batch(std::vector<StreamEvent>& out,
+                                 std::size_t max_events) = 0;
+};
+
+/// EventSource over an in-memory EventStream (borrowed; the stream must
+/// outlive the source).
+class MaterializedEventSource final : public EventSource {
+ public:
+  explicit MaterializedEventSource(const EventStream& stream)
+      : stream_(&stream) {}
+
+  MetricPtr metric() const override { return stream_->metric_ptr(); }
+  CostModelPtr cost() const override { return stream_->cost_ptr(); }
+  const std::string& name() const override { return stream_->name(); }
+  std::size_t next_batch(std::vector<StreamEvent>& out,
+                         std::size_t max_events) override;
+
+ private:
+  const EventStream* stream_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace omflp

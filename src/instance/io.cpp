@@ -5,8 +5,7 @@
 #include <sstream>
 #include <vector>
 
-#include "cost/cost_models.hpp"
-#include "metric/matrix_metric.hpp"
+#include "instance/io_detail.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
@@ -14,37 +13,6 @@ namespace omflp {
 namespace {
 
 constexpr const char* kHeader = "OMFLP-INSTANCE v1";
-
-/// Reads the next non-comment, non-blank line; tracks line numbers for
-/// error messages.
-class LineReader {
- public:
-  explicit LineReader(std::istream& is) : is_(is) {}
-
-  std::string next(const char* what) {
-    std::string line;
-    while (std::getline(is_, line)) {
-      ++line_number_;
-      const auto first = line.find_first_not_of(" \t\r");
-      if (first == std::string::npos) continue;
-      if (line[first] == '#') continue;
-      return line;
-    }
-    throw std::invalid_argument(std::string("read_instance: unexpected end "
-                                            "of input while reading ") +
-                                what);
-  }
-
-  [[noreturn]] void fail(const std::string& msg) const {
-    std::ostringstream os;
-    os << "read_instance: " << msg << " (line " << line_number_ << ")";
-    throw std::invalid_argument(os.str());
-  }
-
- private:
-  std::istream& is_;
-  std::size_t line_number_ = 0;
-};
 
 }  // namespace
 
@@ -54,52 +22,9 @@ void write_instance(std::ostream& os, const Instance& instance) {
   const CommodityId s = instance.num_commodities();
   os << "commodities " << s << '\n';
 
-  const MetricSpace& metric = instance.metric();
-  const std::size_t points = metric.num_points();
-  os << "metric matrix " << points << '\n';
   os.precision(17);
-  // Every shipped MetricSpace is exactly symmetric (GraphMetric
-  // symmetrizes its per-source Dijkstra results at construction); the
-  // MatrixMetric constructor on the reading side validates this, so an
-  // asymmetric future metric fails loudly at read time.
-  for (PointId a = 0; a < points; ++a) {
-    for (PointId b = 0; b < points; ++b) {
-      if (b) os << ' ';
-      os << metric.distance(a, b);
-    }
-    os << '\n';
-  }
-
-  if (const auto* size_only =
-          dynamic_cast<const SizeOnlyCostModel*>(&instance.cost())) {
-    os << "cost sizeonly";
-    for (CommodityId k = 0; k <= s; ++k)
-      os << ' ' << size_only->cost_of_size(k);
-    os << '\n';
-  } else if (const auto* poly = dynamic_cast<const PolynomialCostModel*>(
-                 &instance.cost())) {
-    os << "cost sizeonly";
-    for (CommodityId k = 0; k <= s; ++k) os << ' ' << poly->cost_of_size(k);
-    os << '\n';
-  } else if (const auto* ceil_ratio =
-                 dynamic_cast<const CeilRatioCostModel*>(&instance.cost())) {
-    os << "cost sizeonly";
-    for (CommodityId k = 0; k <= s; ++k)
-      os << ' ' << ceil_ratio->cost_of_size(k);
-    os << '\n';
-  } else if (const auto* linear =
-                 dynamic_cast<const LinearCostModel*>(&instance.cost())) {
-    os << "cost linear";
-    for (CommodityId e = 0; e < s; ++e)
-      os << ' '
-         << linear->open_cost(0, CommoditySet::singleton(s, e));
-    os << '\n';
-  } else {
-    throw std::invalid_argument(
-        "write_instance: only size-only and linear cost models are "
-        "serializable; got " +
-        instance.cost().description());
-  }
+  iodetail::write_metric_matrix(os, instance.metric());
+  iodetail::write_cost_model(os, instance.cost(), s, "write_instance");
 
   os << "requests " << instance.num_requests() << '\n';
   for (const Request& r : instance.requests()) {
@@ -121,7 +46,7 @@ std::string instance_to_string(const Instance& instance) {
 }
 
 Instance read_instance(std::istream& is) {
-  LineReader reader(is);
+  iodetail::LineReader reader(is, "read_instance");
 
   if (reader.next("header") != kHeader)
     reader.fail("bad header, expected 'OMFLP-INSTANCE v1'");
@@ -136,40 +61,8 @@ Instance read_instance(std::istream& is) {
   if (!(commodities_line >> word >> s) || word != "commodities" || s == 0)
     reader.fail("expected 'commodities <|S|>'");
 
-  std::istringstream metric_line(reader.next("metric"));
-  std::string metric_kind;
-  std::size_t points = 0;
-  if (!(metric_line >> word >> metric_kind >> points) || word != "metric" ||
-      metric_kind != "matrix" || points == 0)
-    reader.fail("expected 'metric matrix <|M|>'");
-  std::vector<std::vector<double>> matrix(points,
-                                          std::vector<double>(points));
-  for (std::size_t a = 0; a < points; ++a) {
-    std::istringstream row(reader.next("metric row"));
-    for (std::size_t b = 0; b < points; ++b)
-      if (!(row >> matrix[a][b])) reader.fail("short metric row");
-  }
-  auto metric = std::make_shared<MatrixMetric>(std::move(matrix));
-
-  std::istringstream cost_line(reader.next("cost"));
-  std::string cost_kind;
-  if (!(cost_line >> word >> cost_kind) || word != "cost")
-    reader.fail("expected 'cost <kind> ...'");
-  CostModelPtr cost;
-  if (cost_kind == "sizeonly") {
-    std::vector<double> table(s + 1);
-    for (CommodityId k = 0; k <= s; ++k)
-      if (!(cost_line >> table[k])) reader.fail("short sizeonly cost table");
-    cost = std::make_shared<SizeOnlyCostModel>(
-        s, [table](CommodityId k) { return table[k]; }, "sizeonly(loaded)");
-  } else if (cost_kind == "linear") {
-    std::vector<double> weights(s);
-    for (CommodityId e = 0; e < s; ++e)
-      if (!(cost_line >> weights[e])) reader.fail("short linear weights");
-    cost = std::make_shared<LinearCostModel>(std::move(weights));
-  } else {
-    reader.fail("unknown cost kind '" + cost_kind + "'");
-  }
+  MetricPtr metric = iodetail::read_metric_matrix(reader);
+  CostModelPtr cost = iodetail::read_cost_model(reader, s);
 
   std::istringstream requests_line(reader.next("requests"));
   std::size_t n = 0;
@@ -197,22 +90,18 @@ Instance read_instance(std::istream& is) {
                     std::move(name));
 
   // Optional trailing opt certificate.
-  std::string line;
-  while (std::getline(is, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream opt_line(line);
+  if (const auto line = reader.try_next()) {
+    std::istringstream opt_line(*line);
     double bound = 0.0;
     int exact = 0;
     if (!(opt_line >> word >> bound >> exact) || word != "opt")
       throw std::invalid_argument(
-          "read_instance: trailing content is not an 'opt' line: " + line);
+          "read_instance: trailing content is not an 'opt' line: " + *line);
     std::string note;
     std::getline(opt_line, note);
     if (!note.empty() && note.front() == ' ') note.erase(0, 1);
     instance.set_opt_certificate(
         OptCertificate{bound, exact != 0, std::move(note)});
-    break;
   }
   return instance;
 }

@@ -1,0 +1,127 @@
+#include "instance/io_detail.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cost/cost_models.hpp"
+#include "metric/matrix_metric.hpp"
+#include "support/commodity_set.hpp"
+
+namespace omflp::iodetail {
+
+std::string LineReader::next(const char* what) {
+  if (auto line = try_next()) return std::move(*line);
+  throw std::invalid_argument(prefix_ +
+                              ": unexpected end of input while reading " +
+                              what);
+}
+
+std::optional<std::string> LineReader::try_next() {
+  std::string line;
+  while (std::getline(is_, line)) {
+    ++line_number_;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  return std::nullopt;
+}
+
+void LineReader::fail(const std::string& msg) const {
+  std::ostringstream os;
+  os << prefix_ << ": " << msg << " (line " << line_number_ << ")";
+  throw std::invalid_argument(os.str());
+}
+
+void write_metric_matrix(std::ostream& os, const MetricSpace& metric) {
+  const std::size_t points = metric.num_points();
+  os << "metric matrix " << points << '\n';
+  // Every shipped MetricSpace is exactly symmetric (GraphMetric
+  // symmetrizes its per-source Dijkstra results at construction); the
+  // MatrixMetric constructor on the reading side validates this, so an
+  // asymmetric future metric fails loudly at read time.
+  for (PointId a = 0; a < points; ++a) {
+    for (PointId b = 0; b < points; ++b) {
+      if (b) os << ' ';
+      os << metric.distance(a, b);
+    }
+    os << '\n';
+  }
+}
+
+MetricPtr read_metric_matrix(LineReader& reader) {
+  std::istringstream metric_line(reader.next("metric"));
+  std::string word, metric_kind;
+  std::size_t points = 0;
+  if (!(metric_line >> word >> metric_kind >> points) || word != "metric" ||
+      metric_kind != "matrix" || points == 0)
+    reader.fail("expected 'metric matrix <|M|>'");
+  std::vector<std::vector<double>> matrix(points,
+                                          std::vector<double>(points));
+  for (std::size_t a = 0; a < points; ++a) {
+    std::istringstream row(reader.next("metric row"));
+    for (std::size_t b = 0; b < points; ++b)
+      if (!(row >> matrix[a][b])) reader.fail("short metric row");
+  }
+  return std::make_shared<MatrixMetric>(std::move(matrix));
+}
+
+void write_cost_model(std::ostream& os, const FacilityCostModel& cost,
+                      CommodityId s, const char* error_prefix) {
+  if (const auto* size_only =
+          dynamic_cast<const SizeOnlyCostModel*>(&cost)) {
+    os << "cost sizeonly";
+    for (CommodityId k = 0; k <= s; ++k)
+      os << ' ' << size_only->cost_of_size(k);
+    os << '\n';
+  } else if (const auto* poly =
+                 dynamic_cast<const PolynomialCostModel*>(&cost)) {
+    os << "cost sizeonly";
+    for (CommodityId k = 0; k <= s; ++k) os << ' ' << poly->cost_of_size(k);
+    os << '\n';
+  } else if (const auto* ceil_ratio =
+                 dynamic_cast<const CeilRatioCostModel*>(&cost)) {
+    os << "cost sizeonly";
+    for (CommodityId k = 0; k <= s; ++k)
+      os << ' ' << ceil_ratio->cost_of_size(k);
+    os << '\n';
+  } else if (const auto* linear =
+                 dynamic_cast<const LinearCostModel*>(&cost)) {
+    os << "cost linear";
+    for (CommodityId e = 0; e < s; ++e)
+      os << ' ' << linear->open_cost(0, CommoditySet::singleton(s, e));
+    os << '\n';
+  } else {
+    throw std::invalid_argument(
+        std::string(error_prefix) +
+        ": only size-only and linear cost models are serializable; got " +
+        cost.description());
+  }
+}
+
+CostModelPtr read_cost_model(LineReader& reader, CommodityId s) {
+  std::istringstream cost_line(reader.next("cost"));
+  std::string word, cost_kind;
+  if (!(cost_line >> word >> cost_kind) || word != "cost")
+    reader.fail("expected 'cost <kind> ...'");
+  if (cost_kind == "sizeonly") {
+    std::vector<double> table(s + 1);
+    for (CommodityId k = 0; k <= s; ++k)
+      if (!(cost_line >> table[k])) reader.fail("short sizeonly cost table");
+    return std::make_shared<SizeOnlyCostModel>(
+        s, [table](CommodityId k) { return table[k]; }, "sizeonly(loaded)");
+  }
+  if (cost_kind == "linear") {
+    std::vector<double> weights(s);
+    for (CommodityId e = 0; e < s; ++e)
+      if (!(cost_line >> weights[e])) reader.fail("short linear weights");
+    return std::make_shared<LinearCostModel>(std::move(weights));
+  }
+  reader.fail("unknown cost kind '" + cost_kind + "'");
+}
+
+}  // namespace omflp::iodetail

@@ -1,0 +1,64 @@
+// Shared internals of the trace formats (instance/io.hpp and
+// instance/stream_io.hpp): the comment-skipping line reader and the
+// metric / cost-model section (de)serializers both formats embed.
+//
+// Everything here is an implementation detail of the two public IO
+// modules; include it only from their .cpps (and tests that pin the
+// section formats down).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "cost/cost_model.hpp"
+#include "metric/metric_space.hpp"
+
+namespace omflp::iodetail {
+
+/// Reads the next non-comment, non-blank line; tracks line numbers for
+/// error messages prefixed with the owning parser's name.
+class LineReader {
+ public:
+  LineReader(std::istream& is, std::string error_prefix)
+      : is_(is), prefix_(std::move(error_prefix)) {}
+
+  /// Next content line; throws std::invalid_argument naming `what` at
+  /// end of input.
+  std::string next(const char* what);
+
+  /// Next content line, or nullopt at end of input (for optional
+  /// trailing sections).
+  std::optional<std::string> try_next();
+
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  std::size_t line_number() const noexcept { return line_number_; }
+
+ private:
+  std::istream& is_;
+  std::string prefix_;
+  std::size_t line_number_ = 0;
+};
+
+/// "metric matrix <|M|>" plus |M| rows of 17-significant-digit
+/// distances. Any MetricSpace serializes through its (exactly symmetric)
+/// distance matrix.
+void write_metric_matrix(std::ostream& os, const MetricSpace& metric);
+
+/// Reads the section write_metric_matrix emits; returns a MatrixMetric.
+MetricPtr read_metric_matrix(LineReader& reader);
+
+/// "cost sizeonly <g(0)> ... <g(|S|)>" or "cost linear <w_0> ...".
+/// Throws std::invalid_argument — prefixed with `error_prefix`, the
+/// calling writer's name — for models that are neither size-only nor
+/// linear (the general f^σ_m has 2^|S| values per point).
+void write_cost_model(std::ostream& os, const FacilityCostModel& cost,
+                      CommodityId num_commodities,
+                      const char* error_prefix);
+
+/// Reads the section write_cost_model emits.
+CostModelPtr read_cost_model(LineReader& reader,
+                             CommodityId num_commodities);
+
+}  // namespace omflp::iodetail

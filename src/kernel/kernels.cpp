@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <vector>
 
 #include "support/parallel.hpp"
+#include "support/parse.hpp"
 
 namespace omflp::kernel {
 
@@ -23,12 +23,22 @@ constexpr std::size_t kBlock = 512;
 
 inline double positive_part(double x) noexcept { return x > 0.0 ? x : 0.0; }
 
+// positive_part clamps NaN to 0, which is right for the accumulating
+// kernels but disastrous in the event scan: a NaN bid or distance would
+// collapse to a zero delta and report spurious tightness. This variant
+// propagates NaN (x < 0 is false for NaN) so corrupted elements are
+// skipped by the strict-< comparison instead; for every non-NaN input it
+// is bit-identical to positive_part.
+inline double positive_part_nanprop(double x) noexcept {
+  return x < 0.0 ? 0.0 : x;
+}
+
 std::size_t initial_threshold() noexcept {
-  if (const char* env = std::getenv("OMFLP_KERNEL_THRESHOLD")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env) return static_cast<std::size_t>(v);
-  }
+  // Strict parse: "123abc" and negative text are ignored (with a stderr
+  // warning) instead of being silently truncated or wrapped.
+  if (const auto v = env_u64("OMFLP_KERNEL_THRESHOLD"))
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(*v, std::numeric_limits<std::size_t>::max()));
   return kDefaultParallelThreshold;
 }
 
@@ -71,8 +81,9 @@ RowEvent min_tightness_span(const double* __restrict dist_row,
   RowEvent best;
   if (divisor == 1.0) {
     for (std::size_t i = 0; i < count; ++i) {
-      const double delta = positive_part(
-          dist_row[i] + positive_part(cost_row[i] - bids_row[i]) - raised);
+      const double delta = positive_part_nanprop(
+          dist_row[i] + positive_part_nanprop(cost_row[i] - bids_row[i]) -
+          raised);
       if (delta < best.delta) {
         best.delta = delta;
         best.index = base + i;
@@ -81,8 +92,9 @@ RowEvent min_tightness_span(const double* __restrict dist_row,
   } else {
     for (std::size_t i = 0; i < count; ++i) {
       const double delta =
-          positive_part(dist_row[i] +
-                        positive_part(cost_row[i] - bids_row[i]) - raised) /
+          positive_part_nanprop(
+              dist_row[i] +
+              positive_part_nanprop(cost_row[i] - bids_row[i]) - raised) /
           divisor;
       if (delta < best.delta) {
         best.delta = delta;
@@ -130,29 +142,41 @@ void shift_clipped_bid(double* row, const double* dist_row, double v_old,
 }
 
 std::size_t argmin_over_row(const double* row, std::size_t n) {
+  // NaN-robust by construction: the running best starts at +inf and only
+  // a strict < replaces it, so a NaN element (never < anything) can never
+  // win. A span with no value below +inf keeps its first index, which
+  // implements the documented "NaN compares as +inf, ties resolve to the
+  // first index" semantics — the previous seeding with row[base] let a
+  // NaN at the span start win the whole argmin silently.
+  struct SpanMin {
+    std::size_t index = 0;
+    double key = std::numeric_limits<double>::infinity();
+  };
   auto span_argmin = [row](std::size_t base, std::size_t count) {
-    std::size_t best = base;
-    double best_value = row[base];
-    for (std::size_t i = 1; i < count; ++i) {
-      if (row[base + i] < best_value) {
-        best_value = row[base + i];
-        best = base + i;
+    SpanMin best{base, std::numeric_limits<double>::infinity()};
+    for (std::size_t i = 0; i < count; ++i) {
+      if (row[base + i] < best.key) {
+        best.key = row[base + i];
+        best.index = base + i;
       }
     }
     return best;
   };
-  if (!use_parallel(n)) return span_argmin(0, n);
+  if (!use_parallel(n)) return span_argmin(0, n).index;
 
   const std::size_t chunks = num_chunks(n);
-  std::vector<std::size_t> partial(chunks);
+  std::vector<SpanMin> partial(chunks);
   parallel_for(chunks, [&](std::size_t c) {
     const std::size_t begin = c * kChunk;
     partial[c] = span_argmin(begin, std::min(kChunk, n - begin));
   });
-  std::size_t best = partial[0];
+  // Merge on the stored keys, not on row[] re-reads: re-reading would
+  // reintroduce NaN poisoning ("candidate < NaN" is false, so a NaN chunk
+  // winner used to shadow every later finite chunk).
+  SpanMin best = partial[0];
   for (std::size_t c = 1; c < chunks; ++c)
-    if (row[partial[c]] < row[best]) best = partial[c];
-  return best;
+    if (partial[c].key < best.key) best = partial[c];
+  return best.index;
 }
 
 std::size_t argmin_over_row_where(const double* row,
@@ -192,6 +216,11 @@ RowEvent min_tightness_over_row(const double* dist_row,
                                 const double* cost_row,
                                 const double* bids_row, double raised,
                                 double divisor, std::size_t n) {
+  // A non-positive (or NaN) divisor cannot define a tightness time:
+  // dividing by 0 manufactures 0/0 = NaN for genuinely tight points, and
+  // a negative divisor turns every positive delta into a negative "event
+  // time" that wins the scan spuriously. Report "no event" instead.
+  if (!(divisor > 0.0)) return RowEvent{};
   if (!use_parallel(n)) {
     // Blocked scan with early exit: a delta of exactly 0 cannot be beaten
     // (deltas are clipped non-negative) and, scanning left to right, the

@@ -61,10 +61,17 @@ void shift_clipped_bid(double* row, const double* dist_row, double v_old,
                        double v_new, std::size_t n);
 
 /// First index of the minimum of row[0..n). Requires n > 0.
+///
+/// NaN semantics: a NaN element compares as +inf and can never win the
+/// argmin; rows with no finite minimum (all NaN and/or +inf) return
+/// index 0. Ties — including ties created by the NaN demotion — resolve
+/// to the first index, for any thread count.
 std::size_t argmin_over_row(const double* row, std::size_t n);
 
 /// First index of the minimum of row[m] over the m with keys[m] <= limit.
-/// Returns n when no index is eligible.
+/// Returns n when no index is eligible. A NaN element is never eligible
+/// (it cannot beat the +inf running best), so an all-NaN eligible set
+/// also returns n.
 std::size_t argmin_over_row_where(const double* row,
                                   const std::uint32_t* keys,
                                   std::uint32_t limit,
@@ -79,9 +86,17 @@ struct RowEvent {
 
 /// min over m of (dist_row[m] + (cost_row[m] − bids_row[m])+ − raised)+ /
 /// divisor, with first-index tie-break — the constraint-(3)/(4) event
-/// search of the primal–dual scheme. divisor must be positive; the
-/// division is applied per element so results are bit-identical to the
-/// historical scalar loop. Requires n > 0.
+/// search of the primal–dual scheme. The division is applied per element
+/// so results are bit-identical to the historical scalar loop. Requires
+/// n > 0.
+///
+/// Edge semantics: an element whose inputs contain NaN yields a NaN
+/// tightness and is skipped — NaN never reports an event (and never
+/// reports spurious tightness). A divisor that is not strictly positive
+/// (zero, negative, or NaN) defines no tightness time and returns the
+/// default "no event" RowEvent; it is never forwarded into the division,
+/// where 0/0 would manufacture NaN and a negative divisor would turn
+/// positive deltas into winning negative event times.
 RowEvent min_tightness_over_row(const double* dist_row,
                                 const double* cost_row,
                                 const double* bids_row, double raised,
@@ -94,7 +109,8 @@ RowEvent min_tightness_over_row(const double* dist_row,
 /// Answers the same zero-delta predicate min_tightness_over_row's serial
 /// path early-exits on (that path implements it inline as blocked
 /// scans); exposed as a standalone kernel for callers that only need
-/// tightness membership, not the minimizing event.
+/// tightness membership, not the minimizing event. NaN inputs at a point
+/// fail both comparisons, so a NaN element is never reported tight.
 std::size_t first_index_where_tight(const double* dist_row,
                                     const double* cost_row,
                                     const double* bids_row, double raised,

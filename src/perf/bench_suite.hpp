@@ -114,11 +114,12 @@ class BenchSuite {
 
 /// The standard suite backing `omflp bench`: every registered algorithm
 /// replaying the uniform-line workload, the PD reference-bid ablation,
-/// DistanceOracle cached/fallback micro cases, and the counters on/off
-/// overhead pair (the disabled-mode case the telemetry claims are judged
-/// against). Workloads are identical at both scales so reports stay
-/// comparable; `quick` only shrinks warmup/trials via
-/// quick_bench_options().
+/// DistanceOracle cached/fallback micro cases, the dynamic-stream
+/// events/s cases (run_stream over churn-uniform workloads, greedy and
+/// PD), and the counters on/off overhead pair (the disabled-mode case
+/// the telemetry claims are judged against). Workloads are identical at
+/// both scales so reports stay comparable; `quick` only shrinks
+/// warmup/trials via quick_bench_options().
 BenchSuite default_bench_suite();
 
 BenchOptions quick_bench_options();

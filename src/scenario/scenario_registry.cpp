@@ -81,23 +81,24 @@ std::vector<std::string> ScenarioRegistry::names() const {
   return out;  // std::map iterates sorted
 }
 
-ScenarioParams ScenarioRegistry::resolve(
-    const ScenarioSpec& spec, const std::map<std::string, double>& overrides,
-    bool strict) const {
+ScenarioParams resolve_scenario_params(
+    const std::string& scenario_name,
+    const std::vector<ScenarioParam>& declared,
+    const std::map<std::string, double>& overrides, bool strict) {
   std::map<std::string, double> values;
-  for (const ScenarioParam& param : spec.params)
+  for (const ScenarioParam& param : declared)
     values[param.name] = param.value;
   for (const auto& [key, value] : overrides) {
     const auto it = values.find(key);
     if (it == values.end()) {
       if (!strict) continue;
-      std::vector<std::string> declared;
-      for (const ScenarioParam& param : spec.params)
-        declared.push_back(param.name);
-      throw std::invalid_argument("scenario '" + spec.name +
+      std::vector<std::string> names;
+      for (const ScenarioParam& param : declared)
+        names.push_back(param.name);
+      throw std::invalid_argument("scenario '" + scenario_name +
                                   "' has no parameter '" + key +
                                   "'; declared parameters: " +
-                                  join_names(declared));
+                                  join_names(names));
     }
     it->second = value;
   }
@@ -108,14 +109,18 @@ Instance ScenarioRegistry::make(
     const std::string& name, std::uint64_t seed,
     const std::map<std::string, double>& overrides) const {
   const ScenarioSpec& s = spec(name);
-  return s.make(resolve(s, overrides, /*strict=*/true), seed);
+  return s.make(
+      resolve_scenario_params(s.name, s.params, overrides, /*strict=*/true),
+      seed);
 }
 
 Instance ScenarioRegistry::make_lenient(
     const std::string& name, std::uint64_t seed,
     const std::map<std::string, double>& overrides) const {
   const ScenarioSpec& s = spec(name);
-  return s.make(resolve(s, overrides, /*strict=*/false), seed);
+  return s.make(
+      resolve_scenario_params(s.name, s.params, overrides, /*strict=*/false),
+      seed);
 }
 
 // ----------------------------------------------------------- built-ins ---

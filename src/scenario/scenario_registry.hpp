@@ -71,6 +71,16 @@ class ScenarioParams {
   std::map<std::string, double> values_;
 };
 
+/// Merge `overrides` into the declared defaults. Strict mode throws on an
+/// override the scenario does not declare; lenient mode drops it (the
+/// right semantics when one override set is applied across a sweep of
+/// heterogeneous scenarios). Shared by the instance and stream scenario
+/// registries (scenario/stream_registry.hpp).
+ScenarioParams resolve_scenario_params(
+    const std::string& scenario_name,
+    const std::vector<ScenarioParam>& declared,
+    const std::map<std::string, double>& overrides, bool strict);
+
 struct ScenarioSpec {
   std::string name;
   std::string description;
@@ -105,10 +115,6 @@ class ScenarioRegistry {
                         const std::map<std::string, double>& overrides) const;
 
  private:
-  ScenarioParams resolve(const ScenarioSpec& spec,
-                         const std::map<std::string, double>& overrides,
-                         bool strict) const;
-
   std::map<std::string, ScenarioSpec> specs_;
 };
 

@@ -1,0 +1,240 @@
+#include "scenario/stream_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "cost/cost_models.hpp"
+#include "instance/adversarial.hpp"
+#include "instance/generators.hpp"
+#include "metric/line_metric.hpp"
+#include "scenario/registry_util.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+void StreamScenarioRegistry::add(StreamScenarioSpec spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument(
+        "StreamScenarioRegistry: empty scenario name");
+  if (!spec.make)
+    throw std::invalid_argument("StreamScenarioRegistry: scenario '" +
+                                spec.name + "' has no factory");
+  if (!specs_.emplace(spec.name, std::move(spec)).second)
+    throw std::invalid_argument(
+        "StreamScenarioRegistry: duplicate scenario '" + spec.name + "'");
+}
+
+bool StreamScenarioRegistry::contains(const std::string& name) const {
+  return specs_.count(name) != 0;
+}
+
+const StreamScenarioSpec& StreamScenarioRegistry::spec(
+    const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end())
+    throw std::invalid_argument("unknown stream scenario '" + name +
+                                "'; known stream scenarios: " +
+                                join_names(names()));
+  return it->second;
+}
+
+std::vector<std::string> StreamScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, _] : specs_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+EventStream StreamScenarioRegistry::make(
+    const std::string& name, std::uint64_t seed,
+    const std::map<std::string, double>& overrides) const {
+  const StreamScenarioSpec& s = spec(name);
+  EventStream stream = s.make(
+      resolve_scenario_params(s.name, s.params, overrides, /*strict=*/true),
+      seed);
+  stream.validate();
+  return stream;
+}
+
+// ----------------------------------------------------------- built-ins ---
+
+namespace {
+
+std::vector<ScenarioParam> cost_params(double scale) {
+  return {{"cost_exponent", 1.0, "class-C exponent x in [0,2]"},
+          {"cost_scale", scale, "overall opening-cost scale"}};
+}
+
+CostModelPtr poly_cost(const ScenarioParams& p, CommodityId commodities) {
+  return std::make_shared<PolynomialCostModel>(
+      commodities, p.at("cost_exponent"), p.at("cost_scale"));
+}
+
+void append(std::vector<ScenarioParam>& params,
+            std::vector<ScenarioParam> extra) {
+  for (ScenarioParam& param : extra) params.push_back(std::move(param));
+}
+
+/// Uniform-line arrival shared by the churn and lease families.
+Request sample_line_request(const ScenarioParams& p, std::size_t points,
+                            CommodityId commodities, Rng& rng) {
+  const CommodityId min_demand = p.commodity_at("min_demand");
+  const CommodityId max_demand =
+      std::min<CommodityId>(p.commodity_at("max_demand"), commodities);
+  Request r;
+  r.location = static_cast<PointId>(rng.uniform_index(points));
+  const CommodityId size = static_cast<CommodityId>(
+      rng.uniform_int(min_demand, std::max(min_demand, max_demand)));
+  r.commodities = sample_demand_set(commodities, size,
+                                    p.at("popularity_exponent"), rng);
+  return r;
+}
+
+void register_streams(StreamScenarioRegistry& registry) {
+  {
+    std::vector<ScenarioParam> params = {
+        {"points", 64, "|M|, evenly spaced on the line"},
+        {"length", 100, "line length"},
+        {"events", 4096, "total events (arrivals + departures)"},
+        {"commodities", 12, "|S|"},
+        {"min_demand", 1, "smallest demand-set size"},
+        {"max_demand", 4, "largest demand-set size"},
+        {"popularity_exponent", 0.8, "Zipf exponent for commodity choice"},
+        {"churn", 0.45,
+         "per-event probability of deleting a random active request"},
+        {"warmup", 32, "active requests before churn kicks in"}};
+    append(params, cost_params(2.0));
+    registry.add(
+        {.name = "churn-uniform",
+         .description = "uniform-line arrivals under churn-heavy random "
+                        "deletions (the Cygan et al. deletion model)",
+         .params = std::move(params),
+         .make = [](const ScenarioParams& p, std::uint64_t seed) {
+           Rng rng(seed);
+           const std::size_t points = p.size_t_at("points");
+           const CommodityId commodities = p.commodity_at("commodities");
+           const std::size_t num_events = p.size_t_at("events");
+           const std::size_t warmup = p.size_t_at("warmup");
+           const double churn = p.at("churn");
+
+           std::vector<StreamEvent> events;
+           events.reserve(num_events);
+           std::vector<RequestId> active;  // ids eligible for deletion
+           RequestId next_id = 0;
+           for (std::size_t t = 0; t < num_events; ++t) {
+             if (active.size() > warmup && rng.bernoulli(churn)) {
+               const std::size_t pick = rng.uniform_index(active.size());
+               events.push_back(StreamEvent::departure(active[pick]));
+               active[pick] = active.back();
+               active.pop_back();
+             } else {
+               events.push_back(StreamEvent::arrival(
+                   sample_line_request(p, points, commodities, rng)));
+               active.push_back(next_id++);
+             }
+           }
+           return EventStream(
+               LineMetric::uniform_grid(points, p.at("length")),
+               poly_cost(p, commodities), std::move(events),
+               "churn-uniform");
+         }});
+  }
+  registry.add(
+      {.name = "adversarial-churn",
+       .description =
+           "insert-then-delete phases of the Theorem 2 / Figure 1 game: "
+           "each phase replays the adversarial sequence and then deletes "
+           "all but its last request, keeping OPT(surviving) tiny",
+       .params = {{"commodities", 64,
+                   "|S|; each phase plays floor(sqrt(|S|)) rounds"},
+                  {"phases", 8, "insert-then-delete phases"},
+                  {"cost_scale", 1.0, "overall opening-cost scale"}},
+       .make = [](const ScenarioParams& p, std::uint64_t seed) {
+         Rng rng(seed);
+         Theorem2Config cfg;
+         cfg.num_commodities = p.commodity_at("commodities");
+         cfg.cost_scale = p.at("cost_scale");
+         const std::size_t phases = p.size_t_at("phases");
+
+         MetricPtr metric;
+         CostModelPtr cost;
+         std::vector<StreamEvent> events;
+         RequestId next_id = 0;
+         for (std::size_t phase = 0; phase < phases; ++phase) {
+           // A fresh draw of the Theorem 2 distribution per phase; the
+           // single-point metric and ceil-ratio cost model are identical
+           // across phases, so the first instance supplies them.
+           const Instance instance = make_theorem2_instance(cfg, rng);
+           if (phase == 0) {
+             metric = instance.metric_ptr();
+             cost = instance.cost_ptr();
+           }
+           const RequestId first = next_id;
+           for (const Request& r : instance.requests()) {
+             events.push_back(StreamEvent::arrival(r));
+             ++next_id;
+           }
+           for (RequestId id = first; id + 1 < next_id; ++id)
+             events.push_back(StreamEvent::departure(id));
+         }
+         return EventStream(std::move(metric), std::move(cost),
+                            std::move(events), "adversarial-churn");
+       }});
+  {
+    std::vector<ScenarioParam> params = {
+        {"points", 64, "|M|, evenly spaced on the line"},
+        {"length", 100, "line length"},
+        {"events", 4096, "total events (all arrivals)"},
+        {"commodities", 12, "|S|"},
+        {"min_demand", 1, "smallest demand-set size"},
+        {"max_demand", 3, "largest demand-set size"},
+        {"popularity_exponent", 0.8, "Zipf exponent for commodity choice"},
+        {"mean_lease", 96, "mean lease length in events (exponential)"}};
+    append(params, cost_params(2.0));
+    registry.add(
+        {.name = "lease-poisson",
+         .description = "pure lease-expiry traffic: every arrival carries "
+                        "a memoryless exponential lease (Poisson-style "
+                        "session durations)",
+         .params = std::move(params),
+         .make = [](const ScenarioParams& p, std::uint64_t seed) {
+           Rng rng(seed);
+           const std::size_t points = p.size_t_at("points");
+           const CommodityId commodities = p.commodity_at("commodities");
+           const std::size_t num_events = p.size_t_at("events");
+           const double mean_lease = p.at("mean_lease");
+           if (!(mean_lease > 0.0))
+             throw std::invalid_argument(
+                 "lease-poisson: mean_lease must be positive");
+
+           std::vector<StreamEvent> events;
+           events.reserve(num_events);
+           for (std::size_t t = 0; t < num_events; ++t) {
+             const std::uint64_t lease =
+                 1 + static_cast<std::uint64_t>(
+                         rng.exponential(1.0 / mean_lease));
+             events.push_back(StreamEvent::arrival(
+                 sample_line_request(p, points, commodities, rng), lease));
+           }
+           return EventStream(
+               LineMetric::uniform_grid(points, p.at("length")),
+               poly_cost(p, commodities), std::move(events),
+               "lease-poisson");
+         }});
+  }
+}
+
+}  // namespace
+
+const StreamScenarioRegistry& default_stream_scenario_registry() {
+  static const StreamScenarioRegistry registry = [] {
+    StreamScenarioRegistry r;
+    register_streams(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace omflp

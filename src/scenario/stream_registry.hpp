@@ -1,0 +1,73 @@
+// StreamScenarioRegistry — named, parameterized dynamic-workload
+// factories, the EventStream counterpart of ScenarioRegistry.
+//
+// A stream scenario turns (parameters, seed) into a self-contained
+// EventStream — arrivals, explicit departures and leases — so dynamic
+// runs are exactly as reproducible as static ones. The registries share
+// the ScenarioParams machinery (declaration, defaults, strict override
+// resolution).
+//
+// default_stream_scenario_registry() ships three built-in families, the
+// deletion-model workloads of Cygan–Czumaj–Jiang–Krauthgamer / Markarian
+// et al.:
+//   * churn-uniform    — uniform-line arrivals with a churn-heavy
+//                        departure process (each event deletes a random
+//                        active request with probability `churn`);
+//   * adversarial-churn — insert-then-delete phases echoing the Figure 1
+//                        / Theorem 2 game: each phase replays the
+//                        adversarial sequence, then deletes everything
+//                        but its last request, so the surviving set (and
+//                        OPT on it) stays tiny while the algorithm keeps
+//                        paying;
+//   * lease-poisson    — pure lease-expiry traffic: every event is an
+//                        arrival with a memoryless (exponential) lease,
+//                        the stream analogue of Poisson call durations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instance/event_stream.hpp"
+#include "scenario/scenario_registry.hpp"
+
+namespace omflp {
+
+struct StreamScenarioSpec {
+  std::string name;
+  std::string description;
+  std::vector<ScenarioParam> params;
+  std::function<EventStream(const ScenarioParams&, std::uint64_t seed)>
+      make;
+};
+
+class StreamScenarioRegistry {
+ public:
+  /// Registers a scenario; throws std::invalid_argument on an empty or
+  /// duplicate name or a missing factory.
+  void add(StreamScenarioSpec spec);
+
+  bool contains(const std::string& name) const;
+  /// Throws std::invalid_argument listing the known names when absent.
+  const StreamScenarioSpec& spec(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const noexcept { return specs_.size(); }
+
+  /// Instantiate: merge `overrides` into the declared defaults (throwing
+  /// on an undeclared override) and invoke the factory. Deterministic in
+  /// (name, overrides, seed); the returned stream is validated.
+  EventStream make(const std::string& name, std::uint64_t seed,
+                   const std::map<std::string, double>& overrides = {}) const;
+
+ private:
+  std::map<std::string, StreamScenarioSpec> specs_;
+};
+
+/// The registry with every built-in dynamic workload registered (shared,
+/// initialized on first use, safe for concurrent readers).
+const StreamScenarioRegistry& default_stream_scenario_registry();
+
+}  // namespace omflp

@@ -28,7 +28,7 @@ RequestId SolutionLedger::begin_request(const Request& request) {
   record.request = request;
   requests_.push_back(std::move(record));
   in_flight_ = true;
-  return requests_.size() - 1;
+  return num_requests() - 1;
 }
 
 FacilityId SolutionLedger::open_facility(PointId location,
@@ -47,7 +47,7 @@ FacilityId SolutionLedger::open_facility(PointId location,
   record.location = location;
   record.config = config;
   record.open_cost = cost_->open_cost(location, config);
-  record.opened_during = requests_.size() - 1;
+  record.opened_during = num_requests() - 1;
   opening_cost_ += record.open_cost;
   if (config.count() == 1) ++num_small_;
   if (config.is_full()) ++num_large_;
@@ -97,7 +97,43 @@ void SolutionLedger::finish_request() {
   }
   record.connection_cost = cost;
   connection_cost_ += cost;
+  active_connection_cost_ += cost;
+  ++num_active_;
   in_flight_ = false;
+}
+
+void SolutionLedger::retire_request(RequestId id,
+                                    std::uint64_t event_index) {
+  OMFLP_REQUIRE(!in_flight_,
+                "SolutionLedger: retirements happen between requests");
+  OMFLP_REQUIRE(id >= first_record_id_ && id < num_requests(),
+                "SolutionLedger: retiring an unknown or compacted request");
+  OMFLP_REQUIRE(event_index != kNeverRetired,
+                "SolutionLedger: reserved retirement event index");
+  RequestRecord& record = requests_[id - first_record_id_];
+  OMFLP_REQUIRE(record.active(),
+                "SolutionLedger: request retired twice");
+  record.retired_at = event_index;
+  active_connection_cost_ -= record.connection_cost;
+  --num_active_;
+}
+
+std::size_t SolutionLedger::compact_retired_prefix() {
+  OMFLP_REQUIRE(!in_flight_,
+                "SolutionLedger: compaction happens between requests");
+  std::size_t drop = 0;
+  while (drop < requests_.size() && !requests_[drop].active()) ++drop;
+  if (drop == 0) return 0;
+  requests_.erase(requests_.begin(),
+                  requests_.begin() + static_cast<std::ptrdiff_t>(drop));
+  first_record_id_ += drop;
+  return drop;
+}
+
+const RequestRecord& SolutionLedger::request_record(RequestId id) const {
+  OMFLP_REQUIRE(id >= first_record_id_ && id < num_requests(),
+                "SolutionLedger: unknown or compacted request record");
+  return requests_[id - first_record_id_];
 }
 
 const OpenFacilityRecord& SolutionLedger::facility(FacilityId f) const {

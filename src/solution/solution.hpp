@@ -12,8 +12,21 @@
 //     request connects to (the paper's shared-path model). The §1.1
 //     alternative (charge per commodity) is available as a policy and used
 //     in tests/ablations.
+//
+// Dynamic streams (instance/event_stream.hpp) extend the record with an
+// *active interval*: retire_request() marks an earlier request as
+// departed and retroactively removes its connection cost from the active
+// tally (facility openings are sunk — decisions stay irrevocable, only
+// the accounting of who is still being served changes). active_cost() is
+// what competitive ratios against the offline optimum on the *surviving*
+// request set are measured on; total_cost() remains the gross cost of
+// everything the algorithm ever did. For bounded-memory stream
+// processing, compact_retired_prefix() drops the longest all-retired
+// prefix of the records; first_record_id() reports how far compaction has
+// advanced (always 0 for static runs).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "instance/instance.hpp"
@@ -39,11 +52,19 @@ struct ServedCommodity {
   FacilityId facility = kInvalidFacility;
 };
 
+/// retired_at value of a request that never departed.
+inline constexpr std::uint64_t kNeverRetired = ~std::uint64_t{0};
+
 struct RequestRecord {
   Request request;
   std::vector<ServedCommodity> served;   // one entry per demanded commodity
   std::vector<FacilityId> connected;     // distinct facilities, sorted
   double connection_cost = 0.0;
+  /// Stream-event index at which the request departed (kNeverRetired
+  /// while active; static runs never retire).
+  std::uint64_t retired_at = kNeverRetired;
+
+  bool active() const noexcept { return retired_at == kNeverRetired; }
 };
 
 class SolutionLedger {
@@ -69,12 +90,55 @@ class SolutionLedger {
   /// connection cost.
   void finish_request();
 
+  // ---- dynamic streams ----------------------------------------------------
+
+  /// Retroactively removes request `id` from the active set: its record is
+  /// marked departed at stream-event index `event_index` and its
+  /// connection cost leaves the active tally (opening costs are sunk).
+  /// Requires no request in flight, a known, still-resident, still-active
+  /// id. Gross totals (connection_cost, total_cost) are unchanged.
+  void retire_request(RequestId id, std::uint64_t event_index);
+
+  /// Bounded-memory hook for the stream runner: drops the longest
+  /// all-retired prefix of the request records and returns how many were
+  /// dropped. Aggregate costs and counts are preserved; records of
+  /// still-active (and later) requests stay resident and keep their ids —
+  /// request `id` lives at request_records()[id - first_record_id()].
+  /// Requires no request in flight.
+  std::size_t compact_retired_prefix();
+
+  /// Id of request_records()[0]; 0 unless compact_retired_prefix() ran.
+  RequestId first_record_id() const noexcept { return first_record_id_; }
+
+  /// Record of request `id`; requires first_record_id() <= id <
+  /// num_requests() (i.e. the record has not been compacted away).
+  const RequestRecord& request_record(RequestId id) const;
+
+  /// Connection cost of the still-active requests only.
+  double active_connection_cost() const noexcept {
+    return active_connection_cost_;
+  }
+  /// Opening cost plus active connection cost — the quantity compared
+  /// against OPT on the surviving request set.
+  double active_cost() const noexcept {
+    return opening_cost_ + active_connection_cost_;
+  }
+  std::size_t num_active_requests() const noexcept { return num_active_; }
+  std::size_t num_retired_requests() const noexcept {
+    return num_requests() - num_active_ - (in_flight_ ? 1 : 0);
+  }
+
   // ---- introspection ------------------------------------------------------
-  std::size_t num_requests() const noexcept { return requests_.size(); }
+
+  /// Total requests ever begun, including compacted ones.
+  std::size_t num_requests() const noexcept {
+    return first_record_id_ + requests_.size();
+  }
   std::size_t num_facilities() const noexcept { return facilities_.size(); }
   const std::vector<OpenFacilityRecord>& facilities() const noexcept {
     return facilities_;
   }
+  /// The resident records: request first_record_id() onward.
   const std::vector<RequestRecord>& request_records() const noexcept {
     return requests_;
   }
@@ -103,10 +167,13 @@ class SolutionLedger {
 
   std::vector<OpenFacilityRecord> facilities_;
   std::vector<RequestRecord> requests_;
+  RequestId first_record_id_ = 0;  // ids below this were compacted away
   bool in_flight_ = false;
 
   double opening_cost_ = 0.0;
   double connection_cost_ = 0.0;
+  double active_connection_cost_ = 0.0;
+  std::size_t num_active_ = 0;
   std::size_t num_small_ = 0;
   std::size_t num_large_ = 0;
 };

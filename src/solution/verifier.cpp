@@ -1,7 +1,10 @@
 #include "solution/verifier.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <queue>
 #include <sstream>
+#include <vector>
 
 #include "perf/perf_counters.hpp"
 
@@ -11,6 +14,97 @@ namespace {
 
 std::optional<VerificationError> fail(const std::string& msg) {
   return VerificationError{msg};
+}
+
+/// The per-facility re-derivation shared by every verifier: pricing and
+/// well-formedness against the cost model.
+std::optional<std::string> check_facility(const MetricSpace& metric,
+                                          const FacilityCostModel& cost,
+                                          const OpenFacilityRecord& f,
+                                          double tolerance) {
+  OMFLP_PERF_COUNT(verifier_checks);
+  if (f.location >= metric.num_points())
+    return "facility outside the metric space";
+  if (f.config.universe_size() != cost.num_commodities())
+    return "facility config universe mismatch";
+  if (f.config.empty()) return "facility with empty configuration";
+  const double expect = cost.open_cost(f.location, f.config);
+  if (std::abs(expect - f.open_cost) > tolerance) {
+    std::ostringstream os;
+    os << "facility " << f.id << " open cost " << f.open_cost
+       << " != model cost " << expect;
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+/// The per-request re-derivation shared by every verifier: coverage,
+/// causality, connected-list consistency and the recomputed connection
+/// cost (returned through `connection` on success).
+std::optional<std::string> check_record(const MetricSpace& metric,
+                                        const FacilityCostModel& cost,
+                                        const SolutionLedger& ledger,
+                                        RequestId id,
+                                        const Request& expected,
+                                        const RequestRecord& rec,
+                                        double tolerance,
+                                        double& connection) {
+  OMFLP_PERF_COUNT(verifier_checks);
+  std::ostringstream os;
+  if (!(rec.request.location == expected.location &&
+        rec.request.commodities == expected.commodities)) {
+    os << "request " << id << " in ledger differs from the input";
+    return os.str();
+  }
+
+  CommoditySet covered(cost.num_commodities());
+  for (const ServedCommodity& sc : rec.served) {
+    if (sc.facility >= ledger.num_facilities())
+      return "assignment to unknown facility";
+    const OpenFacilityRecord& f = ledger.facility(sc.facility);
+    if (!f.config.contains(sc.commodity))
+      return "assigned facility does not offer the commodity";
+    if (f.opened_during > id)
+      return "causality violation: facility opened after the request it "
+             "serves";
+    if (covered.contains(sc.commodity))
+      return "commodity covered twice in one request";
+    covered.add(sc.commodity);
+  }
+  if (!(covered == expected.commodities)) {
+    os << "request " << id << " not exactly covered: got "
+       << covered.to_string() << ", demanded "
+       << expected.commodities.to_string();
+    return os.str();
+  }
+
+  double expect_conn = 0.0;
+  if (ledger.policy() == ConnectionChargePolicy::kPerFacility) {
+    // rec.connected must be the sorted distinct facility list.
+    std::vector<FacilityId> distinct;
+    for (const ServedCommodity& sc : rec.served)
+      distinct.push_back(sc.facility);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct != rec.connected)
+      return "connected-facility list inconsistent with assignments";
+    for (FacilityId f : distinct)
+      expect_conn +=
+          metric.distance(expected.location, ledger.facility(f).location);
+  } else {
+    for (const ServedCommodity& sc : rec.served)
+      expect_conn += metric.distance(expected.location,
+                                     ledger.facility(sc.facility).location);
+  }
+  if (std::abs(expect_conn - rec.connection_cost) >
+      tolerance * (1.0 + expect_conn)) {
+    os << "request " << id << " connection cost " << rec.connection_cost
+       << " != recomputed " << expect_conn;
+    return os.str();
+  }
+  connection = expect_conn;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -120,6 +214,189 @@ std::optional<VerificationError> verify_solution(const Instance& instance,
     return fail("total connection cost mismatch");
 
   return std::nullopt;
+}
+
+// -------------------------------------------------------- dynamic runs ---
+
+std::optional<VerificationError> verify_stream(const EventStream& stream,
+                                               const SolutionLedger& ledger,
+                                               double tolerance) {
+  if (ledger.request_in_flight())
+    return fail("ledger left a request in flight");
+  if (ledger.first_record_id() != 0)
+    return fail("compacted ledger cannot be verified offline; use "
+                "StreamVerifier during the run");
+
+  // Independently re-derive the retirement timeline: explicit departures
+  // and lease expiries, with expiries firing before the event at their
+  // deadline and explicit departures winning over a later expiry.
+  using Expiry = std::pair<std::uint64_t, RequestId>;
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>>
+      expiries;
+  std::vector<std::uint64_t> retired_at;  // by arrival id
+  std::vector<const Request*> arrivals;
+  const std::vector<StreamEvent>& events = stream.events();
+  for (std::size_t t = 0; t < events.size(); ++t) {
+    while (!expiries.empty() && expiries.top().first <= t) {
+      const auto [deadline, id] = expiries.top();
+      expiries.pop();
+      if (retired_at[id] == kNeverRetired) retired_at[id] = deadline;
+    }
+    const StreamEvent& e = events[t];
+    if (e.kind == StreamEvent::Kind::kArrival) {
+      const RequestId id = arrivals.size();
+      arrivals.push_back(&e.request);
+      retired_at.push_back(kNeverRetired);
+      if (e.lease > 0) expiries.emplace(lease_deadline(t, e.lease), id);
+    } else {
+      if (e.target >= arrivals.size() ||
+          retired_at[e.target] != kNeverRetired)
+        return fail("stream contains an invalid departure (event " +
+                    std::to_string(t) + ")");
+      retired_at[e.target] = t;
+    }
+  }
+
+  if (ledger.num_requests() != arrivals.size()) {
+    std::ostringstream os;
+    os << "ledger served " << ledger.num_requests()
+       << " requests, stream has " << arrivals.size() << " arrivals";
+    return fail(os.str());
+  }
+
+  const MetricSpace& metric = stream.metric();
+  const FacilityCostModel& cost = stream.cost();
+
+  double opening = 0.0;
+  for (const OpenFacilityRecord& f : ledger.facilities()) {
+    if (auto error = check_facility(metric, cost, f, tolerance))
+      return fail(*error);
+    opening += cost.open_cost(f.location, f.config);
+  }
+  if (std::abs(opening - ledger.opening_cost()) > tolerance * (1.0 + opening))
+    return fail("total opening cost mismatch");
+
+  double gross = 0.0;
+  double active = 0.0;
+  std::size_t active_count = 0;
+  for (RequestId id = 0; id < arrivals.size(); ++id) {
+    const RequestRecord& rec = ledger.request_records()[id];
+    if (rec.retired_at != retired_at[id]) {
+      std::ostringstream os;
+      os << "request " << id << " active interval mismatch: ledger retired "
+         << "at " << rec.retired_at << ", timeline says " << retired_at[id]
+         << " (" << kNeverRetired << " = never)";
+      return fail(os.str());
+    }
+    double connection = 0.0;
+    if (auto error = check_record(metric, cost, ledger, id, *arrivals[id],
+                                  rec, tolerance, connection))
+      return fail(*error);
+    gross += connection;
+    if (rec.active()) {
+      active += connection;
+      ++active_count;
+    }
+  }
+  if (std::abs(gross - ledger.connection_cost()) > tolerance * (1.0 + gross))
+    return fail("total connection cost mismatch");
+  if (std::abs(active - ledger.active_connection_cost()) >
+      tolerance * (1.0 + active))
+    return fail("active connection cost mismatch");
+  if (active_count != ledger.num_active_requests())
+    return fail("active request count mismatch");
+  return std::nullopt;
+}
+
+StreamVerifier::StreamVerifier(MetricPtr metric, CostModelPtr cost,
+                               double tolerance)
+    : metric_(std::move(metric)),
+      cost_(std::move(cost)),
+      tolerance_(tolerance) {
+  OMFLP_PERF_COUNT(verifier_checks);
+}
+
+void StreamVerifier::fail_check(const std::string& what) {
+  if (!error_) error_ = VerificationError{what};
+}
+
+void StreamVerifier::on_arrival(RequestId id, const Request& request,
+                                const SolutionLedger& ledger) {
+  if (error_) return;
+  if (id != next_expected_) {
+    fail_check("arrivals out of order");
+    return;
+  }
+  ++next_expected_;
+
+  // New facilities opened while serving this arrival.
+  while (facilities_seen_ < ledger.num_facilities()) {
+    const OpenFacilityRecord& f = ledger.facility(facilities_seen_);
+    if (auto error = check_facility(*metric_, *cost_, f, tolerance_)) {
+      fail_check(*error);
+      return;
+    }
+    opening_ += cost_->open_cost(f.location, f.config);
+    ++facilities_seen_;
+  }
+
+  const RequestRecord& rec = ledger.request_record(id);
+  if (!rec.active()) {
+    fail_check("freshly served request is not active");
+    return;
+  }
+  double connection = 0.0;
+  if (auto error = check_record(*metric_, *cost_, ledger, id, request, rec,
+                                tolerance_, connection)) {
+    fail_check(*error);
+    return;
+  }
+  gross_connection_ += connection;
+  active_costs_.emplace(id, connection);
+}
+
+void StreamVerifier::on_retire(RequestId id, std::uint64_t event_index,
+                               const SolutionLedger& ledger) {
+  if (error_) return;
+  const auto it = active_costs_.find(id);
+  if (it == active_costs_.end()) {
+    fail_check("retirement of an unknown or already-retired request");
+    return;
+  }
+  const RequestRecord& rec = ledger.request_record(id);
+  if (rec.retired_at != event_index) {
+    std::ostringstream os;
+    os << "request " << id << " retired_at " << rec.retired_at
+       << " != runner event " << event_index;
+    fail_check(os.str());
+    return;
+  }
+  retired_connection_ += it->second;
+  active_costs_.erase(it);
+}
+
+std::optional<VerificationError> StreamVerifier::finish(
+    const SolutionLedger& ledger) {
+  if (error_) return error_;
+  if (ledger.request_in_flight())
+    return fail("ledger left a request in flight");
+  if (next_expected_ != ledger.num_requests())
+    fail_check("ledger request count differs from arrivals seen");
+  else if (facilities_seen_ != ledger.num_facilities())
+    fail_check("facilities opened outside any arrival");
+  else if (std::abs(opening_ - ledger.opening_cost()) >
+           tolerance_ * (1.0 + opening_))
+    fail_check("total opening cost mismatch");
+  else if (std::abs(gross_connection_ - ledger.connection_cost()) >
+           tolerance_ * (1.0 + gross_connection_))
+    fail_check("total connection cost mismatch");
+  else if (std::abs((gross_connection_ - retired_connection_) -
+                    ledger.active_connection_cost()) >
+           tolerance_ * (1.0 + gross_connection_))
+    fail_check("active connection cost mismatch");
+  else if (active_costs_.size() != ledger.num_active_requests())
+    fail_check("active request count mismatch");
+  return error_;
 }
 
 }  // namespace omflp

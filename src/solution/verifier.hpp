@@ -4,11 +4,23 @@
 // re-derives everything from the raw records with separate code so that a
 // bookkeeping bug in the ledger (or an algorithm bypassing it in a novel
 // way) cannot hide. Every algorithm test runs the verifier on its output.
+//
+// Dynamic streams get two verifiers with the same philosophy:
+//   * verify_stream — offline, for materialized (uncompacted) runs:
+//     re-derives the retirement timeline from the EventStream (explicit
+//     departures and lease expiries) and checks every record's active
+//     interval and the active/gross cost split against it;
+//   * StreamVerifier — incremental, fed by the stream runner as events
+//     are processed, so records can be compacted away afterwards without
+//     losing verification coverage. Memory is O(active set).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
+#include "instance/event_stream.hpp"
 #include "instance/instance.hpp"
 #include "solution/solution.hpp"
 
@@ -31,5 +43,61 @@ struct VerificationError {
 std::optional<VerificationError> verify_solution(const Instance& instance,
                                                  const SolutionLedger& ledger,
                                                  double tolerance = 1e-6);
+
+/// Offline verification of a dynamic run against its EventStream.
+/// Checks, beyond the static per-record properties (coverage, causality,
+/// facility pricing, connection costs):
+///  * the ledger served exactly the stream's arrivals, in order;
+///  * every record's retirement matches the independently re-derived
+///    timeline — explicit departures and lease expiries at the exact
+///    event indices, survivors still active;
+///  * the active/gross accounting: connection_cost() sums all records,
+///    active_connection_cost() sums the surviving ones.
+/// Requires an uncompacted ledger (first_record_id() == 0); compacted
+/// stream runs are verified incrementally by StreamVerifier instead.
+std::optional<VerificationError> verify_stream(const EventStream& stream,
+                                               const SolutionLedger& ledger,
+                                               double tolerance = 1e-6);
+
+/// Incremental verifier for (possibly compacted) stream runs. The stream
+/// runner calls on_arrival after each served arrival and on_retire after
+/// each retirement, both *before* any compaction, so every record is
+/// checked exactly once while still resident; finish() closes the books
+/// against the ledger totals. The first failure sticks and short-circuits
+/// later checks. Holds O(active requests) state.
+class StreamVerifier {
+ public:
+  StreamVerifier(MetricPtr metric, CostModelPtr cost,
+                 double tolerance = 1e-6);
+
+  /// Arrival `id` (== ledger request id) was just served with `request`.
+  void on_arrival(RequestId id, const Request& request,
+                  const SolutionLedger& ledger);
+  /// Arrival `id` was just retired at stream-event index `event_index`.
+  void on_retire(RequestId id, std::uint64_t event_index,
+                 const SolutionLedger& ledger);
+  /// Final totals check; returns the first error found, or nullopt.
+  std::optional<VerificationError> finish(const SolutionLedger& ledger);
+
+  const std::optional<VerificationError>& error() const noexcept {
+    return error_;
+  }
+
+ private:
+  void fail_check(const std::string& what);
+
+  MetricPtr metric_;
+  CostModelPtr cost_;
+  double tolerance_;
+
+  RequestId next_expected_ = 0;
+  std::size_t facilities_seen_ = 0;
+  double opening_ = 0.0;
+  double gross_connection_ = 0.0;
+  double retired_connection_ = 0.0;
+  /// Recomputed connection cost of each still-active request.
+  std::unordered_map<RequestId, double> active_costs_;
+  std::optional<VerificationError> error_;
+};
 
 }  // namespace omflp

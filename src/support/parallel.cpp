@@ -1,20 +1,25 @@
 #include "support/parallel.hpp"
 
 #include <atomic>
-#include <cstdlib>
+#include <cstdio>
 #include <exception>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/parse.hpp"
 
 namespace omflp {
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("OMFLP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
+  // Strict parse: "8abc" used to read as 8; it now warns and falls back
+  // to hardware concurrency, as does an explicit 0.
+  if (const auto v = env_u64("OMFLP_THREADS")) {
+    if (*v >= 1) return static_cast<std::size_t>(*v);
+    std::fprintf(stderr,
+                 "omflp: OMFLP_THREADS must be >= 1; using hardware "
+                 "concurrency\n");
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

@@ -1,0 +1,76 @@
+#include "support/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace omflp {
+
+std::optional<std::uint64_t> parse_u64_strict(
+    std::string_view text) noexcept {
+  std::size_t i = 0;
+  if (!text.empty() && text[0] == '+') i = 1;
+  if (i == text.size()) return std::nullopt;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_double_strict(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  // strtod skips any leading whitespace (space, tab, newline, vertical
+  // tab, ...) and accepts hex-float literals; strictness forbids both —
+  // the first character must already be part of a plain decimal number.
+  const char front = text.front();
+  if (!(front == '+' || front == '-' || front == '.' ||
+        (front >= '0' && front <= '9')))
+    return std::nullopt;
+  for (const char c : text)
+    if (c == 'x' || c == 'X') return std::nullopt;  // no hex floats
+  const std::string buffer(text);  // strtod needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || end == buffer.c_str())
+    return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::uint64_t parse_u64_arg(const std::string& text,
+                            const std::string& what) {
+  if (const auto value = parse_u64_strict(text)) return *value;
+  throw std::invalid_argument(what + ": '" + text +
+                              "' is not a non-negative integer in the "
+                              "64-bit range");
+}
+
+double parse_double_arg(const std::string& text, const std::string& what) {
+  if (const auto value = parse_double_strict(text)) return *value;
+  throw std::invalid_argument(what + ": '" + text +
+                              "' is not a finite number");
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) noexcept {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return std::nullopt;
+  const auto value = parse_u64_strict(text);
+  if (!value)
+    std::fprintf(stderr,
+                 "omflp: ignoring malformed %s='%s' (expected a "
+                 "non-negative integer)\n",
+                 name, text);
+  return value;
+}
+
+}  // namespace omflp

@@ -1,0 +1,51 @@
+// Strict numeric parsing — the one implementation behind every
+// command-line argument and environment variable the library reads.
+//
+// The std::strtoull/strtod conventions are a bug farm for user input:
+// strtoull silently wraps negative text ("-5" becomes 2^64−5), both accept
+// trailing garbage unless the caller checks the end pointer, and overflow
+// is only reported through errno. The helpers here are strict instead:
+// the whole string must parse, sign wrap and out-of-range magnitudes are
+// rejected, and non-finite doubles never come back.
+//
+// Two layers:
+//   * parse_u64_strict / parse_double_strict — pure, allocation-light,
+//     return std::nullopt on any violation (the testable core);
+//   * parse_u64_arg / parse_double_arg — CLI wrappers that throw
+//     std::invalid_argument with a "--flag: ..." message;
+//   * env_u64 — environment wrapper that warns on stderr and falls back
+//     (a malformed environment variable must never crash startup).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace omflp {
+
+/// Non-negative integer: an optional leading '+', then decimal digits
+/// only. Rejects empty text, any other character (including leading
+/// whitespace, '-', and trailing garbage like "123abc"), and values that
+/// overflow std::uint64_t.
+std::optional<std::uint64_t> parse_u64_strict(std::string_view text) noexcept;
+
+/// Finite double: must start with a digit, sign or '.', the whole string
+/// must be consumed (no leading whitespace of any kind, no trailing
+/// garbage), hex-float literals are rejected, and the value must be
+/// finite and inside double range ("1e999" and "nan"/"inf" are
+/// rejected).
+std::optional<double> parse_double_strict(std::string_view text) noexcept;
+
+/// CLI wrappers: like the _strict functions but throwing
+/// std::invalid_argument naming `what` (e.g. "--trials") on bad input.
+std::uint64_t parse_u64_arg(const std::string& text, const std::string& what);
+double parse_double_arg(const std::string& text, const std::string& what);
+
+/// Reads the environment variable `name` through parse_u64_strict.
+/// Unset -> nullopt. Malformed or overflowing values print one warning to
+/// stderr and also return nullopt, so callers fall back to their default
+/// (an environment variable must never abort the process).
+std::optional<std::uint64_t> env_u64(const char* name) noexcept;
+
+}  // namespace omflp

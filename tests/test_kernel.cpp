@@ -580,5 +580,108 @@ TEST_P(PdLongAdversarial, AuditCleanInBothBidModesMidSequence) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PdLongAdversarial,
                          ::testing::Values(1, 4));
 
+// --------------------------------------------- NaN / divisor edge cases ---
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(KernelEdgeCases, ArgminNeverPicksNaN) {
+  // Regression: the running best used to be seeded with row[0], so a NaN
+  // in the first slot made every later "x < best" comparison false and
+  // the NaN index won the argmin silently.
+  const std::vector<double> row = {kNaN, 3.0, 1.0, 2.0};
+  EXPECT_EQ(kernel::argmin_over_row(row.data(), row.size()), 2u);
+
+  const std::vector<double> mid = {5.0, kNaN, 4.0, kNaN, 6.0};
+  EXPECT_EQ(kernel::argmin_over_row(mid.data(), mid.size()), 2u);
+}
+
+TEST(KernelEdgeCases, ArgminAllNaNOrInfReturnsFirstIndex) {
+  const std::vector<double> nans = {kNaN, kNaN, kNaN};
+  EXPECT_EQ(kernel::argmin_over_row(nans.data(), nans.size()), 0u);
+  const std::vector<double> mixed = {kInf, kNaN, kInf};
+  EXPECT_EQ(kernel::argmin_over_row(mixed.data(), mixed.size()), 0u);
+}
+
+TEST(KernelEdgeCases, ArgminParallelMergeIsNaNRobust) {
+  // Regression: the chunk merge re-read row[partial[c]], so a NaN chunk
+  // winner shadowed every later finite chunk ("finite < NaN" is false).
+  ThresholdGuard force_parallel(0);
+  std::vector<double> row(3 * 8192 + 7, 50.0);
+  for (std::size_t i = 0; i < 8192; ++i) row[i] = kNaN;  // chunk 0: all NaN
+  row[2 * 8192 + 11] = 0.25;  // the true minimum, in chunk 2
+  EXPECT_EQ(kernel::argmin_over_row(row.data(), row.size()),
+            2u * 8192 + 11);
+  ::setenv("OMFLP_THREADS", "4", 1);
+  EXPECT_EQ(kernel::argmin_over_row(row.data(), row.size()),
+            2u * 8192 + 11);
+  ::unsetenv("OMFLP_THREADS");
+}
+
+TEST(KernelEdgeCases, ArgminMaskedIgnoresNaNAndReportsNoneEligible) {
+  const std::vector<double> row = {kNaN, 2.0, 1.0, kNaN};
+  const std::vector<std::uint32_t> keys = {0, 1, 5, 0};
+  // NaN at an eligible slot never beats a finite eligible value.
+  EXPECT_EQ(kernel::argmin_over_row_where(row.data(), keys.data(),
+                                          /*limit=*/1, row.size()),
+            1u);
+  // Every eligible slot NaN -> "none eligible" (n), not a NaN index.
+  EXPECT_EQ(kernel::argmin_over_row_where(row.data(), keys.data(),
+                                          /*limit=*/0, row.size()),
+            row.size());
+}
+
+TEST(KernelEdgeCases, MinTightnessSkipsNaNElements) {
+  // Point 0 has a NaN bid; point 1 is genuinely tight. The NaN must
+  // neither win the event scan nor poison the running minimum.
+  const std::vector<double> dist = {0.0, 1.0, 3.0};
+  const std::vector<double> cost = {5.0, 2.0, 4.0};
+  const std::vector<double> bids = {kNaN, 2.0, 0.0};
+  const kernel::RowEvent event = kernel::min_tightness_over_row(
+      dist.data(), cost.data(), bids.data(), /*raised=*/1.0,
+      /*divisor=*/1.0, dist.size());
+  EXPECT_EQ(event.index, 1u);
+  EXPECT_EQ(event.delta, 0.0);
+
+  const std::vector<double> all_nan = {kNaN, kNaN, kNaN};
+  const kernel::RowEvent none = kernel::min_tightness_over_row(
+      all_nan.data(), cost.data(), bids.data(), /*raised=*/0.0,
+      /*divisor=*/1.0, all_nan.size());
+  EXPECT_FALSE(std::isfinite(none.delta));  // no event reported
+}
+
+TEST(KernelEdgeCases, MinTightnessNonPositiveDivisorReportsNoEvent) {
+  const std::vector<double> dist = {0.0, 1.0};
+  const std::vector<double> cost = {0.0, 2.0};
+  const std::vector<double> bids = {0.0, 0.0};
+  // Point 0 is tight (delta 0): with divisor 0 the old code computed
+  // 0/0 = NaN, and with a negative divisor positive deltas became
+  // negative winning "event times". Both must report no event instead.
+  for (const double divisor : {0.0, -1.0, kNaN}) {
+    const kernel::RowEvent event = kernel::min_tightness_over_row(
+        dist.data(), cost.data(), bids.data(), /*raised=*/0.0, divisor,
+        dist.size());
+    EXPECT_EQ(event.delta, kInf) << "divisor " << divisor;
+    EXPECT_EQ(event.index, static_cast<std::size_t>(-1))
+        << "divisor " << divisor;
+  }
+}
+
+TEST(KernelEdgeCases, FirstIndexWhereTightIgnoresNaN) {
+  const std::vector<double> dist = {kNaN, 0.0, 0.0};
+  const std::vector<double> cost = {0.0, kNaN, 1.0};
+  const std::vector<double> bids = {5.0, 5.0, 1.0};
+  // Points 0 and 1 have NaN inputs; point 2 is the first real tight one.
+  EXPECT_EQ(kernel::first_index_where_tight(dist.data(), cost.data(),
+                                            bids.data(), /*raised=*/2.0,
+                                            dist.size()),
+            2u);
+  const std::vector<double> nan_bids = {kNaN, kNaN, kNaN};
+  EXPECT_EQ(kernel::first_index_where_tight(dist.data(), cost.data(),
+                                            nan_bids.data(),
+                                            /*raised=*/2.0, dist.size()),
+            dist.size());
+}
+
 }  // namespace
 }  // namespace omflp

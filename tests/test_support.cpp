@@ -5,12 +5,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include "support/commodity_set.hpp"
 #include "support/harmonic.hpp"
 #include "support/parallel.hpp"
+#include "support/parse.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -319,6 +322,92 @@ TEST(ParallelFor, InlineWhenSingleThread) {
 
 TEST(ParallelFor, EmptyRangeIsNoop) {
   parallel_for(0, [&](std::size_t) { FAIL(); }, 4);
+}
+
+// -------------------------------------------------------- strict parsing ---
+
+TEST(Parse, U64StrictAcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64_strict("0"), 0u);
+  EXPECT_EQ(parse_u64_strict("42"), 42u);
+  EXPECT_EQ(parse_u64_strict("+7"), 7u);
+  // Exactly UINT64_MAX still fits.
+  EXPECT_EQ(parse_u64_strict("18446744073709551615"),
+            18446744073709551615ull);
+}
+
+TEST(Parse, U64StrictRejectsNegativeInput) {
+  // Regression: std::strtoull silently wraps negative text, so
+  // "--trials -5" used to become 2^64−5.
+  EXPECT_FALSE(parse_u64_strict("-5").has_value());
+  EXPECT_FALSE(parse_u64_strict("-0").has_value());
+}
+
+TEST(Parse, U64StrictRejectsOverflow) {
+  // Regression: neither CLI parser checked errno == ERANGE.
+  EXPECT_FALSE(parse_u64_strict("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64_strict("99999999999999999999999").has_value());
+}
+
+TEST(Parse, U64StrictRejectsTrailingGarbageAndWhitespace) {
+  // Regression: the OMFLP_KERNEL_THRESHOLD / OMFLP_THREADS readers
+  // accepted "123abc" as 123 and "8abc" as 8.
+  EXPECT_FALSE(parse_u64_strict("123abc").has_value());
+  EXPECT_FALSE(parse_u64_strict("8abc").has_value());
+  EXPECT_FALSE(parse_u64_strict(" 8").has_value());
+  EXPECT_FALSE(parse_u64_strict("8 ").has_value());
+  EXPECT_FALSE(parse_u64_strict("").has_value());
+  EXPECT_FALSE(parse_u64_strict("+").has_value());
+  EXPECT_FALSE(parse_u64_strict("0x10").has_value());
+}
+
+TEST(Parse, DoubleStrictAcceptsUsualForms) {
+  EXPECT_DOUBLE_EQ(*parse_double_strict("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("0"), 0.0);
+}
+
+TEST(Parse, DoubleStrictRejectsGarbageOverflowAndNonFinite) {
+  EXPECT_FALSE(parse_double_strict("1.5x").has_value());
+  EXPECT_FALSE(parse_double_strict("").has_value());
+  EXPECT_FALSE(parse_double_strict(" 1").has_value());
+  // Every whitespace form strtod would skip, not just ' ' and '\t'.
+  EXPECT_FALSE(parse_double_strict("\n1.5").has_value());
+  EXPECT_FALSE(parse_double_strict("\r0.4").has_value());
+  EXPECT_FALSE(parse_double_strict("\t2").has_value());
+  // Hex-float literals are strtod-parseable but not plain decimals.
+  EXPECT_FALSE(parse_double_strict("0x10").has_value());
+  EXPECT_FALSE(parse_double_strict("0X1p3").has_value());
+  // Regression: strtod reports "1e999" as ERANGE + HUGE_VAL; the old CLI
+  // parser accepted the resulting inf.
+  EXPECT_FALSE(parse_double_strict("1e999").has_value());
+  EXPECT_FALSE(parse_double_strict("nan").has_value());
+  EXPECT_FALSE(parse_double_strict("inf").has_value());
+}
+
+TEST(Parse, ArgWrappersThrowWithFlagName) {
+  EXPECT_EQ(parse_u64_arg("12", "--seed"), 12u);
+  EXPECT_THROW(parse_u64_arg("-5", "--trials"), std::invalid_argument);
+  EXPECT_THROW(parse_u64_arg("18446744073709551616", "--trials"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_double_arg("1e999", "--threshold"),
+               std::invalid_argument);
+  try {
+    parse_u64_arg("junk", "--seeds");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--seeds"), std::string::npos);
+  }
+}
+
+TEST(Parse, EnvU64ReadsStrictlyAndFallsBack) {
+  ::setenv("OMFLP_TEST_PARSE_ENV", "77", 1);
+  EXPECT_EQ(env_u64("OMFLP_TEST_PARSE_ENV"), 77u);
+  ::setenv("OMFLP_TEST_PARSE_ENV", "77abc", 1);
+  EXPECT_FALSE(env_u64("OMFLP_TEST_PARSE_ENV").has_value());
+  ::setenv("OMFLP_TEST_PARSE_ENV", "-3", 1);
+  EXPECT_FALSE(env_u64("OMFLP_TEST_PARSE_ENV").has_value());
+  ::unsetenv("OMFLP_TEST_PARSE_ENV");
+  EXPECT_FALSE(env_u64("OMFLP_TEST_PARSE_ENV").has_value());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   omflp run    --scenario S ...       run one (scenario, algorithm, seed)
 //   omflp sweep  --scenarios a,b ...    mass-run a cross-product, emit CSV
 //   omflp replay FILE ...               re-run a saved instance trace
+//   omflp stream --scenario S ...       process a dynamic event stream
 //   omflp bench                         run the perf suite, emit BENCH json
 //   omflp compare OLD NEW               diff two BENCH json files
 //
@@ -13,13 +14,19 @@
 //   omflp replay trace.omflp --algorithm rand --seed 7
 //   omflp sweep --scenarios all --algorithms pd,rand --seeds 8 \
 //               --csv sweep.csv --json sweep.json
+//   omflp stream --scenario churn-uniform --algorithm pd --save churn.omflp
+//   omflp stream --trace churn.omflp --algorithm greedy --batch 4096
 //   omflp bench --quick --out BENCH_default.json
 //   omflp compare benchmarks/BENCH_baseline.json BENCH_default.json \
 //               --threshold 1.15
 //
 // Every run is a deterministic function of (scenario, parameters, seed):
 // `replay` on a trace saved by `run --save` reproduces the same total
-// cost exactly, as does re-running `run` with the same arguments.
+// cost exactly, as does re-running `run` with the same arguments; the
+// same holds for `stream --trace` on a trace saved by `stream --save`.
+// `stream --trace` reads the trace in bounded-memory batches and compacts
+// retired ledger records, so million-event traces process in O(active
+// set + batch) resident state.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,14 +37,18 @@
 #include <vector>
 
 #include "analysis/competitive.hpp"
+#include "core/stream_runner.hpp"
 #include "instance/io.hpp"
+#include "instance/stream_io.hpp"
 #include "perf/bench_compare.hpp"
 #include "perf/bench_suite.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/registry_util.hpp"
 #include "scenario/scenario_registry.hpp"
+#include "scenario/stream_registry.hpp"
 #include "scenario/sweep.hpp"
 #include "solution/verifier.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -70,6 +81,22 @@ int usage(std::ostream& os, int exit_code) {
         "  replay FILE               re-run a saved instance trace\n"
         "    --algorithm NAME          default: pd\n"
         "    --seed N                  default: 1\n"
+        "  stream                    process a dynamic event stream "
+        "(arrivals + deletions)\n"
+        "    --scenario NAME           generate a stream scenario, or\n"
+        "    --trace FILE              stream a saved trace from disk "
+        "(bounded memory)\n"
+        "    --algorithm NAME          default: pd\n"
+        "    --seed N                  default: 1\n"
+        "    --set key=value           override a scenario parameter "
+        "(repeatable)\n"
+        "    --save FILE               save the generated stream trace\n"
+        "    --batch N                 events per IO/compaction batch "
+        "(default: 8192)\n"
+        "    --no-verify               skip the incremental stream "
+        "verifier\n"
+        "    --ratio                   force the OPT(surviving) ratio "
+        "estimate\n"
         "  bench                     run the perf suite, write BENCH json\n"
         "    --out FILE                default: BENCH_<suite>.json\n"
         "    --quick                   fewer warmup/timed trials (CI "
@@ -100,14 +127,9 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
-double parse_double(const std::string& text, const std::string& what) {
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0')
-    throw std::invalid_argument(what + ": '" + text + "' is not a number");
-  return value;
-}
-
+// Strict parsers from support/parse.hpp: negative input no longer wraps
+// ("--trials -5" used to become 2^64−5 through strtoull) and ERANGE
+// overflow in either direction is rejected with a clear error.
 void parse_set(const std::string& text,
                std::map<std::string, double>& overrides) {
   const auto eq = text.find('=');
@@ -115,27 +137,28 @@ void parse_set(const std::string& text,
     throw std::invalid_argument("--set expects key=value, got '" + text +
                                 "'");
   const std::string key = text.substr(0, eq);
-  overrides[key] = parse_double(text.substr(eq + 1), "--set " + key);
-}
-
-std::uint64_t parse_u64(const std::string& text, const char* what) {
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0')
-    throw std::invalid_argument(std::string(what) + ": '" + text +
-                                "' is not an integer");
-  return value;
+  overrides[key] = parse_double_arg(text.substr(eq + 1), "--set " + key);
 }
 
 // ------------------------------------------------------------------ list ---
 
 int cmd_list() {
   const ScenarioRegistry& scenarios = default_scenario_registry();
+  const StreamScenarioRegistry& streams = default_stream_scenario_registry();
   const AlgorithmRegistry& algorithms = default_algorithm_registry();
 
   std::cout << "scenarios (" << scenarios.size() << "):\n";
   for (const std::string& name : scenarios.names()) {
     const ScenarioSpec& spec = scenarios.spec(name);
+    std::cout << "  " << name << " — " << spec.description << "\n";
+    for (const ScenarioParam& param : spec.params)
+      std::cout << "      " << param.name << " = " << param.value << "  ("
+                << param.description << ")\n";
+  }
+  std::cout << "\nstream scenarios (" << streams.size()
+            << ", for `omflp stream`):\n";
+  for (const std::string& name : streams.names()) {
+    const StreamScenarioSpec& spec = streams.spec(name);
     std::cout << "  " << name << " — " << spec.description << "\n";
     for (const ScenarioParam& param : spec.params)
       std::cout << "      " << param.name << " = " << param.value << "  ("
@@ -190,7 +213,7 @@ int cmd_run(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--scenario") scenario = take_value(args, i);
     else if (args[i] == "--algorithm") algorithm = take_value(args, i);
-    else if (args[i] == "--seed") seed = parse_u64(take_value(args, i), "--seed");
+    else if (args[i] == "--seed") seed = parse_u64_arg(take_value(args, i), "--seed");
     else if (args[i] == "--set") parse_set(take_value(args, i), overrides);
     else if (args[i] == "--save") save_path = take_value(args, i);
     else throw std::invalid_argument("run: unknown option " + args[i]);
@@ -219,7 +242,7 @@ int cmd_replay(const std::vector<std::string>& args) {
   std::uint64_t seed = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--algorithm") algorithm = take_value(args, i);
-    else if (args[i] == "--seed") seed = parse_u64(take_value(args, i), "--seed");
+    else if (args[i] == "--seed") seed = parse_u64_arg(take_value(args, i), "--seed");
     else if (!args[i].empty() && args[i][0] != '-' && path.empty())
       path = args[i];
     else throw std::invalid_argument("replay: unknown option " + args[i]);
@@ -232,6 +255,129 @@ int cmd_replay(const std::vector<std::string>& args) {
   const Instance instance = read_instance(file);
   report_run(instance, algorithm, seed);
   return 0;
+}
+
+// ---------------------------------------------------------------- stream ---
+
+void report_stream(const std::string& stream_name,
+                   const OnlineAlgorithm& algorithm, std::uint64_t seed,
+                   const StreamRunResult& result, bool verified,
+                   const EventStream* materialized, bool force_ratio) {
+  const SolutionLedger& ledger = result.ledger;
+  std::cout.precision(17);
+  std::cout << "stream     " << stream_name << " (events=" << result.events
+            << ", arrivals=" << result.arrivals << ", departures="
+            << result.departures << ", expiries=" << result.lease_expiries
+            << ", |S|=" << ledger.cost_model().num_commodities() << ", |M|="
+            << ledger.metric().num_points() << ")\n"
+            << "algorithm  " << algorithm.name() << " (seed " << seed
+            << ")\n"
+            << "throughput " << result.events_per_sec() << " events/s ("
+            << result.run_ns / 1e6 << " ms)\n"
+            << "gross      " << ledger.total_cost() << "\n"
+            << "  opening    " << ledger.opening_cost() << "\n"
+            << "  connection " << ledger.connection_cost() << "\n"
+            << "active     " << ledger.active_cost() << " ("
+            << ledger.num_active_requests() << " surviving requests)\n"
+            << "facilities " << ledger.num_facilities() << " ("
+            << ledger.num_small_facilities() << " small, "
+            << ledger.num_large_facilities() << " large)\n"
+            << "memory     peak " << result.peak_resident_records
+            << " resident records (peak active " << result.peak_active
+            << ")\n";
+  if (verified)
+    std::cout << "verified   active-interval ledger OK\n";
+
+  // OPT on the surviving set needs the materialized stream; estimate it
+  // for small surviving sets (or on request) — it is the denominator of
+  // the dynamic competitive ratio.
+  constexpr std::size_t kAutoRatioLimit = 2048;
+  if (materialized != nullptr &&
+      (force_ratio ||
+       ledger.num_active_requests() <= kAutoRatioLimit)) {
+    const Instance surviving = materialized->surviving_instance();
+    if (surviving.num_requests() > 0) {
+      const OptEstimate opt = estimate_opt(surviving);
+      std::cout << "opt(surv)  " << opt.cost << " (" << opt.method
+                << (opt.exact ? ", exact" : ", upper bound") << ")\n"
+                << "ratio      " << ledger.active_cost() / opt.cost
+                << "  (active cost vs OPT on the surviving set)\n";
+    }
+  }
+}
+
+int cmd_stream(const std::vector<std::string>& args) {
+  std::string scenario;
+  std::string trace_path;
+  std::string algorithm = "pd";
+  std::string save_path;
+  std::uint64_t seed = 1;
+  std::map<std::string, double> overrides;
+  StreamRunOptions options;
+  options.verify = true;
+  bool force_ratio = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scenario") scenario = take_value(args, i);
+    else if (args[i] == "--trace") trace_path = take_value(args, i);
+    else if (args[i] == "--algorithm") algorithm = take_value(args, i);
+    else if (args[i] == "--seed")
+      seed = parse_u64_arg(take_value(args, i), "--seed");
+    else if (args[i] == "--set") parse_set(take_value(args, i), overrides);
+    else if (args[i] == "--save") save_path = take_value(args, i);
+    else if (args[i] == "--batch")
+      options.batch_size = parse_u64_arg(take_value(args, i), "--batch");
+    else if (args[i] == "--no-verify") options.verify = false;
+    else if (args[i] == "--ratio") force_ratio = true;
+    else throw std::invalid_argument("stream: unknown option " + args[i]);
+  }
+  if (scenario.empty() == trace_path.empty())
+    throw std::invalid_argument(
+        "stream: exactly one of --scenario / --trace is required");
+
+  auto algo = default_algorithm_registry().make(
+      algorithm, derive_algorithm_seed(seed));
+
+  auto finish = [&](const std::string& name, const StreamRunResult& result,
+                    const EventStream* materialized) {
+    report_stream(name, *algo, seed, result,
+                  options.verify && !result.violation, materialized,
+                  force_ratio);
+    if (result.violation)
+      throw std::logic_error("invalid stream run: " +
+                             result.violation->what);
+    return 0;
+  };
+
+  if (!trace_path.empty()) {
+    if (!save_path.empty())
+      throw std::invalid_argument(
+          "stream: --save applies to generated scenarios only");
+    if (force_ratio)
+      throw std::invalid_argument(
+          "stream: --ratio requires --scenario (the batched trace path "
+          "never materializes the surviving set)");
+    if (!overrides.empty())
+      throw std::invalid_argument(
+          "stream: --set applies to generated scenarios only; a trace "
+          "replays exactly as saved");
+    std::ifstream file(trace_path);
+    if (!file) throw std::runtime_error("cannot open " + trace_path);
+    StreamTraceReader reader(file);
+    const StreamRunResult result = run_stream(*algo, reader, options);
+    return finish(reader.name(), result, nullptr);
+  }
+
+  const EventStream stream =
+      default_stream_scenario_registry().make(scenario, seed, overrides);
+  if (!save_path.empty()) {
+    std::ofstream file(save_path);
+    if (!file)
+      throw std::runtime_error("cannot open " + save_path + " for writing");
+    write_event_stream(file, stream);
+    std::cout << "saved      " << save_path << "\n";
+  }
+  const StreamRunResult result = run_stream(*algo, stream, options);
+  return finish(stream.name(), result, &stream);
 }
 
 // ----------------------------------------------------------------- sweep ---
@@ -248,13 +394,13 @@ int cmd_sweep(const std::vector<std::string>& args) {
       const std::string value = take_value(args, i);
       if (value != "all") options.algorithms = split_csv(value);
     } else if (args[i] == "--seeds") {
-      options.seeds = parse_u64(take_value(args, i), "--seeds");
+      options.seeds = parse_u64_arg(take_value(args, i), "--seeds");
     } else if (args[i] == "--seed-base") {
-      options.seed_base = parse_u64(take_value(args, i), "--seed-base");
+      options.seed_base = parse_u64_arg(take_value(args, i), "--seed-base");
     } else if (args[i] == "--set") {
       parse_set(take_value(args, i), options.overrides);
     } else if (args[i] == "--threads") {
-      options.threads = parse_u64(take_value(args, i), "--threads");
+      options.threads = parse_u64_arg(take_value(args, i), "--threads");
     } else if (args[i] == "--csv") {
       csv_path = take_value(args, i);
     } else if (args[i] == "--json") {
@@ -297,9 +443,9 @@ int cmd_bench(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--quick") quick = true;
     else if (args[i] == "--trials")
-      trials = parse_u64(take_value(args, i), "--trials");
+      trials = parse_u64_arg(take_value(args, i), "--trials");
     else if (args[i] == "--warmup")
-      warmup = parse_u64(take_value(args, i), "--warmup");
+      warmup = parse_u64_arg(take_value(args, i), "--warmup");
     else if (args[i] == "--out") out_path = take_value(args, i);
     else throw std::invalid_argument("bench: unknown option " + args[i]);
   }
@@ -338,7 +484,7 @@ int cmd_compare(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threshold")
       options.regression_threshold =
-          parse_double(take_value(args, i), "--threshold");
+          parse_double_arg(take_value(args, i), "--threshold");
     else if (args[i] == "--report-only") report_only = true;
     else if (!args[i].empty() && args[i][0] != '-') paths.push_back(args[i]);
     else throw std::invalid_argument("compare: unknown option " + args[i]);
@@ -370,6 +516,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "stream") return cmd_stream(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "help" || command == "--help" || command == "-h")
