@@ -1,11 +1,9 @@
 #include "core/stream_runner.hpp"
 
 #include <chrono>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
@@ -28,103 +26,130 @@ std::uint64_t now_ns() {
 
 }  // namespace
 
-StreamRunResult run_stream(OnlineAlgorithm& algorithm, EventSource& source,
-                           const StreamRunOptions& options) {
+namespace {
+
+/// Validates the source before the ledger is constructed from it, so an
+/// incomplete source fails with the stream-level message (not the
+/// ledger's null-pointer one).
+SolutionLedger make_session_ledger(EventSource& source,
+                                   const StreamRunOptions& options) {
   OMFLP_REQUIRE(options.batch_size > 0, "run_stream: batch_size must be "
                                         "positive");
-  MetricPtr metric = source.metric();
-  CostModelPtr cost = source.cost();
-  OMFLP_REQUIRE(metric != nullptr && cost != nullptr,
+  OMFLP_REQUIRE(source.metric() != nullptr && source.cost() != nullptr,
                 "run_stream: incomplete event source");
+  return SolutionLedger(source.metric(), source.cost(), options.policy);
+}
 
-  StreamRunResult result(SolutionLedger(metric, cost, options.policy));
-  SolutionLedger& ledger = result.ledger;
-  algorithm.reset(ProblemContext{metric, cost});
+}  // namespace
 
-  std::optional<StreamVerifier> verifier;
-  if (options.verify) verifier.emplace(metric, cost);
+StreamSession::StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
+                             const StreamRunOptions& options)
+    : algorithm_(algorithm),
+      source_(source),
+      options_(options),
+      result_(make_session_ledger(source, options)) {
+  algorithm_.reset(ProblemContext{source_.metric(), source_.cost()});
+  if (options_.verify)
+    verifier_.emplace(source_.metric(), source_.cost());
+  batch_.reserve(options_.batch_size);
+}
 
-  // Pending lease expiries, min-ordered on (deadline, arrival id) so
-  // simultaneous expiries fire in arrival order. Entries for arrivals
-  // that were explicitly departed first are skipped lazily.
-  using Expiry = std::pair<std::uint64_t, RequestId>;
-  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>>
-      expiries;
-  std::vector<bool> active;  // by arrival id
-  std::size_t num_active = 0;
+void StreamSession::retire(RequestId id, std::uint64_t event_index) {
+  SolutionLedger& ledger = result_.ledger;
+  ledger.retire_request(id, event_index);
+  active_[id] = false;
+  --num_active_;
+  if (verifier_) verifier_->on_retire(id, event_index, ledger);
+  // The record survives until the post-batch compaction, so the
+  // depart() hook may still read it.
+  algorithm_.depart(id, ledger.request_record(id).request, ledger);
+}
+
+void StreamSession::process_event(const StreamEvent& event) {
+  SolutionLedger& ledger = result_.ledger;
+  const MetricSpace& metric = ledger.metric();
+  const FacilityCostModel& cost = ledger.cost_model();
+
+  while (!expiries_.empty() && expiries_.top().first <= clock_) {
+    const auto [deadline, id] = expiries_.top();
+    expiries_.pop();
+    if (!active_[id]) continue;  // departed explicitly before expiry
+    retire(id, deadline);
+    ++result_.lease_expiries;
+  }
+
+  if (event.kind == StreamEvent::Kind::kArrival) {
+    // Same checks as EventStream::validate, with the event index in
+    // the message. (begin_request would also reject these, but a
+    // programmatically-built source deserves a stream-level error,
+    // and nothing malformed may reach the raw-pointer kernels.)
+    if (event.request.location >= metric.num_points())
+      bad_event(clock_, "arrival location outside the metric space");
+    if (event.request.commodities.universe_size() != cost.num_commodities())
+      bad_event(clock_, "arrival demand set over the wrong universe");
+    if (event.request.commodities.empty())
+      bad_event(clock_, "empty demand set");
+    const RequestId id = active_.size();
+    ledger.begin_request(event.request);
+    algorithm_.serve(event.request, ledger);
+    ledger.finish_request();
+    OMFLP_PERF_COUNT(requests_served);
+    active_.push_back(true);
+    ++num_active_;
+    if (event.lease > 0)
+      expiries_.emplace(lease_deadline(clock_, event.lease), id);
+    if (verifier_) verifier_->on_arrival(id, event.request, ledger);
+    ++result_.arrivals;
+  } else {
+    if (event.target >= active_.size())
+      bad_event(clock_, "departure of an arrival that has not happened");
+    if (!active_[event.target])
+      bad_event(clock_, "departure of an arrival that is no longer active");
+    retire(event.target, clock_);
+    ++result_.departures;
+  }
+
+  ++clock_;
+  if (num_active_ > result_.peak_active) result_.peak_active = num_active_;
+  const std::size_t resident = ledger.request_records().size();
+  if (resident > result_.peak_resident_records)
+    result_.peak_resident_records = resident;
+}
+
+std::size_t StreamSession::step_batch() {
+  OMFLP_REQUIRE(!finished_, "StreamSession: step_batch after finish");
+  if (exhausted_) return 0;
 
   const std::uint64_t start_ns = now_ns();
-  std::vector<StreamEvent> batch;
-  batch.reserve(options.batch_size);
-  std::uint64_t t = 0;
-
-  auto retire = [&](RequestId id, std::uint64_t event_index) {
-    ledger.retire_request(id, event_index);
-    active[id] = false;
-    --num_active;
-    if (verifier) verifier->on_retire(id, event_index, ledger);
-    // The record survives until the post-batch compaction, so the
-    // depart() hook may still read it.
-    algorithm.depart(id, ledger.request_record(id).request, ledger);
-  };
-
-  for (;;) {
-    batch.clear();
-    if (source.next_batch(batch, options.batch_size) == 0) break;
-    for (const StreamEvent& event : batch) {
-      while (!expiries.empty() && expiries.top().first <= t) {
-        const auto [deadline, id] = expiries.top();
-        expiries.pop();
-        if (!active[id]) continue;  // departed explicitly before expiry
-        retire(id, deadline);
-        ++result.lease_expiries;
-      }
-
-      if (event.kind == StreamEvent::Kind::kArrival) {
-        // Same checks as EventStream::validate, with the event index in
-        // the message. (begin_request would also reject these, but a
-        // programmatically-built source deserves a stream-level error,
-        // and nothing malformed may reach the raw-pointer kernels.)
-        if (event.request.location >= metric->num_points())
-          bad_event(t, "arrival location outside the metric space");
-        if (event.request.commodities.universe_size() !=
-            cost->num_commodities())
-          bad_event(t, "arrival demand set over the wrong universe");
-        if (event.request.commodities.empty())
-          bad_event(t, "empty demand set");
-        const RequestId id = active.size();
-        ledger.begin_request(event.request);
-        algorithm.serve(event.request, ledger);
-        ledger.finish_request();
-        OMFLP_PERF_COUNT(requests_served);
-        active.push_back(true);
-        ++num_active;
-        if (event.lease > 0)
-          expiries.emplace(lease_deadline(t, event.lease), id);
-        if (verifier) verifier->on_arrival(id, event.request, ledger);
-        ++result.arrivals;
-      } else {
-        if (event.target >= active.size())
-          bad_event(t, "departure of an arrival that has not happened");
-        if (!active[event.target])
-          bad_event(t, "departure of an arrival that is no longer active");
-        retire(event.target, t);
-        ++result.departures;
-      }
-
-      ++t;
-      if (num_active > result.peak_active) result.peak_active = num_active;
-      const std::size_t resident = ledger.request_records().size();
-      if (resident > result.peak_resident_records)
-        result.peak_resident_records = resident;
-    }
-    if (options.compact) ledger.compact_retired_prefix();
+  batch_.clear();
+  const std::size_t pulled =
+      source_.next_batch(batch_, options_.batch_size);
+  if (pulled == 0) {
+    exhausted_ = true;
+    result_.run_ns += static_cast<double>(now_ns() - start_ns);
+    return 0;
   }
-  result.run_ns = static_cast<double>(now_ns() - start_ns);
-  result.events = t;
+  for (const StreamEvent& event : batch_) process_event(event);
+  if (options_.compact) result_.ledger.compact_retired_prefix();
+  result_.run_ns += static_cast<double>(now_ns() - start_ns);
+  return pulled;
+}
 
-  if (verifier) result.violation = verifier->finish(ledger);
-  return result;
+StreamRunResult StreamSession::finish() {
+  OMFLP_REQUIRE(exhausted_, "StreamSession: finish before exhaustion");
+  OMFLP_REQUIRE(!finished_, "StreamSession: finish called twice");
+  finished_ = true;
+  result_.events = clock_;
+  if (verifier_) result_.violation = verifier_->finish(result_.ledger);
+  return std::move(result_);
+}
+
+StreamRunResult run_stream(OnlineAlgorithm& algorithm, EventSource& source,
+                           const StreamRunOptions& options) {
+  StreamSession session(algorithm, source, options);
+  while (session.step_batch() != 0) {
+  }
+  return session.finish();
 }
 
 StreamRunResult run_stream(OnlineAlgorithm& algorithm,

@@ -1,6 +1,6 @@
-// run_stream — the dynamic counterpart of run_online: drives an
-// OnlineAlgorithm over an EventSource's arrival/departure/lease timeline
-// into a SolutionLedger with active-interval accounting.
+// StreamSession / run_stream — the dynamic counterpart of run_online:
+// drives an OnlineAlgorithm over an EventSource's arrival/departure/lease
+// timeline into a SolutionLedger with active-interval accounting.
 //
 // Processing model (the timeline semantics of instance/event_stream.hpp):
 // events are pulled from the source in batches of `batch_size` — the only
@@ -20,18 +20,29 @@
 // arrival's duals.) With `verify` set, a StreamVerifier shadows the run
 // and checks every record before it can be compacted.
 //
+// StreamSession is the resumable core: one step_batch() call pulls and
+// processes exactly one batch, so a driver may interleave many sessions —
+// the sharded multi-tenant engine (engine/sharded_engine.hpp) advances one
+// batch per tenant per global round. run_stream() is the single-tenant
+// convenience wrapper: construct, drain, finish.
+//
 // Determinism: the result is a pure function of the event sequence and
 // the algorithm (kernel chunking keeps it bit-identical across thread
-// counts, as for static runs).
+// counts, as for static runs), and — because a session owns all of its
+// mutable state — independent of how step_batch() calls are interleaved
+// with other sessions.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <queue>
 #include <utility>
+#include <vector>
 
 #include "core/online_algorithm.hpp"
 #include "instance/event_stream.hpp"
 #include "solution/verifier.hpp"
+#include "support/assert.hpp"
 
 namespace omflp {
 
@@ -61,7 +72,8 @@ struct StreamRunResult {
   /// High-water mark of resident ledger records (the bounded-memory
   /// evidence: stays near peak_active + batch_size when compacting).
   std::size_t peak_resident_records = 0;
-  /// Wall time of the processing loop (excluding source construction).
+  /// Wall time spent inside step_batch() (excluding source construction
+  /// and any scheduling gaps between batches).
   double run_ns = 0.0;
   /// First verification failure (only when options.verify).
   std::optional<VerificationError> violation;
@@ -71,10 +83,75 @@ struct StreamRunResult {
   }
 };
 
-/// Drive `source` through `algorithm`. Throws std::invalid_argument on a
-/// malformed event (departure of an unknown / inactive arrival, arrival
-/// outside the metric) — the same conditions EventStream::validate
-/// rejects.
+/// A resumable stream run: the state of one (algorithm, source) pair
+/// between batches. The constructor resets the algorithm; step_batch()
+/// advances one batch; finish() closes the books once the source is
+/// exhausted. Throws std::invalid_argument on a malformed event
+/// (departure of an unknown / inactive arrival, arrival outside the
+/// metric) — the same conditions EventStream::validate rejects.
+///
+/// The algorithm and source are borrowed and must outlive the session;
+/// neither may be shared with another concurrently-stepped session.
+class StreamSession {
+ public:
+  StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
+                const StreamRunOptions& options = {});
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Pulls and processes one batch (plus the post-batch compaction);
+  /// returns the number of events processed — 0 means the source is
+  /// exhausted and the session is ready to finish(). Wall time accrues
+  /// into the result's run_ns.
+  std::size_t step_batch();
+
+  /// True once step_batch() has observed the end of the source.
+  bool exhausted() const noexcept { return exhausted_; }
+
+  /// Events processed so far (the stream clock).
+  std::uint64_t events_processed() const noexcept { return clock_; }
+
+  const SolutionLedger& ledger() const {
+    // finish() moves the result out; reading the husk would silently
+    // return a moved-from ledger.
+    OMFLP_REQUIRE(!finished_, "StreamSession: ledger after finish");
+    return result_.ledger;
+  }
+
+  /// Final totals (and the verifier's closing check, when enabled). The
+  /// session is spent afterwards; requires exhausted() and may be called
+  /// once.
+  StreamRunResult finish();
+
+ private:
+  void retire(RequestId id, std::uint64_t event_index);
+  void process_event(const StreamEvent& event);
+
+  OnlineAlgorithm& algorithm_;
+  EventSource& source_;
+  StreamRunOptions options_;
+
+  StreamRunResult result_;
+  std::optional<StreamVerifier> verifier_;
+
+  // Pending lease expiries, min-ordered on (deadline, arrival id) so
+  // simultaneous expiries fire in arrival order. Entries for arrivals
+  // that were explicitly departed first are skipped lazily.
+  using Expiry = std::pair<std::uint64_t, RequestId>;
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>>
+      expiries_;
+  std::vector<bool> active_;  // by arrival id
+  std::size_t num_active_ = 0;
+
+  std::vector<StreamEvent> batch_;
+  std::uint64_t clock_ = 0;
+  bool exhausted_ = false;
+  bool finished_ = false;
+};
+
+/// Drive `source` through `algorithm` to completion (construct a session,
+/// drain it, finish).
 StreamRunResult run_stream(OnlineAlgorithm& algorithm, EventSource& source,
                            const StreamRunOptions& options = {});
 

@@ -1,0 +1,167 @@
+#include "engine/sharded_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/algorithm_registry.hpp"
+#include "scenario/registry_util.hpp"
+#include "support/parallel.hpp"
+
+namespace omflp {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const TenantResult* EngineResult::first_violation() const noexcept {
+  for (const TenantResult& tenant : tenants)
+    if (tenant.run.violation) return &tenant;
+  return nullptr;
+}
+
+ShardedEngine::ShardedEngine(std::vector<TenantSpec> tenants,
+                             EngineOptions options)
+    : specs_(std::move(tenants)), options_(options) {
+  if (specs_.empty())
+    throw std::invalid_argument("ShardedEngine: at least one tenant is "
+                                "required");
+  if (options_.batch_size == 0)
+    throw std::invalid_argument("ShardedEngine: batch_size must be "
+                                "positive");
+  const StreamScenarioRegistry& scenarios =
+      default_stream_scenario_registry();
+  const AlgorithmRegistry& algorithms = default_algorithm_registry();
+  streams_.reserve(specs_.size());
+  for (const TenantSpec& spec : specs_) {
+    // Resolve the algorithm eagerly so a typo fails at construction, not
+    // mid-run on one shard.
+    if (!algorithms.contains(spec.algorithm))
+      throw std::invalid_argument(
+          "ShardedEngine: tenant '" + spec.name +
+          "' uses unknown algorithm '" + spec.algorithm + "'");
+    streams_.push_back(
+        scenarios.make(spec.scenario, spec.seed, spec.overrides));
+    total_events_ += streams_.back().num_events();
+  }
+}
+
+EngineResult ShardedEngine::run() const {
+  const std::size_t num_tenants = specs_.size();
+  const std::size_t threads =
+      options_.threads > 0 ? options_.threads : default_thread_count();
+  const std::size_t shards = std::min(
+      num_tenants,
+      options_.shards > 0 ? options_.shards : std::max<std::size_t>(
+                                                  1, threads));
+
+  StreamRunOptions run_options;
+  run_options.policy = options_.policy;
+  run_options.batch_size = options_.batch_size;
+  run_options.compact = options_.compact;
+  run_options.verify = options_.verify;
+
+  // Per-tenant state, heap-pinned so the session's borrowed references
+  // stay valid. Sessions reset their algorithms at construction.
+  struct TenantState {
+    MaterializedEventSource source;
+    std::unique_ptr<OnlineAlgorithm> algorithm;
+    StreamSession session;
+
+    TenantState(const EventStream& stream,
+                std::unique_ptr<OnlineAlgorithm> algo,
+                const StreamRunOptions& options)
+        : source(stream),
+          algorithm(std::move(algo)),
+          session(*algorithm, source, options) {}
+  };
+  const AlgorithmRegistry& algorithms = default_algorithm_registry();
+  std::vector<std::unique_ptr<TenantState>> states;
+  states.reserve(num_tenants);
+  for (std::size_t i = 0; i < num_tenants; ++i)
+    states.push_back(std::make_unique<TenantState>(
+        streams_[i],
+        algorithms.make(specs_[i].algorithm,
+                        derive_algorithm_seed(specs_[i].seed)),
+        run_options));
+
+  // Round-robin shard placement: with Zipf-skewed mixes shard 0 gets the
+  // hottest tenant, so load is deliberately unbalanced across shards.
+  std::vector<std::vector<std::size_t>> shard_tenants(shards);
+  for (std::size_t i = 0; i < num_tenants; ++i)
+    shard_tenants[i % shards].push_back(i);
+
+  EngineResult result;
+  result.shards = shards;
+  result.threads = threads;
+
+  LatencyHistogram histogram;
+  std::vector<PerfCounters> shard_counters(shards);
+  // Work counters are collected only when the caller is already
+  // counting (a sink installed on the calling thread — the bench
+  // suite's instrumented pass). Plain serving runs with counting
+  // disabled, exactly like every other timed path, so the serve/seq
+  // bench pair is measured under identical hook states.
+  const bool collect_counters = perf::thread_sink() != nullptr;
+
+  // The global clock: one parallel_for over the shards per round, each
+  // shard stepping every live tenant by one batch. The loop ends when a
+  // full round finds no live tenant (each session needs one final
+  // zero-batch probe to observe exhaustion, so rounds is at most
+  // max ceil(events/batch) + 1).
+  const std::uint64_t wall_start_ns = now_ns();
+  std::size_t live = num_tenants;
+  while (live > 0) {
+    ++result.rounds;
+    parallel_for(
+        shards,
+        [&](std::size_t s) {
+          std::optional<PerfScope> scope;
+          if (collect_counters) scope.emplace(shard_counters[s]);
+          for (const std::size_t tenant : shard_tenants[s]) {
+            StreamSession& session = states[tenant]->session;
+            if (session.exhausted()) continue;
+            const std::uint64_t batch_start_ns = now_ns();
+            const std::size_t processed = session.step_batch();
+            // Zero-event exhaustion probes are not serving work; letting
+            // them into the histogram would drag p50 toward no-op time.
+            if (processed > 0)
+              histogram.record_ns(
+                  static_cast<double>(now_ns() - batch_start_ns));
+          }
+        },
+        threads);
+    live = 0;
+    for (const auto& state : states)
+      if (!state->session.exhausted()) ++live;
+  }
+  result.wall_ns = static_cast<double>(now_ns() - wall_start_ns);
+
+  for (std::size_t s = 0; s < shards; ++s)
+    result.counters += shard_counters[s];
+  result.batch_latency = histogram.snapshot();
+
+  result.tenants.reserve(num_tenants);
+  for (std::size_t i = 0; i < num_tenants; ++i) {
+    TenantResult tenant{specs_[i].name, specs_[i].scenario,
+                        specs_[i].algorithm, i % shards,
+                        states[i]->session.finish()};
+    result.total_events += tenant.run.events;
+    result.aggregate_gross_cost += tenant.run.ledger.total_cost();
+    result.aggregate_active_cost += tenant.run.ledger.active_cost();
+    result.tenants.push_back(std::move(tenant));
+  }
+  return result;
+}
+
+}  // namespace omflp

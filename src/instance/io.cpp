@@ -1,5 +1,6 @@
 #include "instance/io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -69,7 +70,9 @@ Instance read_instance(std::istream& is) {
   if (!(requests_line >> word >> n) || word != "requests")
     reader.fail("expected 'requests <n>'");
   std::vector<Request> requests;
-  requests.reserve(n);
+  // Capped reserve: an absurd declared count (fuzzed/corrupt traces)
+  // must fail at "bad request line", not in the allocator.
+  requests.reserve(std::min<std::size_t>(n, std::size_t{1} << 20));
   for (std::size_t i = 0; i < n; ++i) {
     std::istringstream row(reader.next("request"));
     PointId location = 0;

@@ -1,5 +1,6 @@
 #include "instance/io_detail.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -60,12 +61,24 @@ MetricPtr read_metric_matrix(LineReader& reader) {
   if (!(metric_line >> word >> metric_kind >> points) || word != "metric" ||
       metric_kind != "matrix" || points == 0)
     reader.fail("expected 'metric matrix <|M|>'");
-  std::vector<std::vector<double>> matrix(points,
-                                          std::vector<double>(points));
+  // Grow row by row with a capped reserve instead of allocating
+  // points x points up front: a syntactically-valid but absurd declared
+  // |M| (fuzzed or corrupt traces) must fail at "short metric row" /
+  // "unexpected end of input", not in the allocator — memory use stays
+  // proportional to the bytes actually present in the input.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 12;
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(std::min(points, kReserveCap));
   for (std::size_t a = 0; a < points; ++a) {
     std::istringstream row(reader.next("metric row"));
-    for (std::size_t b = 0; b < points; ++b)
-      if (!(row >> matrix[a][b])) reader.fail("short metric row");
+    std::vector<double> values;
+    values.reserve(std::min(points, kReserveCap));
+    for (std::size_t b = 0; b < points; ++b) {
+      double value = 0.0;
+      if (!(row >> value)) reader.fail("short metric row");
+      values.push_back(value);
+    }
+    matrix.push_back(std::move(values));
   }
   return std::make_shared<MatrixMetric>(std::move(matrix));
 }
@@ -108,17 +121,32 @@ CostModelPtr read_cost_model(LineReader& reader, CommodityId s) {
   std::string word, cost_kind;
   if (!(cost_line >> word >> cost_kind) || word != "cost")
     reader.fail("expected 'cost <kind> ...'");
+  // Size-safe loops: with a corrupt |S| near the CommodityId maximum,
+  // `s + 1` used to wrap to 0 — an empty table the `k <= s` loop then
+  // wrote past (heap overflow), found by tests/test_fuzz_parsers.cpp.
+  // Tables now grow with a capped reserve, so a huge declared |S| fails
+  // at "short ... table" instead of allocating gigabytes up front.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 12;
+  const std::size_t universe = static_cast<std::size_t>(s);
   if (cost_kind == "sizeonly") {
-    std::vector<double> table(s + 1);
-    for (CommodityId k = 0; k <= s; ++k)
-      if (!(cost_line >> table[k])) reader.fail("short sizeonly cost table");
+    std::vector<double> table;
+    table.reserve(std::min(universe + 1, kReserveCap));
+    for (std::size_t k = 0; k <= universe; ++k) {
+      double value = 0.0;
+      if (!(cost_line >> value)) reader.fail("short sizeonly cost table");
+      table.push_back(value);
+    }
     return std::make_shared<SizeOnlyCostModel>(
         s, [table](CommodityId k) { return table[k]; }, "sizeonly(loaded)");
   }
   if (cost_kind == "linear") {
-    std::vector<double> weights(s);
-    for (CommodityId e = 0; e < s; ++e)
-      if (!(cost_line >> weights[e])) reader.fail("short linear weights");
+    std::vector<double> weights;
+    weights.reserve(std::min(universe, kReserveCap));
+    for (std::size_t e = 0; e < universe; ++e) {
+      double weight = 0.0;
+      if (!(cost_line >> weight)) reader.fail("short linear weights");
+      weights.push_back(weight);
+    }
     return std::make_shared<LinearCostModel>(std::move(weights));
   }
   reader.fail("unknown cost kind '" + cost_kind + "'");

@@ -316,12 +316,14 @@ CompareReport compare_reports(const BenchReport& old_report,
     delta.old_ns_per_op = old_case.ns_per_op;
     const BenchCaseResult* new_case = new_report.find(old_case.name);
     if (new_case == nullptr) {
-      // A baseline case the new report no longer measures counts as a
-      // regression: otherwise renaming or deleting a slow case would
-      // silently defeat the gate. Deliberate suite changes regenerate
-      // the baseline in the same PR.
+      // A baseline case the new report no longer measures: counted and
+      // reported on its own row either way; fail_on_missing additionally
+      // makes it a regression (so renaming or deleting a slow case
+      // cannot silently defeat the gate — deliberate suite changes
+      // regenerate the baseline in the same PR).
       delta.status = CaseDelta::Status::kOnlyOld;
-      ++out.regressions;
+      ++out.missing_cases;
+      if (options.fail_on_missing) ++out.regressions;
       out.deltas.push_back(std::move(delta));
       continue;
     }
@@ -349,6 +351,7 @@ CompareReport compare_reports(const BenchReport& old_report,
     delta.name = new_case.name;
     delta.new_ns_per_op = new_case.ns_per_op;
     delta.status = CaseDelta::Status::kOnlyNew;
+    ++out.new_cases;
     out.deltas.push_back(std::move(delta));
   }
   return out;
@@ -383,6 +386,11 @@ void CompareReport::write_table(std::ostream& os) const {
              : "ok: no case slower than ")
      << threshold << "x the old time (" << improvements
      << " improved beyond the same margin)\n";
+  if (new_cases > 0 || missing_cases > 0)
+    os << "suite drift: " << new_cases
+       << " new case(s) not in the baseline, " << missing_cases
+       << " baseline case(s) not measured by the new report — regenerate "
+          "the baseline to adopt suite changes\n";
 }
 
 }  // namespace omflp

@@ -26,6 +26,13 @@ BenchReport read_bench_report_file(const std::string& path);
 struct CompareOptions {
   /// A case regresses when new ns/op > threshold * old ns/op.
   double regression_threshold = 1.10;
+  /// When set, a baseline case missing from the new report counts as a
+  /// regression (so renaming or deleting a slow case cannot dodge the
+  /// gate). Off by default: suite membership legitimately changes when a
+  /// PR adds or retires cases, and such runs must compare cleanly — the
+  /// missing/new cases are still reported loudly so a stale baseline is
+  /// visible and gets regenerated in the same PR.
+  bool fail_on_missing = false;
 };
 
 struct CaseDelta {
@@ -41,10 +48,15 @@ struct CaseDelta {
 
 struct CompareReport {
   std::vector<CaseDelta> deltas;  // old-report order, then new-only cases
-  /// Cases beyond the threshold plus baseline cases missing from the new
-  /// report (a dropped case must fail the gate, not dodge it).
+  /// Cases beyond the threshold; with fail_on_missing, also the baseline
+  /// cases missing from the new report.
   std::size_t regressions = 0;
   std::size_t improvements = 0;
+  /// Baseline cases absent from the new report / new cases absent from
+  /// the baseline (suite membership drift — reported either way, gated
+  /// only via CompareOptions::fail_on_missing).
+  std::size_t missing_cases = 0;
+  std::size_t new_cases = 0;
   double threshold = 0.0;
 
   bool any_regression() const noexcept { return regressions > 0; }

@@ -11,6 +11,7 @@
 #include "core/online_algorithm.hpp"
 #include "core/pd_omflp.hpp"
 #include "core/stream_runner.hpp"
+#include "engine/sharded_engine.hpp"
 #include "kernel/kernels.hpp"
 #include "metric/distance_oracle.hpp"
 #include "metric/line_metric.hpp"
@@ -378,6 +379,86 @@ BenchSuite default_bench_suite() {
                                                 {{"events", 2048}}));
     suite.add(stream_case("stream/churn-pd", std::make_shared<PdOmflp>(),
                           churn_small));
+  }
+
+  // The serving-engine pairs: serve/mixed-* is one full ShardedEngine
+  // run over the 16-tenant Zipf-skewed "mixed" workload mix (default
+  // shards/threads — the configuration `omflp serve` runs in);
+  // serve/seq-* is the identical tenant set driven as a sequential
+  // run_stream loop on the calling thread. requests_per_op is the total
+  // event count on both sides, so the requests/s ratio of a pair is the
+  // engine's aggregate speedup over the sequential K-run loop on this
+  // machine (~1x on a single hardware thread — the engine's round loop
+  // adds no measurable overhead — and scales with cores). Per-tenant
+  // results are bitwise identical across the pair (tests/test_engine.cpp
+  // enforces it); verification is off, as in every other timed case.
+  {
+    const std::size_t kTenants = 16;
+    const auto mixed_specs = [](const std::string& algorithm) {
+      std::vector<TenantSpec> specs =
+          default_workload_mix_registry().tenants("mixed", kTenants,
+                                                  /*seed=*/1);
+      for (TenantSpec& spec : specs) spec.algorithm = algorithm;
+      return specs;
+    };
+    const auto serve_case = [&](std::string name,
+                                const std::string& algorithm) {
+      EngineOptions options;
+      options.batch_size = 2048;
+      options.verify = false;
+      auto engine = std::make_shared<const ShardedEngine>(
+          mixed_specs(algorithm), options);
+      BenchCase c;
+      c.name = std::move(name);
+      c.requests_per_op =
+          static_cast<std::size_t>(engine->total_events());
+      c.op = [engine] {
+        const EngineResult result = engine->run();
+        volatile double sink = result.aggregate_active_cost;
+        (void)sink;
+        // Shard workers count into the engine's per-shard sinks; forward
+        // the merged totals so the case's counter column matches the
+        // sequential twin.
+        if (PerfCounters* outer = perf::thread_sink())
+          *outer += result.counters;
+      };
+      return c;
+    };
+    // Stream generation ignores the tenant's algorithm, so one
+    // materialized set serves both sequential twins.
+    auto seq_specs = std::make_shared<const std::vector<TenantSpec>>(
+        mixed_specs("pd"));
+    auto seq_streams = std::make_shared<std::vector<EventStream>>();
+    std::uint64_t seq_total_events = 0;
+    for (const TenantSpec& spec : *seq_specs) {
+      seq_streams->push_back(default_stream_scenario_registry().make(
+          spec.scenario, spec.seed, spec.overrides));
+      seq_total_events += seq_streams->back().num_events();
+    }
+    const auto seq_case = [&](std::string name, std::string algorithm) {
+      BenchCase c;
+      c.name = std::move(name);
+      c.requests_per_op = static_cast<std::size_t>(seq_total_events);
+      c.op = [specs = seq_specs, streams = seq_streams,
+              algorithm = std::move(algorithm)] {
+        StreamRunOptions options;
+        options.batch_size = 2048;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < streams->size(); ++i) {
+          auto algo = default_algorithm_registry().make(
+              algorithm, derive_algorithm_seed((*specs)[i].seed));
+          sum += run_stream(*algo, (*streams)[i], options)
+                     .ledger.active_cost();
+        }
+        volatile double sink = sum;
+        (void)sink;
+      };
+      return c;
+    };
+    suite.add(serve_case("serve/mixed-greedy", "greedy"));
+    suite.add(serve_case("serve/mixed-pd", "pd"));
+    suite.add(seq_case("serve/seq-greedy", "greedy"));
+    suite.add(seq_case("serve/seq-pd", "pd"));
   }
 
   // The counter-overhead pair: the same PD replay with counting disabled

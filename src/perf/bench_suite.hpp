@@ -116,10 +116,14 @@ class BenchSuite {
 /// replaying the uniform-line workload, the PD reference-bid ablation,
 /// DistanceOracle cached/fallback micro cases, the dynamic-stream
 /// events/s cases (run_stream over churn-uniform workloads, greedy and
-/// PD), and the counters on/off overhead pair (the disabled-mode case
-/// the telemetry claims are judged against). Workloads are identical at
-/// both scales so reports stay comparable; `quick` only shrinks
-/// warmup/trials via quick_bench_options().
+/// PD), the serving-engine pairs (serve/mixed-* = ShardedEngine over the
+/// 16-tenant "mixed" workload mix at default shards/threads, serve/seq-*
+/// = the same tenants as a sequential run_stream loop — the ratio is the
+/// engine's aggregate speedup on this machine), and the counters on/off
+/// overhead pair (the disabled-mode case the telemetry claims are judged
+/// against). Workloads are identical at both scales so reports stay
+/// comparable; `quick` only shrinks warmup/trials via
+/// quick_bench_options().
 BenchSuite default_bench_suite();
 
 BenchOptions quick_bench_options();

@@ -1,0 +1,127 @@
+// LatencyHistogram — a lock-free log-linear histogram for nanosecond
+// latencies, the percentile backend of the sharded serving engine.
+//
+// Layout (HdrHistogram-style log-linear): values below 2^kSubBits land in
+// exact unit buckets; above that, each power-of-two octave is split into
+// 2^kSubBits equal sub-buckets, so relative resolution is bounded by
+// 1/2^kSubBits (= 12.5% at kSubBits = 3) across the whole range up to
+// 2^63 ns. Bucket index and representative value are pure functions of
+// the value, so two histograms fed the same samples agree exactly.
+//
+// Concurrency: record_ns() is a single relaxed fetch_add on one bucket
+// (plus a CAS loop for the running maximum) — engine shard workers on
+// different threads record without locks or contention beyond cacheline
+// sharing of hot buckets. snapshot() is NOT linearizable against
+// concurrent writers; the engine snapshots after joining its workers.
+// Quantiles are computed from the bucket counts: quantile(q) returns the
+// representative (midpoint) value of the bucket holding the ceil(q*n)-th
+// smallest sample, so p50/p95/p99 carry the same <= 12.5% relative error
+// as the buckets themselves.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace omflp {
+
+/// Point-in-time summary of a LatencyHistogram (plain values, copyable).
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double max_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+
+  double mean_ns() const noexcept {
+    return count > 0 ? total_ns / static_cast<double>(count) : 0.0;
+  }
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave, <=12.5%
+  static constexpr int kNumBuckets =
+      (64 - kSubBits) << kSubBits;  // covers 0 .. 2^63 ns
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Bucket index of a nanosecond value; monotone in `ns`.
+  static int bucket_index(std::uint64_t ns) noexcept {
+    if (ns < (std::uint64_t{1} << kSubBits)) return static_cast<int>(ns);
+    const int exp = std::bit_width(ns) - 1;  // >= kSubBits
+    const int sub = static_cast<int>(
+        (ns >> (exp - kSubBits)) - (std::uint64_t{1} << kSubBits));
+    return std::min(kNumBuckets - 1,
+                    ((exp - kSubBits + 1) << kSubBits) + sub);
+  }
+
+  /// Midpoint of the bucket's value range (its representative value).
+  static double bucket_value(int index) noexcept {
+    if (index < (1 << kSubBits)) return static_cast<double>(index);
+    const int exp = (index >> kSubBits) + kSubBits - 1;
+    const int sub = index & ((1 << kSubBits) - 1);
+    const double width = std::exp2(exp - kSubBits);
+    return ((1 << kSubBits) + sub) * width + 0.5 * width;
+  }
+
+  void record_ns(double ns) noexcept {
+    const std::uint64_t value =
+        ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0;
+    buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    total_ns_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_ns_.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Counts, total and the standard percentiles. Call after writers are
+  /// done (or accept a torn-but-valid in-flight view).
+  LatencySnapshot snapshot() const noexcept {
+    std::array<std::uint64_t, kNumBuckets> counts;
+    LatencySnapshot snap;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts[static_cast<std::size_t>(b)] =
+          buckets_[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+      snap.count += counts[static_cast<std::size_t>(b)];
+    }
+    snap.total_ns =
+        static_cast<double>(total_ns_.load(std::memory_order_relaxed));
+    snap.max_ns =
+        static_cast<double>(max_ns_.load(std::memory_order_relaxed));
+    if (snap.count == 0) return snap;
+
+    const auto quantile = [&](double q) {
+      const std::uint64_t target = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 q * static_cast<double>(snap.count) + 0.9999999));
+      std::uint64_t cumulative = 0;
+      for (int b = 0; b < kNumBuckets; ++b) {
+        cumulative += counts[static_cast<std::size_t>(b)];
+        if (cumulative >= target) return bucket_value(b);
+      }
+      return snap.max_ns;
+    };
+    snap.p50_ns = quantile(0.50);
+    snap.p95_ns = quantile(0.95);
+    snap.p99_ns = quantile(0.99);
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace omflp

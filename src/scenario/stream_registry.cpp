@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "cost/cost_models.hpp"
 #include "instance/adversarial.hpp"
 #include "instance/generators.hpp"
+#include "metric/euclidean_metric.hpp"
 #include "metric/line_metric.hpp"
 #include "scenario/registry_util.hpp"
 #include "support/rng.hpp"
@@ -77,18 +79,25 @@ void append(std::vector<ScenarioParam>& params,
   for (ScenarioParam& param : extra) params.push_back(std::move(param));
 }
 
-/// Uniform-line arrival shared by the churn and lease families.
-Request sample_line_request(const ScenarioParams& p, std::size_t points,
-                            CommodityId commodities, Rng& rng) {
+/// Demand-set draw shared by every family declaring the min_demand /
+/// max_demand / popularity_exponent trio.
+CommoditySet sample_demand(const ScenarioParams& p, CommodityId commodities,
+                           Rng& rng) {
   const CommodityId min_demand = p.commodity_at("min_demand");
   const CommodityId max_demand =
       std::min<CommodityId>(p.commodity_at("max_demand"), commodities);
-  Request r;
-  r.location = static_cast<PointId>(rng.uniform_index(points));
   const CommodityId size = static_cast<CommodityId>(
       rng.uniform_int(min_demand, std::max(min_demand, max_demand)));
-  r.commodities = sample_demand_set(commodities, size,
-                                    p.at("popularity_exponent"), rng);
+  return sample_demand_set(commodities, size, p.at("popularity_exponent"),
+                           rng);
+}
+
+/// Uniform-line arrival shared by the churn and lease families.
+Request sample_line_request(const ScenarioParams& p, std::size_t points,
+                            CommodityId commodities, Rng& rng) {
+  Request r;
+  r.location = static_cast<PointId>(rng.uniform_index(points));
+  r.commodities = sample_demand(p, commodities, rng);
   return r;
 }
 
@@ -224,6 +233,117 @@ void register_streams(StreamScenarioRegistry& registry) {
                "lease-poisson");
          }});
   }
+  {
+    std::vector<ScenarioParam> params = {
+        {"side", 12, "grid side; |M| = side^2 points in the plane"},
+        {"extent", 100, "grid extent per axis"},
+        {"events", 4096, "total events (arrivals + departures)"},
+        {"commodities", 12, "|S|"},
+        {"min_demand", 1, "smallest demand-set size"},
+        {"max_demand", 4, "largest demand-set size"},
+        {"popularity_exponent", 0.8, "Zipf exponent for commodity choice"},
+        {"hotspots", 4, "number of Zipf-weighted traffic hotspots"},
+        {"hot_exponent", 1.0, "Zipf exponent over hotspot popularity"},
+        {"spread", 1.5, "gaussian spread around a hotspot, in cells"},
+        {"churn", 0.25,
+         "per-event probability of deleting a random active request"},
+        {"mean_lease", 0,
+         "mean exponential lease in events (0 = pinned arrivals)"},
+        {"warmup", 32, "active requests before churn kicks in"}};
+    append(params, cost_params(2.0));
+    registry.add(
+        {.name = "hotspot-grid",
+         .description = "2-D Euclidean grid arrivals clustered around "
+                        "Zipf-weighted hotspots, with churn deletions and "
+                        "optional exponential leases (planar city traffic)",
+         .params = std::move(params),
+         .make = [](const ScenarioParams& p, std::uint64_t seed) {
+           Rng rng(seed);
+           const std::size_t side = p.size_t_at("side");
+           if (side < 2)
+             throw std::invalid_argument(
+                 "hotspot-grid: side must be at least 2");
+           const double extent = p.at("extent");
+           const CommodityId commodities = p.commodity_at("commodities");
+           const std::size_t num_events = p.size_t_at("events");
+           const std::size_t hotspots = p.size_t_at("hotspots");
+           if (hotspots == 0)
+             throw std::invalid_argument(
+                 "hotspot-grid: at least one hotspot is required");
+           const double hot_exponent = p.at("hot_exponent");
+           const double spread = p.at("spread");
+           const double churn = p.at("churn");
+           const double mean_lease = p.at("mean_lease");
+           const std::size_t warmup = p.size_t_at("warmup");
+
+           const double step = extent / static_cast<double>(side - 1);
+           std::vector<double> coords;
+           coords.reserve(side * side * 2);
+           for (std::size_t r = 0; r < side; ++r)
+             for (std::size_t c = 0; c < side; ++c) {
+               coords.push_back(static_cast<double>(c) * step);
+               coords.push_back(static_cast<double>(r) * step);
+             }
+           auto metric =
+               std::make_shared<EuclideanMetric>(2, std::move(coords));
+
+           std::vector<std::pair<std::size_t, std::size_t>> centers;
+           centers.reserve(hotspots);
+           for (std::size_t h = 0; h < hotspots; ++h)
+             centers.emplace_back(rng.uniform_index(side),
+                                  rng.uniform_index(side));
+
+           const auto clamp_cell = [&](double cell) {
+             const auto rounded = static_cast<long long>(std::llround(cell));
+             return static_cast<std::size_t>(std::clamp<long long>(
+                 rounded, 0, static_cast<long long>(side) - 1));
+           };
+
+           std::vector<StreamEvent> events;
+           events.reserve(num_events);
+           // (id, lease deadline) — deletions may only target arrivals
+           // still alive under the timeline semantics, so entries whose
+           // lease fires at or before this event are purged first.
+           std::vector<std::pair<RequestId, std::uint64_t>> active;
+           RequestId next_id = 0;
+           for (std::size_t t = 0; t < num_events; ++t) {
+             active.erase(
+                 std::remove_if(active.begin(), active.end(),
+                                [t](const auto& entry) {
+                                  return entry.second <= t;
+                                }),
+                 active.end());
+             if (active.size() > warmup && rng.bernoulli(churn)) {
+               const std::size_t pick = rng.uniform_index(active.size());
+               events.push_back(
+                   StreamEvent::departure(active[pick].first));
+               active[pick] = active.back();
+               active.pop_back();
+               continue;
+             }
+             const auto [center_r, center_c] =
+                 centers[rng.zipf(hotspots, hot_exponent)];
+             const std::size_t row = clamp_cell(
+                 static_cast<double>(center_r) + rng.normal() * spread);
+             const std::size_t col = clamp_cell(
+                 static_cast<double>(center_c) + rng.normal() * spread);
+             Request r;
+             r.location = static_cast<PointId>(row * side + col);
+             r.commodities = sample_demand(p, commodities, rng);
+             const std::uint64_t lease =
+                 mean_lease > 0.0
+                     ? 1 + static_cast<std::uint64_t>(
+                               rng.exponential(1.0 / mean_lease))
+                     : 0;
+             events.push_back(StreamEvent::arrival(std::move(r), lease));
+             active.emplace_back(next_id++,
+                                 lease > 0 ? lease_deadline(t, lease)
+                                           : ~std::uint64_t{0});
+           }
+           return EventStream(std::move(metric), poly_cost(p, commodities),
+                              std::move(events), "hotspot-grid");
+         }});
+  }
 }
 
 }  // namespace
@@ -232,6 +352,191 @@ const StreamScenarioRegistry& default_stream_scenario_registry() {
   static const StreamScenarioRegistry registry = [] {
     StreamScenarioRegistry r;
     register_streams(r);
+    return r;
+  }();
+  return registry;
+}
+
+// ---------------------------------------------------------------- mixes ---
+
+void WorkloadMixRegistry::add(WorkloadMixSpec spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument("WorkloadMixRegistry: empty mix name");
+  if (spec.profiles.empty())
+    throw std::invalid_argument("WorkloadMixRegistry: mix '" + spec.name +
+                                "' has no tenant profiles");
+  const StreamScenarioRegistry& streams = default_stream_scenario_registry();
+  for (const TenantProfile& profile : spec.profiles) {
+    if (!streams.contains(profile.scenario))
+      throw std::invalid_argument("WorkloadMixRegistry: mix '" + spec.name +
+                                  "' references unknown stream scenario '" +
+                                  profile.scenario + "'");
+    if (!(profile.weight > 0.0))
+      throw std::invalid_argument("WorkloadMixRegistry: mix '" + spec.name +
+                                  "' has a non-positive profile weight");
+    // Fail typo'd parameter names at registration, with the mix named in
+    // the message — not later, deep inside engine construction, where
+    // resolve_scenario_params would name neither mix nor profile.
+    const StreamScenarioSpec& scenario = streams.spec(profile.scenario);
+    const auto declared = [&](const std::string& name) {
+      for (const ScenarioParam& param : scenario.params)
+        if (param.name == name) return true;
+      return false;
+    };
+    if (!declared(profile.size_param))
+      throw std::invalid_argument(
+          "WorkloadMixRegistry: mix '" + spec.name + "': scenario '" +
+          profile.scenario + "' does not declare size_param '" +
+          profile.size_param + "'");
+    for (const auto& [key, _] : profile.overrides)
+      if (!declared(key))
+        throw std::invalid_argument(
+            "WorkloadMixRegistry: mix '" + spec.name + "': scenario '" +
+            profile.scenario + "' does not declare override '" + key +
+            "'");
+  }
+  if (!specs_.emplace(spec.name, std::move(spec)).second)
+    throw std::invalid_argument("WorkloadMixRegistry: duplicate mix '" +
+                                spec.name + "'");
+}
+
+bool WorkloadMixRegistry::contains(const std::string& name) const {
+  return specs_.count(name) != 0;
+}
+
+const WorkloadMixSpec& WorkloadMixRegistry::spec(
+    const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end())
+    throw std::invalid_argument("unknown workload mix '" + name +
+                                "'; known mixes: " + join_names(names()));
+  return it->second;
+}
+
+std::vector<std::string> WorkloadMixRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, _] : specs_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::vector<TenantSpec> WorkloadMixRegistry::tenants(
+    const std::string& name, std::size_t count, std::uint64_t seed,
+    double size_scale) const {
+  const WorkloadMixSpec& mix = spec(name);
+  if (count == 0)
+    throw std::invalid_argument("workload mix '" + name +
+                                "': tenant count must be positive");
+  if (!(size_scale > 0.0))
+    throw std::invalid_argument("workload mix '" + name +
+                                "': size_scale must be positive");
+
+  std::vector<double> cumulative;
+  cumulative.reserve(mix.profiles.size());
+  double total_weight = 0.0;
+  for (const TenantProfile& profile : mix.profiles) {
+    total_weight += profile.weight;
+    cumulative.push_back(total_weight);
+  }
+
+  Rng rng(seed);
+  std::vector<TenantSpec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double draw = rng.uniform(0.0, total_weight);
+    std::size_t pick = 0;
+    while (pick + 1 < cumulative.size() && draw >= cumulative[pick]) ++pick;
+    const TenantProfile& profile = mix.profiles[pick];
+
+    // Zipf-skewed tenant hotness: tenant 0 is the hottest; under the
+    // engine's round-robin shard placement the low shards therefore
+    // carry most of the traffic.
+    const double share =
+        std::pow(static_cast<double>(i + 1), -mix.hotness);
+    const double size =
+        std::max(profile.min_size,
+                 std::floor(profile.base_size * share * size_scale));
+
+    TenantSpec tenant;
+    char label[32];
+    std::snprintf(label, sizeof(label), "t%03zu-", i);
+    tenant.name = label + profile.scenario;
+    tenant.scenario = profile.scenario;
+    tenant.overrides = profile.overrides;
+    tenant.overrides[profile.size_param] = size;
+    tenant.seed = rng.next_u64();
+    out.push_back(std::move(tenant));
+  }
+  return out;
+}
+
+namespace {
+
+void register_mixes(WorkloadMixRegistry& registry) {
+  registry.add(
+      {.name = "churn-heavy",
+       .description = "deletion-dominated traffic: high-churn line and "
+                      "grid tenants with near-uniform tenant volumes",
+       .profiles = {{.scenario = "churn-uniform",
+                     .overrides = {{"churn", 0.6}, {"warmup", 16}},
+                     .weight = 2.0,
+                     .base_size = 4096},
+                    {.scenario = "hotspot-grid",
+                     .overrides = {{"churn", 0.5}, {"warmup", 16}},
+                     .weight = 1.0,
+                     .base_size = 4096}},
+       .hotness = 0.5});
+  registry.add(
+      {.name = "lease-heavy",
+       .description = "session-style traffic: every tenant is "
+                      "lease-poisson, alternating short and long mean "
+                      "session lengths",
+       .profiles = {{.scenario = "lease-poisson",
+                     .overrides = {{"mean_lease", 32}},
+                     .weight = 1.0,
+                     .base_size = 4096},
+                    {.scenario = "lease-poisson",
+                     .overrides = {{"mean_lease", 256}},
+                     .weight = 1.0,
+                     .base_size = 4096}},
+       .hotness = 0.9});
+  registry.add(
+      {.name = "mixed",
+       .description = "heterogeneous tenants across all four stream "
+                      "families: line churn, planar hotspots, poisson "
+                      "leases and adversarial insert-delete phases",
+       .profiles = {{.scenario = "churn-uniform",
+                     .overrides = {{"points", 96},
+                                   {"commodities", 16},
+                                   {"churn", 0.45}},
+                     .weight = 3.0,
+                     .base_size = 4096},
+                    {.scenario = "hotspot-grid",
+                     .overrides = {{"side", 10},
+                                   {"commodities", 12},
+                                   {"churn", 0.3},
+                                   {"mean_lease", 128}},
+                     .weight = 2.0,
+                     .base_size = 4096},
+                    {.scenario = "lease-poisson",
+                     .overrides = {{"commodities", 8}, {"mean_lease", 64}},
+                     .weight = 2.0,
+                     .base_size = 4096},
+                    {.scenario = "adversarial-churn",
+                     .overrides = {{"commodities", 36}},
+                     .weight = 1.0,
+                     .size_param = "phases",
+                     .base_size = 6,
+                     .min_size = 1}},
+       .hotness = 1.1});
+}
+
+}  // namespace
+
+const WorkloadMixRegistry& default_workload_mix_registry() {
+  static const WorkloadMixRegistry registry = [] {
+    WorkloadMixRegistry r;
+    register_mixes(r);
     return r;
   }();
   return registry;

@@ -7,9 +7,9 @@
 // the ScenarioParams machinery (declaration, defaults, strict override
 // resolution).
 //
-// default_stream_scenario_registry() ships three built-in families, the
+// default_stream_scenario_registry() ships four built-in families — the
 // deletion-model workloads of Cygan–Czumaj–Jiang–Krauthgamer / Markarian
-// et al.:
+// et al. plus a planar hotspot workload:
 //   * churn-uniform    — uniform-line arrivals with a churn-heavy
 //                        departure process (each event deletes a random
 //                        active request with probability `churn`);
@@ -21,7 +21,21 @@
 //                        paying;
 //   * lease-poisson    — pure lease-expiry traffic: every event is an
 //                        arrival with a memoryless (exponential) lease,
-//                        the stream analogue of Poisson call durations.
+//                        the stream analogue of Poisson call durations;
+//   * hotspot-grid     — arrivals on a 2-D Euclidean grid clustered
+//                        around Zipf-weighted hotspots, with both churn
+//                        deletions and optional exponential leases (the
+//                        planar "city traffic" shape).
+//
+// The bottom half of this header is the **workload-mix** layer consumed
+// by the sharded serving engine (engine/sharded_engine.hpp): a TenantSpec
+// names one tenant's (stream scenario, overrides, seed, algorithm), a
+// WorkloadMixSpec is a named recipe of weighted tenant profiles with a
+// Zipf hotness exponent, and WorkloadMixRegistry::tenants() expands a mix
+// into K concrete tenant specs — heterogeneous scenarios, metrics and
+// churn profiles, with per-tenant volume skewed so the first few tenants
+// (and therefore the first few shards under round-robin placement) carry
+// most of the traffic.
 #pragma once
 
 #include <cstdint>
@@ -69,5 +83,74 @@ class StreamScenarioRegistry {
 /// The registry with every built-in dynamic workload registered (shared,
 /// initialized on first use, safe for concurrent readers).
 const StreamScenarioRegistry& default_stream_scenario_registry();
+
+// ---------------------------------------------------------------- mixes ---
+
+/// One tenant of a multi-tenant serving run: which stream scenario it
+/// plays, with which overrides and seed, and which algorithm serves it.
+/// The engine treats each tenant as a fully independent session.
+struct TenantSpec {
+  std::string name;      // unique display name, e.g. "t03-lease-poisson"
+  std::string scenario;  // StreamScenarioRegistry name
+  std::map<std::string, double> overrides;
+  std::uint64_t seed = 1;
+  std::string algorithm = "pd";  // AlgorithmRegistry name
+};
+
+/// One weighted entry of a workload mix. `size_param` is the scenario
+/// override that scales the tenant's volume (usually "events"; "phases"
+/// for adversarial-churn), set to `base_size` for the hottest tenant and
+/// Zipf-decayed for colder ones (never below `min_size`).
+struct TenantProfile {
+  std::string scenario;
+  std::map<std::string, double> overrides;
+  double weight = 1.0;
+  std::string size_param = "events";
+  double base_size = 4096;
+  double min_size = 64;
+};
+
+struct WorkloadMixSpec {
+  std::string name;
+  std::string description;
+  std::vector<TenantProfile> profiles;
+  /// Zipf exponent of per-tenant volume: tenant i carries a
+  /// (i+1)^-hotness share of the hottest tenant's size. 0 = uniform.
+  double hotness = 1.1;
+};
+
+/// Named recipes for heterogeneous multi-tenant workloads, the
+/// `omflp serve --mix` catalog.
+class WorkloadMixRegistry {
+ public:
+  /// Registers a mix; throws std::invalid_argument on an empty or
+  /// duplicate name, an empty or non-positive-weight profile list, or an
+  /// unknown scenario name in a profile.
+  void add(WorkloadMixSpec spec);
+
+  bool contains(const std::string& name) const;
+  /// Throws std::invalid_argument listing the known names when absent.
+  const WorkloadMixSpec& spec(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const noexcept { return specs_.size(); }
+
+  /// Expand a mix into `count` concrete tenants: profile drawn by weight,
+  /// volume Zipf-decayed by tenant rank (then scaled by `size_scale` —
+  /// tests and CI smoke runs shrink workloads with it), per-tenant seeds
+  /// derived from `seed`. Deterministic in (name, count, seed,
+  /// size_scale). Every tenant's algorithm is the default "pd"; callers
+  /// reassign it wholesale (the serve CLI's --algorithm).
+  std::vector<TenantSpec> tenants(const std::string& name, std::size_t count,
+                                  std::uint64_t seed,
+                                  double size_scale = 1.0) const;
+
+ private:
+  std::map<std::string, WorkloadMixSpec> specs_;
+};
+
+/// The registry with every built-in workload mix registered (shared,
+/// initialized on first use, safe for concurrent readers).
+const WorkloadMixRegistry& default_workload_mix_registry();
 
 }  // namespace omflp

@@ -23,9 +23,14 @@ class CommoditySet {
   /// Empty set over an empty universe; mostly useful as a placeholder.
   CommoditySet() = default;
 
-  /// Empty set over a universe of `universe` commodities.
+  /// Empty set over a universe of `universe` commodities. The word count
+  /// is computed in std::size_t: `universe + 63` in CommodityId
+  /// arithmetic wraps for universes near the maximum, which used to
+  /// produce a zero-word set that add() then wrote past (heap overflow
+  /// on fuzzed traces declaring |S| = 2^32 - 1).
   explicit CommoditySet(CommodityId universe)
-      : universe_(universe), words_((universe + 63) / 64, 0) {}
+      : universe_(universe),
+        words_((static_cast<std::size_t>(universe) + 63) / 64, 0) {}
 
   CommoditySet(CommodityId universe, std::initializer_list<CommodityId> ids)
       : CommoditySet(universe) {

@@ -1,0 +1,131 @@
+// Random-instance generator for the metamorphic test harness
+// (tests/test_metamorphic.cpp).
+//
+// Metamorphic testing checks *relations between runs* instead of oracle
+// outputs: generate a random instance, apply a transformation with a
+// known effect (scale the geometry, permute the commodity labels, drop a
+// request that should not have mattered), and assert the algorithms'
+// costs move exactly as the theory says. The generator draws small
+// instances across two metric families (line, 2-D Euclidean) and two
+// cost families (polynomial class-C, per-commodity linear), so the
+// invariants are exercised over genuinely different shapes — everything
+// is a deterministic function of the seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cost/cost_models.hpp"
+#include "instance/instance.hpp"
+#include "metric/euclidean_metric.hpp"
+#include "metric/line_metric.hpp"
+#include "support/rng.hpp"
+
+namespace omflp::metamorphic {
+
+struct GeneratorOptions {
+  std::size_t min_points = 12;
+  std::size_t max_points = 24;
+  CommodityId min_commodities = 3;
+  CommodityId max_commodities = 6;
+  std::size_t min_requests = 24;
+  std::size_t max_requests = 48;
+  /// Force the per-commodity LinearCostModel (the permutation invariant
+  /// needs a cost that actually depends on commodity identity).
+  bool linear_cost_only = false;
+};
+
+struct GeneratedInstance {
+  Instance instance;
+  /// Per-commodity weights when the linear cost model was drawn; empty
+  /// for the (label-blind) polynomial model.
+  std::vector<double> linear_weights;
+};
+
+inline GeneratedInstance random_instance(std::uint64_t seed,
+                                         const GeneratorOptions& options =
+                                             {}) {
+  Rng rng(seed);
+  const std::size_t points = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(options.min_points),
+      static_cast<std::int64_t>(options.max_points)));
+  const CommodityId commodities = static_cast<CommodityId>(rng.uniform_int(
+      options.min_commodities, options.max_commodities));
+
+  MetricPtr metric;
+  if (rng.bernoulli(0.5)) {
+    metric = LineMetric::uniform_grid(points, rng.uniform(10.0, 200.0));
+  } else {
+    std::vector<double> coords;
+    coords.reserve(points * 2);
+    for (std::size_t p = 0; p < points * 2; ++p)
+      coords.push_back(rng.uniform(0.0, 100.0));
+    metric = std::make_shared<EuclideanMetric>(2, std::move(coords));
+  }
+
+  CostModelPtr cost;
+  std::vector<double> weights;
+  if (options.linear_cost_only || rng.bernoulli(0.5)) {
+    weights.reserve(commodities);
+    for (CommodityId e = 0; e < commodities; ++e)
+      weights.push_back(rng.uniform(0.5, 3.0));
+    cost = std::make_shared<LinearCostModel>(weights);
+  } else {
+    cost = std::make_shared<PolynomialCostModel>(
+        commodities, rng.uniform(0.0, 2.0), rng.uniform(0.5, 4.0));
+  }
+
+  const std::size_t num_requests = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(options.min_requests),
+      static_cast<std::int64_t>(options.max_requests)));
+  std::vector<Request> requests;
+  requests.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    Request r;
+    r.location = static_cast<PointId>(rng.uniform_index(points));
+    const CommodityId size = static_cast<CommodityId>(rng.uniform_int(
+        1, std::min<CommodityId>(3, commodities)));
+    r.commodities = CommoditySet(commodities);
+    for (const std::size_t e :
+         rng.sample_without_replacement(commodities, size))
+      r.commodities.add(static_cast<CommodityId>(e));
+    requests.push_back(std::move(r));
+  }
+
+  GeneratedInstance out{Instance(std::move(metric), std::move(cost),
+                                 std::move(requests), "metamorphic"),
+                        std::move(weights)};
+  out.instance.validate();
+  return out;
+}
+
+/// Relabel commodity e as perm[e] everywhere: requests carry remapped
+/// demand sets, and the linear weights move with their commodities
+/// (new_weights[perm[e]] = weights[e]). The instances are isomorphic, so
+/// any algorithm treating commodities symmetrically must pay the same.
+inline Instance permute_commodities(const Instance& instance,
+                                    const std::vector<double>& weights,
+                                    const std::vector<CommodityId>& perm) {
+  const CommodityId s = instance.num_commodities();
+  std::vector<double> permuted_weights(s, 0.0);
+  for (CommodityId e = 0; e < s; ++e)
+    permuted_weights[perm[e]] = weights[e];
+  std::vector<Request> requests;
+  requests.reserve(instance.num_requests());
+  for (const Request& r : instance.requests()) {
+    Request mapped;
+    mapped.location = r.location;
+    mapped.commodities = CommoditySet(s);
+    r.commodities.for_each(
+        [&](CommodityId e) { mapped.commodities.add(perm[e]); });
+    requests.push_back(std::move(mapped));
+  }
+  return Instance(instance.metric_ptr(),
+                  std::make_shared<LinearCostModel>(
+                      std::move(permuted_weights)),
+                  std::move(requests), instance.name() + "-permuted");
+}
+
+}  // namespace omflp::metamorphic

@@ -1,0 +1,209 @@
+// Fuzz-ish parser robustness: a deterministic corpus of mutated
+// OMFLP-STREAM and OMFLP-INSTANCE trace bytes — truncations, flipped
+// signs, duplicated/deleted lines, absurd declared counts, random byte
+// corruption — fed through every reader. The contract: a mutant either
+// parses (some mutations are harmless) or is rejected with an ordinary
+// exception; nothing may crash, read out of bounds, or allocate
+// proportionally to a *declared* (rather than actually present) count.
+// CI runs this suite under ASan/UBSan (the sanitize job), which is where
+// the "no crashes" half of the contract gets teeth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "instance/io.hpp"
+#include "instance/stream_io.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/stream_registry.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+namespace {
+
+enum class ParseOutcome { kAccepted, kRejected };
+
+/// Every stream reader over one input: the materializing parser (plus
+/// semantic validation) and the bounded-memory batch reader, drained.
+/// Returns whether the text was accepted; throws only on non-exception
+/// failures (which the test harness / sanitizers turn into failures).
+ParseOutcome feed_stream_readers(const std::string& text) {
+  ParseOutcome outcome = ParseOutcome::kAccepted;
+  try {
+    const EventStream stream = event_stream_from_string(text);
+    stream.validate();
+  } catch (const std::exception&) {
+    outcome = ParseOutcome::kRejected;
+  }
+  try {
+    std::istringstream is(text);
+    StreamTraceReader reader(is);
+    std::vector<StreamEvent> batch;
+    while (reader.next_batch(batch, 256) > 0) batch.clear();
+  } catch (const std::exception&) {
+    outcome = ParseOutcome::kRejected;
+  }
+  return outcome;
+}
+
+ParseOutcome feed_instance_reader(const std::string& text) {
+  try {
+    std::istringstream is(text);
+    const Instance instance = read_instance(is);
+    instance.validate();
+    return ParseOutcome::kAccepted;
+  } catch (const std::exception&) {
+    return ParseOutcome::kRejected;
+  }
+}
+
+std::string valid_stream_trace() {
+  const EventStream stream = default_stream_scenario_registry().make(
+      "churn-uniform", /*seed=*/3,
+      {{"events", 96}, {"points", 12}, {"commodities", 4}});
+  return event_stream_to_string(stream);
+}
+
+std::string valid_instance_trace() {
+  std::ostringstream os;
+  write_instance(os, default_scenario_registry().make(
+                         "uniform-line", /*seed=*/2, {{"requests", 48}}));
+  return os.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Replace the first numeric token on every line starting with `prefix`.
+std::string with_count(const std::string& text, const std::string& prefix,
+                       const std::string& replacement) {
+  std::vector<std::string> lines = split_lines(text);
+  for (std::string& line : lines) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t digit = line.find_first_of("0123456789", prefix.size());
+    if (digit == std::string::npos) continue;
+    std::size_t end = digit;
+    while (end < line.size() && std::isdigit(static_cast<unsigned char>(
+                                    line[end])))
+      ++end;
+    line = line.substr(0, digit) + replacement + line.substr(end);
+    break;
+  }
+  return join_lines(lines);
+}
+
+template <typename Feed>
+void run_corpus(const std::string& base, Feed feed) {
+  ASSERT_EQ(feed(base), ParseOutcome::kAccepted)
+      << "the unmutated trace must parse";
+
+  std::size_t rejected = 0;
+  std::size_t trials = 0;
+  const auto check = [&](const std::string& mutant) {
+    ++trials;
+    if (feed(mutant) == ParseOutcome::kRejected) ++rejected;
+  };
+
+  // Truncations at ~64 byte positions, including mid-line cuts.
+  for (std::size_t cut = 0; cut < base.size();
+       cut += std::max<std::size_t>(1, base.size() / 64))
+    check(base.substr(0, cut));
+
+  // Duplicated and deleted lines (headers and early sections).
+  const std::vector<std::string> lines = split_lines(base);
+  for (std::size_t i = 0; i < std::min<std::size_t>(lines.size(), 24);
+       ++i) {
+    std::vector<std::string> duplicated = lines;
+    duplicated.insert(duplicated.begin() + static_cast<long>(i), lines[i]);
+    check(join_lines(duplicated));
+    std::vector<std::string> deleted = lines;
+    deleted.erase(deleted.begin() + static_cast<long>(i));
+    check(join_lines(deleted));
+  }
+
+  // Random byte corruption: overwrite one byte with a hostile pick.
+  Rng rng(0xf422ed);
+  const std::string pool = "-+0123456789aLd. \t\n\"#";
+  for (std::size_t trial = 0; trial < 256; ++trial) {
+    std::string mutant = base;
+    mutant[rng.uniform_index(mutant.size())] =
+        pool[rng.uniform_index(pool.size())];
+    check(mutant);
+  }
+
+  // Sign flips in front of random digits.
+  for (std::size_t trial = 0; trial < 64; ++trial) {
+    std::string mutant = base;
+    const std::size_t pos = rng.uniform_index(mutant.size());
+    if (std::isdigit(static_cast<unsigned char>(mutant[pos])))
+      mutant.insert(pos, 1, '-');
+    check(mutant);
+  }
+
+  // The corpus must actually exercise the error paths.
+  EXPECT_GT(rejected, trials / 4) << "suspiciously tolerant parser";
+}
+
+TEST(FuzzParsers, StreamTraceMutationsNeverCrash) {
+  run_corpus(valid_stream_trace(), feed_stream_readers);
+}
+
+TEST(FuzzParsers, InstanceTraceMutationsNeverCrash) {
+  run_corpus(valid_instance_trace(), feed_instance_reader);
+}
+
+TEST(FuzzParsers, HugeDeclaredCountsAreRejectedNotAllocated) {
+  const std::string stream = valid_stream_trace();
+  const std::string instance = valid_instance_trace();
+
+  // Declared counts far beyond the bytes actually present must fail at
+  // "unexpected end of input" (or a parse error), never by attempting
+  // the corresponding allocation.
+  for (const char* huge :
+       {"18446744073709551615", "4294967295", "1099511627776",
+        "99999999999999999999999"}) {
+    EXPECT_EQ(feed_stream_readers(with_count(stream, "events", huge)),
+              ParseOutcome::kRejected)
+        << huge;
+    EXPECT_EQ(feed_stream_readers(with_count(stream, "metric matrix",
+                                             huge)),
+              ParseOutcome::kRejected)
+        << huge;
+    EXPECT_EQ(feed_stream_readers(with_count(stream, "commodities", huge)),
+              ParseOutcome::kRejected)
+        << huge;
+    EXPECT_EQ(feed_instance_reader(with_count(instance, "requests", huge)),
+              ParseOutcome::kRejected)
+        << huge;
+    EXPECT_EQ(feed_instance_reader(with_count(instance, "metric matrix",
+                                              huge)),
+              ParseOutcome::kRejected)
+        << huge;
+  }
+
+  // Negative counts must be rejected, not wrapped.
+  EXPECT_EQ(feed_stream_readers(with_count(stream, "events", "-5")),
+            ParseOutcome::kRejected);
+  EXPECT_EQ(feed_instance_reader(with_count(instance, "requests", "-5")),
+            ParseOutcome::kRejected);
+}
+
+}  // namespace
+}  // namespace omflp

@@ -1,16 +1,20 @@
 // Tests for the perf telemetry subsystem: PerfCounters semantics, the
 // counter hooks through the algorithm roster, BenchSuite runs, the
-// BENCH_*.json write/read round-trip, and compare_reports thresholds.
+// BENCH_*.json write/read round-trip, compare_reports thresholds and
+// suite-drift tolerance, and the lock-free LatencyHistogram backing the
+// serving engine's percentiles.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/online_algorithm.hpp"
 #include "perf/bench_compare.hpp"
 #include "perf/bench_suite.hpp"
+#include "perf/latency_histogram.hpp"
 #include "perf/perf_counters.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/scenario_registry.hpp"
@@ -317,7 +321,7 @@ TEST(Compare, FlagsRegressionsBeyondThreshold) {
   EXPECT_EQ(comparison.regressions, 1u);
 }
 
-TEST(Compare, FlagsImprovementsAndMissingCases) {
+TEST(Compare, FlagsImprovementsAndReportsSuiteDrift) {
   BenchReport old_report = synthetic_report(1000.0, 1000.0);
   BenchReport new_report = synthetic_report(500.0, 990.0);
   new_report.cases[1].name = "renamed";
@@ -328,11 +332,51 @@ TEST(Compare, FlagsImprovementsAndMissingCases) {
   EXPECT_DOUBLE_EQ(comparison.deltas[0].lookup_ratio, 1.0);
   EXPECT_EQ(comparison.deltas[1].status, CaseDelta::Status::kOnlyOld);
   EXPECT_EQ(comparison.deltas[2].status, CaseDelta::Status::kOnlyNew);
-  // A baseline case missing from the new report fails the gate —
-  // renaming a slow case must not dodge the comparison.
-  EXPECT_TRUE(comparison.any_regression());
-  EXPECT_EQ(comparison.regressions, 1u);
+  // Suite drift (a renamed case is one missing + one new) is reported,
+  // not treated as a slowdown: new-only and missing-only cases must
+  // compare cleanly when a PR adds or retires bench cases.
+  EXPECT_FALSE(comparison.any_regression());
+  EXPECT_EQ(comparison.regressions, 0u);
+  EXPECT_EQ(comparison.missing_cases, 1u);
+  EXPECT_EQ(comparison.new_cases, 1u);
   EXPECT_EQ(comparison.improvements, 1u);
+
+  std::ostringstream table;
+  comparison.write_table(table);
+  EXPECT_NE(table.str().find("suite drift: 1 new case(s)"),
+            std::string::npos);
+  EXPECT_NE(table.str().find("1 baseline case(s) not measured"),
+            std::string::npos);
+}
+
+TEST(Compare, FailOnMissingRestoresTheStrictGate) {
+  BenchReport old_report = synthetic_report(1000.0, 1000.0);
+  BenchReport new_report = synthetic_report(1000.0, 1000.0);
+  new_report.cases.pop_back();  // baseline case "two" vanishes
+  const CompareReport tolerant = compare_reports(old_report, new_report);
+  EXPECT_FALSE(tolerant.any_regression());
+  EXPECT_EQ(tolerant.missing_cases, 1u);
+
+  const CompareReport strict = compare_reports(
+      old_report, new_report, CompareOptions{.fail_on_missing = true});
+  EXPECT_TRUE(strict.any_regression());
+  EXPECT_EQ(strict.regressions, 1u);
+  EXPECT_EQ(strict.missing_cases, 1u);
+}
+
+TEST(Compare, NewOnlyCasesAreNeverRegressions) {
+  BenchReport old_report = synthetic_report(1000.0, 1000.0);
+  BenchReport new_report = synthetic_report(1000.0, 1000.0);
+  BenchCaseResult serve;
+  serve.name = "serve/mixed-pd";
+  serve.ns_per_op = 123.0;
+  new_report.cases.push_back(serve);
+  const CompareReport comparison = compare_reports(
+      old_report, new_report, CompareOptions{.fail_on_missing = true});
+  EXPECT_FALSE(comparison.any_regression());
+  EXPECT_EQ(comparison.new_cases, 1u);
+  ASSERT_EQ(comparison.deltas.size(), 3u);
+  EXPECT_EQ(comparison.deltas[2].status, CaseDelta::Status::kOnlyNew);
 }
 
 TEST(Compare, RejectsThresholdBelowOne) {
@@ -341,6 +385,68 @@ TEST(Compare, RejectsThresholdBelowOne) {
       (void)compare_reports(report, report,
                             CompareOptions{.regression_threshold = 0.9}),
       std::invalid_argument);
+}
+
+// ------------------------------------------------------ latency histogram ---
+
+TEST(LatencyHistogram, BucketIndexIsMonotoneWithBoundedRelativeError) {
+  int previous = -1;
+  for (std::uint64_t value = 0; value < 4096; ++value) {
+    const int bucket = LatencyHistogram::bucket_index(value);
+    EXPECT_GE(bucket, previous) << value;
+    previous = bucket;
+    if (value >= 8) {
+      const double representative = LatencyHistogram::bucket_value(bucket);
+      EXPECT_NEAR(representative, static_cast<double>(value),
+                  0.125 * static_cast<double>(value))
+          << value;
+    }
+  }
+  // Huge values stay in range instead of indexing past the last bucket.
+  EXPECT_LT(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kNumBuckets);
+}
+
+TEST(LatencyHistogram, QuantilesTrackAKnownDistribution) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.record_ns(1000.0);
+  for (int i = 0; i < 10; ++i) histogram.record_ns(1e6);
+  const LatencySnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.p50_ns, 1000.0, 0.13 * 1000.0);
+  EXPECT_NEAR(snap.p95_ns, 1e6, 0.13 * 1e6);
+  EXPECT_NEAR(snap.p99_ns, 1e6, 0.13 * 1e6);
+  EXPECT_DOUBLE_EQ(snap.max_ns, 1e6);
+  EXPECT_NEAR(snap.mean_ns(), (90 * 1000.0 + 10 * 1e6) / 100.0, 1.0);
+  EXPECT_LE(snap.p50_ns, snap.p95_ns);
+  EXPECT_LE(snap.p95_ns, snap.p99_ns);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsAllZero) {
+  LatencyHistogram histogram;
+  const LatencySnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50_ns, 0.0);
+  EXPECT_EQ(snap.max_ns, 0.0);
+  EXPECT_EQ(snap.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&histogram, t] {
+        for (int i = 0; i < kPerThread; ++i)
+          histogram.record_ns(static_cast<double>(100 + t));
+      });
+  }
+  const LatencySnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
 // ---------------------------------------------------------- sweep timing ---

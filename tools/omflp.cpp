@@ -5,6 +5,7 @@
 //   omflp sweep  --scenarios a,b ...    mass-run a cross-product, emit CSV
 //   omflp replay FILE ...               re-run a saved instance trace
 //   omflp stream --scenario S ...       process a dynamic event stream
+//   omflp serve  --tenants K ...        drive the sharded multi-tenant engine
 //   omflp bench                         run the perf suite, emit BENCH json
 //   omflp compare OLD NEW               diff two BENCH json files
 //
@@ -16,6 +17,7 @@
 //               --csv sweep.csv --json sweep.json
 //   omflp stream --scenario churn-uniform --algorithm pd --save churn.omflp
 //   omflp stream --trace churn.omflp --algorithm greedy --batch 4096
+//   omflp serve --tenants 16 --mix mixed --algorithm pd --seq-baseline
 //   omflp bench --quick --out BENCH_default.json
 //   omflp compare benchmarks/BENCH_baseline.json BENCH_default.json \
 //               --threshold 1.15
@@ -38,6 +40,7 @@
 
 #include "analysis/competitive.hpp"
 #include "core/stream_runner.hpp"
+#include "engine/sharded_engine.hpp"
 #include "instance/io.hpp"
 #include "instance/stream_io.hpp"
 #include "perf/bench_compare.hpp"
@@ -49,6 +52,7 @@
 #include "scenario/sweep.hpp"
 #include "solution/verifier.hpp"
 #include "support/parse.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -97,6 +101,24 @@ int usage(std::ostream& os, int exit_code) {
         "verifier\n"
         "    --ratio                   force the OPT(surviving) ratio "
         "estimate\n"
+        "  serve                     drive the sharded multi-tenant stream "
+        "engine\n"
+        "    --tenants K               default: 8\n"
+        "    --mix NAME                workload mix (default: mixed; see "
+        "`omflp list`)\n"
+        "    --algorithm NAME          serve every tenant with this "
+        "algorithm (default: pd)\n"
+        "    --seed N                  default: 1\n"
+        "    --shards N                default: min(tenants, threads)\n"
+        "    --threads N               default: hardware / OMFLP_THREADS\n"
+        "    --batch N                 events per tenant per round "
+        "(default: 2048)\n"
+        "    --scale X                 scale every tenant's workload size "
+        "(default: 1)\n"
+        "    --no-verify               skip the per-tenant incremental "
+        "verifiers\n"
+        "    --seq-baseline            also run the tenants sequentially "
+        "and report the speedup\n"
         "  bench                     run the perf suite, write BENCH json\n"
         "    --out FILE                default: BENCH_<suite>.json\n"
         "    --quick                   fewer warmup/timed trials (CI "
@@ -107,7 +129,9 @@ int usage(std::ostream& os, int exit_code) {
         "    --threshold X             regression gate on ns/op "
         "(default: 1.10)\n"
         "    --report-only             always exit 0 (CI trend "
-        "reporting)\n";
+        "reporting)\n"
+        "    --fail-on-missing         treat baseline cases missing from "
+        "NEW as regressions\n";
   return exit_code;
 }
 
@@ -163,6 +187,18 @@ int cmd_list() {
     for (const ScenarioParam& param : spec.params)
       std::cout << "      " << param.name << " = " << param.value << "  ("
                 << param.description << ")\n";
+  }
+  const WorkloadMixRegistry& mixes = default_workload_mix_registry();
+  std::cout << "\nworkload mixes (" << mixes.size()
+            << ", for `omflp serve`):\n";
+  for (const std::string& name : mixes.names()) {
+    const WorkloadMixSpec& spec = mixes.spec(name);
+    std::cout << "  " << name << " — " << spec.description
+              << "\n      hotness " << spec.hotness << "; profiles:";
+    for (const TenantProfile& profile : spec.profiles)
+      std::cout << " " << profile.scenario << " (w=" << profile.weight
+                << ")";
+    std::cout << "\n";
   }
   std::cout << "\nalgorithms (" << algorithms.size() << "):\n";
   for (const std::string& name : algorithms.names()) {
@@ -380,6 +416,137 @@ int cmd_stream(const std::vector<std::string>& args) {
   return finish(stream.name(), result, &stream);
 }
 
+// ----------------------------------------------------------------- serve ---
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::size_t tenants = 8;
+  std::string mix = "mixed";
+  std::string algorithm = "pd";
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+  bool seq_baseline = false;
+  EngineOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tenants")
+      tenants = parse_u64_arg(take_value(args, i), "--tenants");
+    else if (args[i] == "--mix") mix = take_value(args, i);
+    else if (args[i] == "--algorithm") algorithm = take_value(args, i);
+    else if (args[i] == "--seed")
+      seed = parse_u64_arg(take_value(args, i), "--seed");
+    else if (args[i] == "--shards")
+      options.shards = parse_u64_arg(take_value(args, i), "--shards");
+    else if (args[i] == "--threads")
+      options.threads = parse_u64_arg(take_value(args, i), "--threads");
+    else if (args[i] == "--batch")
+      options.batch_size = parse_u64_arg(take_value(args, i), "--batch");
+    else if (args[i] == "--scale")
+      scale = parse_double_arg(take_value(args, i), "--scale");
+    else if (args[i] == "--no-verify") options.verify = false;
+    else if (args[i] == "--seq-baseline") seq_baseline = true;
+    else throw std::invalid_argument("serve: unknown option " + args[i]);
+  }
+
+  std::vector<TenantSpec> specs =
+      default_workload_mix_registry().tenants(mix, tenants, seed, scale);
+  for (TenantSpec& spec : specs) spec.algorithm = algorithm;
+
+  const ShardedEngine engine(std::move(specs), options);
+  const EngineResult result = engine.run();
+
+  std::cout.precision(17);
+  std::cout << "engine     mix=" << mix << " tenants="
+            << result.tenants.size() << " shards=" << result.shards
+            << " threads=" << result.threads << " batch="
+            << options.batch_size << " algorithm=" << algorithm
+            << " (seed " << seed << ")\n"
+            << "rounds     " << result.rounds << " (global clock)\n"
+            << "events     " << result.total_events << " total\n"
+            << "throughput " << result.events_per_sec()
+            << " events/s aggregate (" << result.wall_ns / 1e6
+            << " ms wall)\n";
+  const LatencySnapshot& latency = result.batch_latency;
+  std::cout << "latency    batch p50 " << latency.p50_ns / 1e6
+            << " ms, p95 " << latency.p95_ns / 1e6 << " ms, p99 "
+            << latency.p99_ns / 1e6 << " ms, max " << latency.max_ns / 1e6
+            << " ms (" << latency.count << " batches)\n"
+            << "aggregate  gross " << result.aggregate_gross_cost
+            << " active " << result.aggregate_active_cost << "\n";
+
+  // The per-tenant block is bitwise deterministic (costs, events,
+  // facility counts are pure functions of the tenant specs — independent
+  // of shards/threads); CI diffs it across shard and thread counts.
+  TableWriter table({"tenant", "scenario", "events", "gross cost",
+                     "active cost", "facilities", "verified"});
+  table.set_precision(17);
+  for (const TenantResult& tenant : result.tenants) {
+    table.begin_row()
+        .add(tenant.name)
+        .add(tenant.scenario)
+        .add(static_cast<long long>(tenant.run.events))
+        .add(tenant.run.ledger.total_cost())
+        .add(tenant.run.ledger.active_cost())
+        .add(static_cast<long long>(tenant.run.ledger.num_facilities()))
+        .add(!options.verify ? "off"
+                             : (tenant.run.violation ? "FAIL" : "ok"));
+  }
+  table.write_markdown(std::cout);
+
+  if (const TenantResult* violation = result.first_violation())
+    throw std::logic_error("invalid serve run: tenant '" + violation->name +
+                           "': " + violation->run.violation->what);
+  if (options.verify)
+    std::cout << "verified   all " << result.tenants.size()
+              << " tenant ledgers OK\n";
+
+  if (seq_baseline) {
+    // The same tenants, one run_stream after another on this thread —
+    // the loop the engine's aggregate throughput is judged against.
+    // Stream generation is excluded from the timing on both sides.
+    // Streams and algorithm instances are built before the timer on
+    // both sides (the engine constructs its sessions before its own
+    // wall timer starts), so the comparison times serving only.
+    StreamRunOptions run_options;
+    run_options.batch_size = options.batch_size;
+    run_options.verify = options.verify;
+    std::vector<EventStream> streams;
+    std::vector<std::unique_ptr<OnlineAlgorithm>> algorithms;
+    streams.reserve(engine.tenants().size());
+    algorithms.reserve(engine.tenants().size());
+    for (const TenantSpec& spec : engine.tenants()) {
+      streams.push_back(default_stream_scenario_registry().make(
+          spec.scenario, spec.seed, spec.overrides));
+      algorithms.push_back(default_algorithm_registry().make(
+          spec.algorithm, derive_algorithm_seed(spec.seed)));
+    }
+    BenchTimer timer;
+    std::uint64_t events = 0;
+    std::vector<std::pair<double, double>> costs;  // (gross, active)
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      const StreamRunResult sequential =
+          run_stream(*algorithms[i], streams[i], run_options);
+      events += sequential.events;
+      costs.emplace_back(sequential.ledger.total_cost(),
+                         sequential.ledger.active_cost());
+    }
+    const double wall_ns = timer.elapsed_ns();
+    const double seq_events_per_sec =
+        wall_ns > 0.0 ? static_cast<double>(events) * 1e9 / wall_ns : 0.0;
+    for (std::size_t i = 0; i < costs.size(); ++i)
+      if (costs[i].first != result.tenants[i].run.ledger.total_cost() ||
+          costs[i].second != result.tenants[i].run.ledger.active_cost())
+        throw std::logic_error(
+            "serve: sequential baseline diverged from the engine on "
+            "tenant '" + result.tenants[i].name + "'");
+    std::cout << "sequential " << seq_events_per_sec << " events/s ("
+              << wall_ns / 1e6 << " ms wall); engine speedup "
+              << (seq_events_per_sec > 0.0
+                      ? result.events_per_sec() / seq_events_per_sec
+                      : 0.0)
+              << "x; per-tenant costs bitwise identical\n";
+  }
+  return 0;
+}
+
 // ----------------------------------------------------------------- sweep ---
 
 int cmd_sweep(const std::vector<std::string>& args) {
@@ -486,6 +653,7 @@ int cmd_compare(const std::vector<std::string>& args) {
       options.regression_threshold =
           parse_double_arg(take_value(args, i), "--threshold");
     else if (args[i] == "--report-only") report_only = true;
+    else if (args[i] == "--fail-on-missing") options.fail_on_missing = true;
     else if (!args[i].empty() && args[i][0] != '-') paths.push_back(args[i]);
     else throw std::invalid_argument("compare: unknown option " + args[i]);
   }
@@ -517,6 +685,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "stream") return cmd_stream(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "help" || command == "--help" || command == "-h")
