@@ -29,6 +29,11 @@ RatioResult measure_ratio(OnlineAlgorithm& algorithm,
   result.opt_exact = opt.exact;
   result.opt_method = opt.method;
   result.ratio = ledger.total_cost() / opt.cost;
+  result.opt_lower = opt.lower;
+  result.opt_lower_certified = opt.lower_certified;
+  result.opt_lower_method = opt.lower_method;
+  if (opt.lower_certified && opt.lower > 0.0)
+    result.certified_ratio = ledger.total_cost() / opt.lower;
   result.run_ns = run_ns;
   return result;
 }

@@ -19,6 +19,17 @@ struct RatioResult {
   bool opt_exact = false;
   std::string opt_method;
   double ratio = 0.0;  // algorithm_cost / opt_cost
+  /// Certified lower bound on OPT carried over from the estimate (0 and
+  /// uncertified when the bound layer does not support the instance).
+  double opt_lower = 0.0;
+  bool opt_lower_certified = false;
+  std::string opt_lower_method = "none";
+  /// algorithm_cost / opt_lower — an *over*-estimate of the true ratio
+  /// (the safe side for validating the paper's upper-bound theorems).
+  /// Together with `ratio` it brackets the truth:
+  /// ratio ≤ true ratio ≤ certified_ratio. 0 when uncertified or the
+  /// lower bound is 0.
+  double certified_ratio = 0.0;
   /// Wall time of the online run itself (reset + every serve), excluding
   /// verification and OPT estimation. Feeds the sweep timing columns.
   double run_ns = 0.0;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "support/commodity_set.hpp"
 #include "support/types.hpp"
@@ -41,6 +42,17 @@ class FacilityCostModel {
   virtual std::optional<double> cost_by_size(PointId m, CommodityId k) const {
     (void)m;
     (void)k;
+    return std::nullopt;
+  }
+
+  /// If the cost is additive at point m — f^σ_m = Σ_{e∈σ} w_e(m) exactly —
+  /// returns the per-commodity weights (size |S|); otherwise std::nullopt.
+  /// The dual-ascent lower bounder (src/bound/) uses these as exact
+  /// per-commodity facility budgets; the certificate checker spot-checks
+  /// the claim against open_cost before relying on it.
+  virtual std::optional<std::vector<double>> additive_weights(
+      PointId m) const {
+    (void)m;
     return std::nullopt;
   }
 

@@ -140,6 +140,16 @@ std::optional<double> PointScaledCostModel::cost_by_size(PointId m,
   return multipliers_[m] * *base;
 }
 
+std::optional<std::vector<double>> PointScaledCostModel::additive_weights(
+    PointId m) const {
+  OMFLP_REQUIRE(m < multipliers_.size(),
+                "PointScaledCostModel: point out of range");
+  auto base = base_->additive_weights(m);
+  if (!base) return std::nullopt;
+  for (double& w : *base) w *= multipliers_[m];
+  return base;
+}
+
 bool PointScaledCostModel::location_invariant() const noexcept {
   if (!base_->location_invariant()) return false;
   return std::all_of(multipliers_.begin(), multipliers_.end(),

@@ -113,6 +113,11 @@ class LinearCostModel final : public FacilityCostModel {
   }
   double open_cost(PointId m, const CommoditySet& config) const override;
   bool location_invariant() const noexcept override { return true; }
+  std::optional<std::vector<double>> additive_weights(
+      PointId m) const override {
+    (void)m;
+    return weights_;
+  }
   std::string description() const override;
 
  private:
@@ -132,6 +137,8 @@ class PointScaledCostModel final : public FacilityCostModel {
   }
   double open_cost(PointId m, const CommoditySet& config) const override;
   std::optional<double> cost_by_size(PointId m, CommodityId k) const override;
+  std::optional<std::vector<double>> additive_weights(
+      PointId m) const override;
   bool location_invariant() const noexcept override;
   std::string description() const override;
 

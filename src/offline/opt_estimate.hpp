@@ -7,6 +7,15 @@
 //   4. otherwise min(local search, inexact certificate) — an upper bound
 //      on OPT, making measured ratios conservative *under*-estimates,
 //      which is the safe direction when validating upper-bound theorems.
+//
+// Independently of the upper estimate, the bound layer (src/bound/)
+// supplies a *certified lower bound*: when an exact value is known the
+// lower equals it; otherwise the dual-ascent bounder runs and its
+// certificate is verified before the value is trusted. cost/lower then
+// brackets any measured ratio from the safe (over-estimating) side. On
+// exactly-solved instances the dual bound is additionally cross-checked
+// against OPT — a certificate exceeding the exact optimum is a soundness
+// bug and throws.
 #pragma once
 
 #include <string>
@@ -18,9 +27,18 @@
 namespace omflp {
 
 struct OptEstimate {
+  /// Upper estimate of OPT (exact value when `exact`).
   double cost = 0.0;
   bool exact = false;
   std::string method;
+  /// Certified lower bound on OPT: `cost` itself when exact, else a
+  /// verified dual-ascent / chunked bound, else 0 (trivially valid) when
+  /// the bounder does not support the instance's cost structure.
+  double lower = 0.0;
+  /// True unless the bounder was unsupported AND no exact value exists
+  /// (the 0 fallback is valid but vacuous).
+  bool lower_certified = false;
+  std::string lower_method = "none";
 };
 
 struct OptEstimateOptions {
@@ -31,6 +49,12 @@ struct OptEstimateOptions {
   bool allow_local_search = true;
   /// Also run the greedy-star solver and keep the better bound.
   bool use_greedy_star = true;
+  /// Attach a certified lower bound (see OptEstimate::lower). Off by
+  /// default: the dual ascent costs more than the heuristics it brackets,
+  /// so only ratio-reporting paths opt in.
+  bool compute_lower = false;
+  /// Requests per chunk when the instance is too large to bound whole.
+  std::size_t lower_chunk_arrivals = 4096;
 };
 
 OptEstimate estimate_opt(const Instance& instance,

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "baseline/greedy.hpp"
+#include "bound/dual_ascent.hpp"
+#include "bound/window.hpp"
 #include "core/online_algorithm.hpp"
 #include "core/pd_omflp.hpp"
 #include "core/stream_runner.hpp"
@@ -487,6 +489,36 @@ BenchSuite default_bench_suite() {
       if (PerfCounters* outer = perf::thread_sink()) *outer += counters;
     };
     suite.add(std::move(on));
+  }
+
+  // Bound-layer cases: one op = a full certified-lower-bound computation.
+  // bound/dual-ascent times the bare ascent on the shared uniform-line
+  // instance (requests_per_op = n, so throughput reads as requests/s and
+  // the duals_raised counter column shows the dual count per op);
+  // bound/windowed-churn times the end-to-end stream pipeline — window
+  // tracking, per-window ascent AND certificate verification, the
+  // configuration `omflp bound --stream` actually runs.
+  {
+    suite.add(BenchCase{"bound/dual-ascent", instance->num_requests(),
+                        [instance] {
+                          const DualAscentResult res =
+                              dual_ascent_lower_bound(*instance);
+                          volatile double sink = res.lower_bound;
+                          (void)sink;
+                        }});
+    const auto churn = std::make_shared<const EventStream>(
+        default_stream_scenario_registry().make("churn-uniform", /*seed=*/1,
+                                                {{"events", 512}}));
+    suite.add(BenchCase{"bound/windowed-churn", churn->num_events(),
+                        [churn] {
+                          MaterializedEventSource source(*churn);
+                          WindowBoundOptions options;
+                          options.max_window_arrivals = 128;
+                          const StreamBoundResult res =
+                              bound_stream_windows(source, options);
+                          volatile double sink = res.windowed_lower;
+                          (void)sink;
+                        }});
   }
 
   return suite;

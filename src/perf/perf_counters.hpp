@@ -42,6 +42,7 @@ struct PerfCounters {
   std::uint64_t verifier_checks = 0;    // verifier records re-derived
   std::uint64_t requests_served = 0;    // serve() calls through run_online
   std::uint64_t facilities_opened = 0;  // ledger facility openings
+  std::uint64_t duals_raised = 0;       // bound-layer dual variables raised
 
   void reset() noexcept { *this = PerfCounters{}; }
 
@@ -54,6 +55,7 @@ struct PerfCounters {
     verifier_checks += o.verifier_checks;
     requests_served += o.requests_served;
     facilities_opened += o.facilities_opened;
+    duals_raised += o.duals_raised;
     return *this;
   }
 
@@ -61,7 +63,7 @@ struct PerfCounters {
     return distance_lookups == 0 && bids_evaluated == 0 &&
            bids_updated == 0 && facilities_probed == 0 && coin_flips == 0 &&
            verifier_checks == 0 && requests_served == 0 &&
-           facilities_opened == 0;
+           facilities_opened == 0 && duals_raised == 0;
   }
 
   /// Visit every (name, value) pair in a fixed order — the single source
@@ -76,6 +78,7 @@ struct PerfCounters {
     fn("verifier_checks", self.verifier_checks);
     fn("requests_served", self.requests_served);
     fn("facilities_opened", self.facilities_opened);
+    fn("duals_raised", self.duals_raised);
   }
 };
 

@@ -32,7 +32,9 @@ void SweepResult::write_csv(std::ostream& os) const {
   TableWriter table({"scenario", "algorithm", "seeds", "ratio_mean",
                      "ratio_ci95", "ratio_min", "ratio_max", "cost_mean",
                      "opening_mean", "connection_mean", "facilities_mean",
-                     "wall_ms_mean", "requests_per_sec_mean", "opt_exact"});
+                     "wall_ms_mean", "requests_per_sec_mean", "opt_exact",
+                     "lower_mean", "certified_ratio_mean",
+                     "certified_ratio_max", "gap_mean", "lower_certified"});
   table.set_precision(6);
   for (const SweepCell& c : cells_) {
     table.begin_row()
@@ -49,7 +51,12 @@ void SweepResult::write_csv(std::ostream& os) const {
         .add(c.facilities.mean())
         .add(c.wall_ms.mean())
         .add(c.requests_per_sec.mean())
-        .add(c.opt_exact);
+        .add(c.opt_exact)
+        .add(c.lower.count() ? c.lower.mean() : 0.0)
+        .add(c.certified_ratio.count() ? c.certified_ratio.mean() : 0.0)
+        .add(c.certified_ratio.count() ? c.certified_ratio.max() : 0.0)
+        .add(c.gap.count() ? c.gap.mean() : 0.0)
+        .add(c.lower_certified);
   }
   table.write_csv(os);
 }
@@ -94,7 +101,14 @@ void SweepResult::write_json(std::ostream& os) const {
        << ", \"wall_ms_mean\": " << c.wall_ms.mean()
        << ", \"wall_ms_max\": " << c.wall_ms.max()
        << ", \"requests_per_sec_mean\": " << c.requests_per_sec.mean()
-       << ", \"opt_exact\": " << c.opt_exact << "}"
+       << ", \"opt_exact\": " << c.opt_exact
+       << ", \"lower_mean\": " << (c.lower.count() ? c.lower.mean() : 0.0)
+       << ", \"certified_ratio_mean\": "
+       << (c.certified_ratio.count() ? c.certified_ratio.mean() : 0.0)
+       << ", \"certified_ratio_max\": "
+       << (c.certified_ratio.count() ? c.certified_ratio.max() : 0.0)
+       << ", \"gap_mean\": " << (c.gap.count() ? c.gap.mean() : 0.0)
+       << ", \"lower_certified\": " << c.lower_certified << "}"
        << (i + 1 < cells_.size() ? "," : "") << "\n";
   }
   os << "]\n";
@@ -112,6 +126,10 @@ struct TrialRow {
   double wall_ms = 0.0;
   double requests_per_sec = 0.0;
   bool opt_exact = false;
+  double lower = 0.0;
+  double certified_ratio = 0.0;
+  double gap = 0.0;
+  bool lower_certified = false;
 };
 
 }  // namespace
@@ -185,6 +203,15 @@ SweepResult run_sweep(const SweepOptions& options,
               static_cast<double>(instance.num_requests()) * 1e9 /
               std::max(measured.run_ns, 1.0);
           row.opt_exact = measured.opt_exact;
+          row.lower_certified = measured.opt_lower_certified;
+          if (measured.opt_lower_certified) {
+            row.lower = measured.opt_lower;
+            row.certified_ratio = measured.certified_ratio;
+            row.gap = measured.opt_cost > 0.0
+                          ? (measured.opt_cost - measured.opt_lower) /
+                                measured.opt_cost
+                          : 0.0;
+          }
         }
       },
       options.threads);
@@ -207,6 +234,12 @@ SweepResult run_sweep(const SweepOptions& options,
         cell.wall_ms.add(row.wall_ms);
         cell.requests_per_sec.add(row.requests_per_sec);
         if (row.opt_exact) ++cell.opt_exact;
+        if (row.lower_certified) {
+          ++cell.lower_certified;
+          cell.lower.add(row.lower);
+          cell.certified_ratio.add(row.certified_ratio);
+          cell.gap.add(row.gap);
+        }
       }
       cells.push_back(std::move(cell));
     }

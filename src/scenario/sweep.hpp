@@ -57,6 +57,15 @@ struct SweepCell {
   Summary wall_ms;           // online run wall time per trial (ms)
   Summary requests_per_sec;  // throughput per trial
   std::size_t opt_exact = 0;  // trials whose OPT estimate was exact
+  /// Certified columns (populated when opt.compute_lower; all-zero
+  /// Summaries otherwise). `lower` is the certified lower bound on OPT,
+  /// `certified_ratio` = cost / lower (an over-estimate of the true
+  /// ratio — the safe side), and `gap` = (upper − lower) / upper, the
+  /// relative width of the [lower, upper] OPT bracket (0 = exact).
+  Summary lower;
+  Summary certified_ratio;
+  Summary gap;
+  std::size_t lower_certified = 0;  // trials with a certified lower bound
 };
 
 class SweepResult {

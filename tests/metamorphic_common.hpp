@@ -5,9 +5,11 @@
 // outputs: generate a random instance, apply a transformation with a
 // known effect (scale the geometry, permute the commodity labels, drop a
 // request that should not have mattered), and assert the algorithms'
-// costs move exactly as the theory says. The generator draws small
-// instances across two metric families (line, 2-D Euclidean) and two
-// cost families (polynomial class-C, per-commodity linear), so the
+// costs move exactly as the theory says. By default the generator draws
+// small instances across two metric families (line, 2-D Euclidean) and
+// two cost families (polynomial class-C, per-commodity linear); tests can
+// force any of four metric families (line, Euclidean, graph
+// shortest-path, explicit matrix) and either cost family so the
 // invariants are exercised over genuinely different shapes — everything
 // is a deterministic function of the seed.
 #pragma once
@@ -20,10 +22,18 @@
 #include "cost/cost_models.hpp"
 #include "instance/instance.hpp"
 #include "metric/euclidean_metric.hpp"
+#include "metric/graph_metric.hpp"
 #include "metric/line_metric.hpp"
+#include "metric/matrix_metric.hpp"
 #include "support/rng.hpp"
 
 namespace omflp::metamorphic {
+
+/// kAny keeps the historical 50/50 line/Euclidean draw (and its exact RNG
+/// consumption — forcing a family must not shift seeds of existing
+/// tests); the named families are opt-in for tests that sweep shapes.
+enum class MetricFamily { kAny, kLine, kEuclidean, kGraph, kMatrix };
+enum class CostFamily { kAny, kLinear, kPolynomial };
 
 struct GeneratorOptions {
   std::size_t min_points = 12;
@@ -34,7 +44,10 @@ struct GeneratorOptions {
   std::size_t max_requests = 48;
   /// Force the per-commodity LinearCostModel (the permutation invariant
   /// needs a cost that actually depends on commodity identity).
+  /// Equivalent to cost_family = kLinear; kept for existing callers.
   bool linear_cost_only = false;
+  MetricFamily metric_family = MetricFamily::kAny;
+  CostFamily cost_family = CostFamily::kAny;
 };
 
 struct GeneratedInstance {
@@ -55,19 +68,77 @@ inline GeneratedInstance random_instance(std::uint64_t seed,
       options.min_commodities, options.max_commodities));
 
   MetricPtr metric;
-  if (rng.bernoulli(0.5)) {
-    metric = LineMetric::uniform_grid(points, rng.uniform(10.0, 200.0));
-  } else {
-    std::vector<double> coords;
-    coords.reserve(points * 2);
-    for (std::size_t p = 0; p < points * 2; ++p)
-      coords.push_back(rng.uniform(0.0, 100.0));
-    metric = std::make_shared<EuclideanMetric>(2, std::move(coords));
+  switch (options.metric_family) {
+    case MetricFamily::kAny:
+      // Historical draw — one bernoulli then the family's own draws, so
+      // kAny instances are bit-identical to what older seeds produced.
+      if (rng.bernoulli(0.5)) {
+        metric = LineMetric::uniform_grid(points, rng.uniform(10.0, 200.0));
+      } else {
+        std::vector<double> coords;
+        coords.reserve(points * 2);
+        for (std::size_t p = 0; p < points * 2; ++p)
+          coords.push_back(rng.uniform(0.0, 100.0));
+        metric = std::make_shared<EuclideanMetric>(2, std::move(coords));
+      }
+      break;
+    case MetricFamily::kLine:
+      metric = LineMetric::uniform_grid(points, rng.uniform(10.0, 200.0));
+      break;
+    case MetricFamily::kEuclidean: {
+      std::vector<double> coords;
+      coords.reserve(points * 2);
+      for (std::size_t p = 0; p < points * 2; ++p)
+        coords.push_back(rng.uniform(0.0, 100.0));
+      metric = std::make_shared<EuclideanMetric>(2, std::move(coords));
+      break;
+    }
+    case MetricFamily::kGraph: {
+      // Random spanning tree (connectivity) plus extra chords: node p
+      // attaches to a uniformly earlier node, then ~points/2 random
+      // shortcut edges densify the shortest-path structure.
+      std::vector<GraphEdge> edges;
+      edges.reserve(points + points / 2);
+      for (std::size_t p = 1; p < points; ++p)
+        edges.push_back({static_cast<PointId>(rng.uniform_index(p)),
+                         static_cast<PointId>(p),
+                         rng.uniform(1.0, 20.0)});
+      for (std::size_t c = 0; c < points / 2; ++c) {
+        const auto u = static_cast<PointId>(rng.uniform_index(points));
+        const auto v = static_cast<PointId>(rng.uniform_index(points));
+        if (u != v) edges.push_back({u, v, rng.uniform(1.0, 40.0)});
+      }
+      metric = std::make_shared<GraphMetric>(points, edges);
+      break;
+    }
+    case MetricFamily::kMatrix: {
+      // A materialized Euclidean point set: explicit matrix storage,
+      // guaranteed to satisfy the triangle inequality.
+      std::vector<double> coords;
+      coords.reserve(points * 2);
+      for (std::size_t p = 0; p < points * 2; ++p)
+        coords.push_back(rng.uniform(0.0, 100.0));
+      const EuclideanMetric plane(2, std::move(coords));
+      std::vector<std::vector<double>> matrix(
+          points, std::vector<double>(points, 0.0));
+      for (std::size_t a = 0; a < points; ++a)
+        for (std::size_t b = 0; b < points; ++b)
+          matrix[a][b] = plane.distance(static_cast<PointId>(a),
+                                        static_cast<PointId>(b));
+      metric = std::make_shared<MatrixMetric>(std::move(matrix));
+      break;
+    }
   }
 
   CostModelPtr cost;
   std::vector<double> weights;
-  if (options.linear_cost_only || rng.bernoulli(0.5)) {
+  const bool force_linear = options.linear_cost_only ||
+                            options.cost_family == CostFamily::kLinear;
+  const bool draw_linear =
+      options.cost_family == CostFamily::kPolynomial
+          ? false
+          : (force_linear || rng.bernoulli(0.5));
+  if (draw_linear) {
     weights.reserve(commodities);
     for (CommodityId e = 0; e < commodities; ++e)
       weights.push_back(rng.uniform(0.5, 3.0));

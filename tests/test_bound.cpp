@@ -1,0 +1,440 @@
+// Bound-layer tests: the dual-ascent bounder against hand-computed LP
+// values and the exact solver (weak duality: LB ≤ OPT on every exactly
+// solvable instance, across all four metric families and both cost
+// families), the independent certificate checker as a tamper detector,
+// certificate serialization round-trips, the window decomposer and the
+// chunked composition, bitwise determinism across thread counts, the
+// bound registry roster, and the certified sweep columns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bound/certificate.hpp"
+#include "bound/dual_ascent.hpp"
+#include "bound/registry.hpp"
+#include "bound/window.hpp"
+#include "cost/cost_models.hpp"
+#include "cost/heavy.hpp"
+#include "instance/event_stream.hpp"
+#include "metric/line_metric.hpp"
+#include "metamorphic_common.hpp"
+#include "offline/opt_estimate.hpp"
+#include "scenario/sweep.hpp"
+
+namespace omflp {
+namespace {
+
+Request make_request(PointId location, CommodityId universe,
+                     std::initializer_list<CommodityId> demanded) {
+  Request r;
+  r.location = location;
+  r.commodities = CommoditySet(universe);
+  for (const CommodityId e : demanded) r.commodities.add(e);
+  return r;
+}
+
+// ------------------------------------------------------------ hand-checks ---
+
+// Two requests at opposite ends of a length-L line, one commodity of
+// weight w < L: each request's dual rises until its own location's
+// facility budget w is exhausted, so LB = 2w — which IS the optimum
+// (opening at both ends costs 2w; sharing one facility costs w + L > 2w).
+TEST(DualAscent, TwoSeparatedRequestsReachTheExactOptimum) {
+  const double w = 3.0, L = 10.0;
+  const MetricPtr metric = LineMetric::uniform_grid(2, L);
+  const CostModelPtr cost = std::make_shared<LinearCostModel>(1, w);
+  Instance instance(metric, cost,
+                    {make_request(0, 1, {0}), make_request(1, 1, {0})},
+                    "two-ends");
+
+  const DualAscentResult res = dual_ascent_lower_bound(instance);
+  EXPECT_NEAR(res.lower_bound, 2.0 * w, 1e-12);
+  EXPECT_EQ(verify_certificate(instance, res.certificate), std::nullopt);
+
+  const OptEstimate opt = estimate_opt(instance);
+  ASSERT_TRUE(opt.exact);
+  EXPECT_NEAR(opt.cost, 2.0 * w, 1e-12);
+}
+
+// Two colocated requests sharing one commodity of weight w: their duals
+// rise together and the facility is paid off at t = w/2 each, LB = w.
+TEST(DualAscent, ColocatedRequestsSplitTheOpeningCost) {
+  const double w = 4.0;
+  const MetricPtr metric = LineMetric::uniform_grid(3, 10.0);
+  const CostModelPtr cost = std::make_shared<LinearCostModel>(1, w);
+  Instance instance(metric, cost,
+                    {make_request(1, 1, {0}), make_request(1, 1, {0})},
+                    "colocated");
+
+  const DualAscentResult res = dual_ascent_lower_bound(instance);
+  EXPECT_NEAR(res.lower_bound, w, 1e-12);
+  EXPECT_EQ(res.certificate.duals.size(), 2u);
+  EXPECT_NEAR(res.certificate.duals[0][0], w / 2.0, 1e-12);
+  EXPECT_NEAR(res.certificate.duals[1][0], w / 2.0, 1e-12);
+  EXPECT_EQ(verify_certificate(instance, res.certificate), std::nullopt);
+}
+
+// ------------------------------------------------- weak duality, randomized ---
+
+// Every exactly solvable instance must satisfy LB ≤ OPT (weak duality)
+// with a certificate the independent checker accepts — swept over all
+// four metric families × both cost families. Sizes are chosen to fit
+// ExactSolverLimits so the comparison is against the true optimum.
+TEST(DualAscent, LowerBoundNeverExceedsExactOptAcrossFamilies) {
+  using metamorphic::CostFamily;
+  using metamorphic::MetricFamily;
+  const MetricFamily metrics[] = {MetricFamily::kLine,
+                                  MetricFamily::kEuclidean,
+                                  MetricFamily::kGraph,
+                                  MetricFamily::kMatrix};
+  const CostFamily costs[] = {CostFamily::kLinear, CostFamily::kPolynomial};
+
+  metamorphic::GeneratorOptions gen;
+  gen.min_points = 3;
+  gen.max_points = 4;
+  gen.min_commodities = 3;
+  gen.max_commodities = 4;
+  gen.min_requests = 6;
+  gen.max_requests = 12;
+
+  std::uint64_t seed = 1;
+  for (const MetricFamily metric_family : metrics) {
+    for (const CostFamily cost_family : costs) {
+      gen.metric_family = metric_family;
+      gen.cost_family = cost_family;
+      for (int trial = 0; trial < 8; ++trial) {
+        const Instance instance =
+            metamorphic::random_instance(seed++, gen).instance;
+        const DualAscentResult res = dual_ascent_lower_bound(instance);
+        const auto violation = verify_certificate(instance, res.certificate);
+        ASSERT_EQ(violation, std::nullopt)
+            << "seed " << seed - 1 << ": " << *violation;
+
+        const OptEstimate opt = estimate_opt(instance);
+        ASSERT_TRUE(opt.exact) << "generator produced a non-exact size";
+        const double tol = 1e-9 * std::max(1.0, std::abs(opt.cost));
+        EXPECT_LE(res.lower_bound, opt.cost + tol)
+            << "weak duality violated at seed " << seed - 1;
+      }
+    }
+  }
+}
+
+// estimate_opt's own cross-check path: on exact instances the certified
+// lower equals the exact value and the internal dual-certificate
+// comparison passes without throwing.
+TEST(OptEstimate, ExactInstancesCarryCertifiedLowerEqualToOpt) {
+  metamorphic::GeneratorOptions gen;
+  gen.min_points = 3;
+  gen.max_points = 4;
+  gen.min_commodities = 3;
+  gen.max_commodities = 4;
+  gen.min_requests = 6;
+  gen.max_requests = 10;
+  OptEstimateOptions options;
+  options.compute_lower = true;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const Instance instance =
+        metamorphic::random_instance(seed, gen).instance;
+    const OptEstimate est = estimate_opt(instance, options);
+    ASSERT_TRUE(est.exact);
+    EXPECT_TRUE(est.lower_certified);
+    EXPECT_EQ(est.lower, est.cost);
+    EXPECT_EQ(est.lower_method, est.method);
+  }
+}
+
+// On instances beyond the exact limits the lower field is a genuine dual
+// bound below the heuristic upper estimate.
+TEST(OptEstimate, HeuristicEstimatesGetADualLowerBound) {
+  metamorphic::GeneratorOptions gen;  // defaults exceed ExactSolverLimits
+  OptEstimateOptions options;
+  options.compute_lower = true;
+  const Instance instance =
+      metamorphic::random_instance(42, gen).instance;
+  const OptEstimate est = estimate_opt(instance, options);
+  ASSERT_FALSE(est.exact);
+  ASSERT_TRUE(est.lower_certified);
+  EXPECT_GT(est.lower, 0.0);
+  EXPECT_LE(est.lower, est.cost);
+}
+
+// ------------------------------------------------------- tamper rejection ---
+
+class CertificateTamper : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metamorphic::GeneratorOptions gen;
+    gen.min_points = 3;
+    gen.max_points = 4;
+    gen.min_commodities = 3;
+    gen.max_commodities = 4;
+    gen.min_requests = 8;
+    gen.max_requests = 12;
+    instance_ = std::make_unique<Instance>(
+        metamorphic::random_instance(7, gen).instance);
+    result_ = dual_ascent_lower_bound(*instance_);
+    ASSERT_EQ(verify_certificate(*instance_, result_.certificate),
+              std::nullopt);
+  }
+
+  std::unique_ptr<Instance> instance_;
+  DualAscentResult result_;
+};
+
+TEST_F(CertificateTamper, PerturbedDualIsRejected) {
+  DualCertificate cert = result_.certificate;
+  ASSERT_FALSE(cert.duals.empty());
+  ASSERT_FALSE(cert.duals[0].empty());
+  // Raise one dual (and keep the objective consistent so the objective
+  // recomputation cannot be what catches it): feasibility or the slack
+  // audit must reject the inflated bound.
+  cert.duals[0][0] += 10.0;
+  cert.objective += 10.0;
+  EXPECT_NE(verify_certificate(*instance_, cert), std::nullopt);
+}
+
+TEST_F(CertificateTamper, InflatedObjectiveIsRejected) {
+  DualCertificate cert = result_.certificate;
+  cert.objective += 1.0;
+  EXPECT_NE(verify_certificate(*instance_, cert), std::nullopt);
+}
+
+TEST_F(CertificateTamper, WrongFacilitySlackIsRejected) {
+  DualCertificate cert = result_.certificate;
+  ASSERT_FALSE(cert.facility_slack.empty());
+  cert.facility_slack[0] += 1.0;
+  EXPECT_NE(verify_certificate(*instance_, cert), std::nullopt);
+}
+
+TEST_F(CertificateTamper, NegativeDualIsRejected) {
+  DualCertificate cert = result_.certificate;
+  cert.duals[0][0] = -1.0;
+  EXPECT_NE(verify_certificate(*instance_, cert), std::nullopt);
+}
+
+// ----------------------------------------------------------- serialization ---
+
+TEST(Certificate, RoundTripPreservesEveryField) {
+  metamorphic::GeneratorOptions gen;
+  gen.min_points = 3;
+  gen.max_points = 4;
+  gen.min_requests = 6;
+  gen.max_requests = 10;
+  const Instance instance = metamorphic::random_instance(11, gen).instance;
+  const DualAscentResult res = dual_ascent_lower_bound(instance);
+
+  const std::string text = certificate_to_string(res.certificate);
+  const DualCertificate parsed = certificate_from_string(text);
+  EXPECT_EQ(parsed.num_requests, res.certificate.num_requests);
+  EXPECT_EQ(parsed.num_commodities, res.certificate.num_commodities);
+  EXPECT_EQ(parsed.num_points, res.certificate.num_points);
+  EXPECT_EQ(parsed.method, res.certificate.method);
+  EXPECT_EQ(parsed.objective, res.certificate.objective);  // bitwise
+  EXPECT_EQ(parsed.duals, res.certificate.duals);
+  EXPECT_EQ(parsed.facility_slack, res.certificate.facility_slack);
+  // The parsed certificate is still verifiable against the instance.
+  EXPECT_EQ(verify_certificate(instance, parsed), std::nullopt);
+  // And re-serialization is a fixed point (precision 17 round-trips).
+  EXPECT_EQ(certificate_to_string(parsed), text);
+}
+
+TEST(Certificate, ParserRejectsTrailingGarbage) {
+  const MetricPtr metric = LineMetric::uniform_grid(2, 1.0);
+  const CostModelPtr cost = std::make_shared<LinearCostModel>(1, 1.0);
+  Instance instance(metric, cost, {make_request(0, 1, {0})}, "tiny");
+  const DualAscentResult res = dual_ascent_lower_bound(instance);
+  const std::string text = certificate_to_string(res.certificate);
+  EXPECT_THROW((void)certificate_from_string(text + "extra junk\n"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- windows and chunks ---
+
+TEST(WindowBound, DrainingStreamsSplitIntoBusyWindows) {
+  const MetricPtr metric = LineMetric::uniform_grid(4, 9.0);
+  const CostModelPtr cost = std::make_shared<LinearCostModel>(2, 1.0);
+  // Timeline: A (lease 1) expires before event 1 → window {A}; B
+  // (lease 1) expires before event 2 → window {B}; C is pinned and
+  // survives → final window {C}.
+  std::vector<StreamEvent> events;
+  events.push_back(StreamEvent::arrival(make_request(0, 2, {0}), 1));
+  events.push_back(StreamEvent::arrival(make_request(1, 2, {1}), 1));
+  events.push_back(StreamEvent::arrival(make_request(3, 2, {0}), 0));
+  const EventStream stream(metric, cost, std::move(events), "drain");
+  stream.validate();
+
+  MaterializedEventSource source(stream);
+  const StreamBoundResult res = bound_stream_windows(source);
+  EXPECT_EQ(res.windows, 3u);
+  EXPECT_EQ(res.forced_splits, 0u);
+  EXPECT_EQ(res.arrivals, 3u);
+  ASSERT_EQ(res.per_window.size(), 3u);
+  double sum = 0.0;
+  for (const WindowBoundRow& row : res.per_window) {
+    EXPECT_EQ(row.arrivals, 1u);
+    // A lone one-commodity request at its own point: LB = the weight 1.
+    EXPECT_NEAR(row.lower, 1.0, 1e-12);
+    sum += row.lower;
+  }
+  EXPECT_EQ(res.windowed_lower, sum);
+}
+
+TEST(WindowBound, ArrivalCapForcesASplit) {
+  const MetricPtr metric = LineMetric::uniform_grid(4, 9.0);
+  const CostModelPtr cost = std::make_shared<LinearCostModel>(2, 1.0);
+  std::vector<StreamEvent> events;
+  for (int i = 0; i < 3; ++i)
+    events.push_back(StreamEvent::arrival(make_request(0, 2, {0}), 0));
+  const EventStream stream(metric, cost, std::move(events), "pinned");
+
+  MaterializedEventSource source(stream);
+  WindowBoundOptions options;
+  options.max_window_arrivals = 2;
+  const StreamBoundResult res = bound_stream_windows(source, options);
+  EXPECT_EQ(res.windows, 2u);
+  EXPECT_EQ(res.forced_splits, 1u);
+  EXPECT_EQ(res.max_window_arrivals, 2u);
+}
+
+TEST(ChunkedBound, SingleChunkEqualsThePlainBoundAndStaysBelowOpt) {
+  metamorphic::GeneratorOptions gen;
+  gen.min_points = 3;
+  gen.max_points = 4;
+  gen.min_requests = 8;
+  gen.max_requests = 12;
+  const Instance instance = metamorphic::random_instance(19, gen).instance;
+
+  const DualAscentResult plain = dual_ascent_lower_bound(instance);
+  const ChunkedBound whole = bound_instance_chunked(instance);
+  EXPECT_EQ(whole.chunks, 1u);
+  EXPECT_EQ(whole.lower, plain.lower_bound);  // bitwise: same computation
+
+  WindowBoundOptions options;
+  options.max_window_arrivals = 3;
+  const ChunkedBound split = bound_instance_chunked(instance, options);
+  EXPECT_GT(split.chunks, 1u);
+  const OptEstimate opt = estimate_opt(instance);
+  ASSERT_TRUE(opt.exact);
+  const double tol = 1e-9 * std::max(1.0, std::abs(opt.cost));
+  // Max over request subsets — a valid OPT bound even after splitting.
+  EXPECT_LE(split.lower, opt.cost + tol);
+}
+
+// ------------------------------------------------------------ determinism ---
+
+TEST(DualAscent, BitwiseIdenticalAcrossThreadCounts) {
+  metamorphic::GeneratorOptions gen;  // default (larger) sizes
+  gen.min_commodities = 5;
+  gen.max_commodities = 6;
+  for (std::uint64_t seed = 60; seed < 63; ++seed) {
+    const Instance instance =
+        metamorphic::random_instance(seed, gen).instance;
+    DualAscentOptions one;
+    one.threads = 1;
+    DualAscentOptions four;
+    four.threads = 4;
+    const DualAscentResult a = dual_ascent_lower_bound(instance, one);
+    const DualAscentResult b = dual_ascent_lower_bound(instance, four);
+    EXPECT_EQ(certificate_to_string(a.certificate),
+              certificate_to_string(b.certificate))
+        << "thread-count nondeterminism at seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------- registry ---
+
+TEST(BoundRegistry, RosterAndErrors) {
+  const BoundRegistry& registry = default_bound_registry();
+  for (const char* name :
+       {"auto", "certificate", "chunked", "dual-ascent", "exact-small"})
+    EXPECT_TRUE(registry.contains(name)) << name;
+  EXPECT_THROW((void)registry.spec("nope"), std::invalid_argument);
+
+  const MetricPtr metric = LineMetric::uniform_grid(2, 5.0);
+  const CostModelPtr cost = std::make_shared<LinearCostModel>(1, 1.0);
+  Instance instance(metric, cost,
+                    {make_request(0, 1, {0}), make_request(1, 1, {0})},
+                    "registry");
+  // No generator certificate on a hand-built instance.
+  EXPECT_THROW((void)registry.make("certificate", instance),
+               BoundUnsupportedError);
+  const BoundOutcome exact = registry.make("exact-small", instance);
+  EXPECT_TRUE(exact.exact);
+  const BoundOutcome ascent = registry.make("dual-ascent", instance);
+  EXPECT_TRUE(ascent.certificate.has_value());
+  EXPECT_LE(ascent.lower, exact.lower + 1e-12);
+  // auto prefers the exact value here.
+  const BoundOutcome picked = registry.make("auto", instance);
+  EXPECT_TRUE(picked.exact);
+  EXPECT_EQ(picked.lower, exact.lower);
+}
+
+TEST(BoundRegistry, UnsupportedCostStructureThrows) {
+  // Heavy-tail costs expose neither additive weights nor a size-only
+  // form; with the exhaustive budget fallback disabled the bounder must
+  // refuse rather than emit an unsound bound.
+  const CommodityId s = 4;
+  CommoditySet heavy(s);
+  heavy.add(0);
+  const CostModelPtr cost = std::make_shared<HeavyTailCostModel>(
+      s, [](CommodityId k) { return std::sqrt(static_cast<double>(k)); },
+      heavy, std::vector<double>{5.0, 0.0, 0.0, 0.0});
+  const MetricPtr metric = LineMetric::uniform_grid(2, 5.0);
+  Instance instance(metric, cost, {make_request(0, s, {0, 1})}, "heavy");
+
+  DualAscentOptions options;
+  options.max_exhaustive_commodities = 2;  // below |S| = 4
+  EXPECT_THROW((void)dual_ascent_lower_bound(instance, options),
+               BoundUnsupportedError);
+  // With the default budget the exhaustive fallback handles it exactly.
+  const DualAscentResult res = dual_ascent_lower_bound(instance);
+  EXPECT_EQ(verify_certificate(instance, res.certificate), std::nullopt);
+}
+
+// ------------------------------------------------------------ sweep columns ---
+
+TEST(Sweep, CertifiedColumnsAppearWhenRequested) {
+  SweepOptions options;
+  options.scenarios = {"theorem2"};
+  options.algorithms = {"pd"};
+  options.seeds = 2;
+  options.opt.compute_lower = true;
+  const SweepResult result = run_sweep(options);
+  const SweepCell& cell = result.cell("theorem2", "pd");
+  EXPECT_EQ(cell.lower_certified, 2u);
+  ASSERT_EQ(cell.certified_ratio.count(), 2u);
+  // theorem2 carries an exact certificate: zero gap, certified == plain.
+  EXPECT_EQ(cell.gap.mean(), 0.0);
+  EXPECT_EQ(cell.certified_ratio.mean(), cell.ratio.mean());
+
+  std::ostringstream csv;
+  result.write_csv(csv);
+  EXPECT_NE(csv.str().find("certified_ratio_mean"), std::string::npos);
+  EXPECT_NE(csv.str().find("gap_mean"), std::string::npos);
+  std::ostringstream json;
+  result.write_json(json);
+  EXPECT_NE(json.str().find("\"lower_certified\": 2"), std::string::npos);
+}
+
+// Without the opt-in the certified columns stay empty — and cost nothing.
+TEST(Sweep, CertifiedColumnsStayEmptyByDefault) {
+  SweepOptions options;
+  options.scenarios = {"theorem2"};
+  options.algorithms = {"pd"};
+  options.seeds = 1;
+  const SweepResult result = run_sweep(options);
+  const SweepCell& cell = result.cell("theorem2", "pd");
+  // theorem2 is exact, so the lower bound rides along for free even
+  // without compute_lower (the exact value certifies itself).
+  EXPECT_EQ(cell.lower_certified, 1u);
+  EXPECT_EQ(cell.gap.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace omflp

@@ -1,7 +1,7 @@
 // Fuzz-ish parser robustness: a deterministic corpus of mutated
-// OMFLP-STREAM and OMFLP-INSTANCE trace bytes — truncations, flipped
-// signs, duplicated/deleted lines, absurd declared counts, random byte
-// corruption — fed through every reader. The contract: a mutant either
+// OMFLP-STREAM, OMFLP-INSTANCE and OMFLP-CERT bytes — truncations,
+// flipped signs, duplicated/deleted lines, absurd declared counts,
+// random byte corruption — fed through every reader. The contract: a mutant either
 // parses (some mutations are harmless) or is rejected with an ordinary
 // exception; nothing may crash, read out of bounds, or allocate
 // proportionally to a *declared* (rather than actually present) count.
@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "bound/certificate.hpp"
+#include "bound/dual_ascent.hpp"
 #include "instance/io.hpp"
 #include "instance/stream_io.hpp"
 #include "scenario/scenario_registry.hpp"
@@ -72,6 +74,22 @@ std::string valid_instance_trace() {
   write_instance(os, default_scenario_registry().make(
                          "uniform-line", /*seed=*/2, {{"requests", 48}}));
   return os.str();
+}
+
+ParseOutcome feed_certificate_reader(const std::string& text) {
+  try {
+    (void)certificate_from_string(text);
+    return ParseOutcome::kAccepted;
+  } catch (const std::exception&) {
+    return ParseOutcome::kRejected;
+  }
+}
+
+std::string valid_certificate() {
+  const Instance instance = default_scenario_registry().make(
+      "uniform-line", /*seed=*/4, {{"requests", 32}});
+  return certificate_to_string(
+      dual_ascent_lower_bound(instance).certificate);
 }
 
 std::vector<std::string> split_lines(const std::string& text) {
@@ -169,9 +187,14 @@ TEST(FuzzParsers, InstanceTraceMutationsNeverCrash) {
   run_corpus(valid_instance_trace(), feed_instance_reader);
 }
 
+TEST(FuzzParsers, CertificateMutationsNeverCrash) {
+  run_corpus(valid_certificate(), feed_certificate_reader);
+}
+
 TEST(FuzzParsers, HugeDeclaredCountsAreRejectedNotAllocated) {
   const std::string stream = valid_stream_trace();
   const std::string instance = valid_instance_trace();
+  const std::string certificate = valid_certificate();
 
   // Declared counts far beyond the bytes actually present must fail at
   // "unexpected end of input" (or a parse error), never by attempting
@@ -195,6 +218,14 @@ TEST(FuzzParsers, HugeDeclaredCountsAreRejectedNotAllocated) {
     EXPECT_EQ(feed_instance_reader(with_count(instance, "metric matrix",
                                               huge)),
               ParseOutcome::kRejected)
+        << huge;
+    EXPECT_EQ(
+        feed_certificate_reader(with_count(certificate, "requests", huge)),
+        ParseOutcome::kRejected)
+        << huge;
+    EXPECT_EQ(
+        feed_certificate_reader(with_count(certificate, "points", huge)),
+        ParseOutcome::kRejected)
         << huge;
   }
 

@@ -6,6 +6,7 @@
 //   omflp replay FILE ...               re-run a saved instance trace
 //   omflp stream --scenario S ...       process a dynamic event stream
 //   omflp serve  --tenants K ...        drive the sharded multi-tenant engine
+//   omflp bound  --scenario S ...       certified OPT lower bound
 //   omflp bench                         run the perf suite, emit BENCH json
 //   omflp compare OLD NEW               diff two BENCH json files
 //
@@ -18,6 +19,8 @@
 //   omflp stream --scenario churn-uniform --algorithm pd --save churn.omflp
 //   omflp stream --trace churn.omflp --algorithm greedy --batch 4096
 //   omflp serve --tenants 16 --mix mixed --algorithm pd --seq-baseline
+//   omflp bound --scenario theorem2 --algorithm pd --assert-paper-bound
+//   omflp bound --stream churn-uniform --window 4096 --algorithm pd
 //   omflp bench --quick --out BENCH_default.json
 //   omflp compare benchmarks/BENCH_baseline.json BENCH_default.json \
 //               --threshold 1.15
@@ -38,7 +41,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bounds.hpp"
 #include "analysis/competitive.hpp"
+#include "bound/registry.hpp"
+#include "bound/window.hpp"
 #include "core/stream_runner.hpp"
 #include "engine/sharded_engine.hpp"
 #include "instance/io.hpp"
@@ -79,6 +85,9 @@ int usage(std::ostream& os, int exit_code) {
         "    --set key=value           override where declared "
         "(repeatable)\n"
         "    --threads N               default: hardware\n"
+        "    --ratio                   compute certified lower bounds "
+        "(fills the lower /\n"
+        "                              certified_ratio / gap columns)\n"
         "    --csv FILE                write per-cell CSV (default: "
         "stdout)\n"
         "    --json FILE               also write per-cell JSON\n"
@@ -100,7 +109,35 @@ int usage(std::ostream& os, int exit_code) {
         "    --no-verify               skip the incremental stream "
         "verifier\n"
         "    --ratio                   force the OPT(surviving) ratio "
-        "estimate\n"
+        "bracket (works with\n"
+        "                              --trace too: the surviving set is "
+        "rebuilt from the ledger)\n"
+        "  bound                     certified lower bound on OPT (verified "
+        "dual certificates)\n"
+        "    --scenario NAME           bound a static scenario instance, "
+        "or\n"
+        "    --instance FILE           a saved instance trace, or\n"
+        "    --stream NAME             a stream scenario (windowed "
+        "decomposition), or\n"
+        "    --trace FILE              a saved stream trace (bounded "
+        "memory)\n"
+        "    --seed N                  default: 1\n"
+        "    --set key=value           override a scenario parameter "
+        "(repeatable)\n"
+        "    --method NAME             static bound method (default: auto; "
+        "see src/bound/registry.hpp)\n"
+        "    --window N                arrivals per window/chunk "
+        "(default: 4096)\n"
+        "    --algorithm NAME          also run the algorithm and report "
+        "the certified ratio\n"
+        "    --max-certified-ratio X   exit 1 when cost / lower exceeds "
+        "X\n"
+        "    --assert-paper-bound      exit 1 when the certified ratio "
+        "exceeds Theorem 4's\n"
+        "                              15*sqrt(|S|)*H_n (meaningful for "
+        "--algorithm pd)\n"
+        "    --save-cert FILE          write the dual certificate "
+        "(static bounds)\n"
         "  serve                     drive the sharded multi-tenant stream "
         "engine\n"
         "    --tenants K               default: 8\n"
@@ -234,10 +271,23 @@ void report_run(const Instance& instance, const std::string& algorithm_name,
             << "facilities " << ledger.num_facilities() << " ("
             << ledger.num_small_facilities() << " small, "
             << ledger.num_large_facilities() << " large)\n";
-  const OptEstimate opt = estimate_opt(instance);
+  OptEstimateOptions opt_options;
+  opt_options.compute_lower = true;
+  const OptEstimate opt = estimate_opt(instance, opt_options);
   std::cout << "opt        " << opt.cost << " (" << opt.method
-            << (opt.exact ? ", exact" : ", upper bound") << ")\n"
-            << "ratio      " << ledger.total_cost() / opt.cost << "\n";
+            << (opt.exact ? ", exact" : ", upper bound") << ")\n";
+  if (opt.lower_certified)
+    std::cout << "opt lower  " << opt.lower << " (" << opt.lower_method
+              << ", certified)\n";
+  if (opt.lower_certified && opt.lower > 0.0) {
+    // True ratio bracket: cost/upper under-estimates, cost/lower
+    // (certified) over-estimates.
+    std::cout << "ratio      [" << ledger.total_cost() / opt.cost << ", "
+              << ledger.total_cost() / opt.lower
+              << "]  (estimated, certified)\n";
+  } else {
+    std::cout << "ratio      " << ledger.total_cost() / opt.cost << "\n";
+  }
 }
 
 int cmd_run(const std::vector<std::string>& args) {
@@ -295,10 +345,26 @@ int cmd_replay(const std::vector<std::string>& args) {
 
 // ---------------------------------------------------------------- stream ---
 
+// The surviving set rebuilt from the ledger: compaction only ever drops
+// all-retired prefixes, so every still-active record is resident — this
+// works identically for materialized scenarios and bounded-memory trace
+// runs.
+Instance surviving_from_ledger(const SolutionLedger& ledger,
+                               const MetricPtr& metric,
+                               const CostModelPtr& cost,
+                               const std::string& name) {
+  std::vector<Request> requests;
+  requests.reserve(ledger.num_active_requests());
+  for (const RequestRecord& record : ledger.request_records())
+    if (record.active()) requests.push_back(record.request);
+  return Instance(metric, cost, std::move(requests), name + "/surviving");
+}
+
 void report_stream(const std::string& stream_name,
                    const OnlineAlgorithm& algorithm, std::uint64_t seed,
                    const StreamRunResult& result, bool verified,
-                   const EventStream* materialized, bool force_ratio) {
+                   const MetricPtr& metric, const CostModelPtr& cost,
+                   bool force_ratio) {
   const SolutionLedger& ledger = result.ledger;
   std::cout.precision(17);
   std::cout << "stream     " << stream_name << " (events=" << result.events
@@ -324,20 +390,63 @@ void report_stream(const std::string& stream_name,
   if (verified)
     std::cout << "verified   active-interval ledger OK\n";
 
-  // OPT on the surviving set needs the materialized stream; estimate it
-  // for small surviving sets (or on request) — it is the denominator of
-  // the dynamic competitive ratio.
+  // OPT on the surviving set — the denominator of the dynamic competitive
+  // ratio — estimated automatically for small surviving sets or on
+  // request (--ratio). Beyond the local-search limit the bracket comes
+  // from cheap certified endpoints instead: upper = the best
+  // single-full-facility solution (open S at one point, connect
+  // everyone — feasible by construction), lower = the chunked dual-ascent
+  // bound, so even million-event traces get a [lower, upper] OPT bracket
+  // in bounded memory.
   constexpr std::size_t kAutoRatioLimit = 2048;
-  if (materialized != nullptr &&
-      (force_ratio ||
-       ledger.num_active_requests() <= kAutoRatioLimit)) {
-    const Instance surviving = materialized->surviving_instance();
+  constexpr std::size_t kLocalSearchLimit = 8192;
+  if (force_ratio || ledger.num_active_requests() <= kAutoRatioLimit) {
+    const Instance surviving =
+        surviving_from_ledger(ledger, metric, cost, stream_name);
     if (surviving.num_requests() > 0) {
-      const OptEstimate opt = estimate_opt(surviving);
+      OptEstimate opt;
+      if (surviving.num_requests() <= kLocalSearchLimit) {
+        OptEstimateOptions opt_options;
+        opt_options.compute_lower = true;
+        opt = estimate_opt(surviving, opt_options);
+      } else {
+        opt.cost = kInfiniteDistance;
+        const CommoditySet full =
+            CommoditySet::full_set(cost->num_commodities());
+        for (PointId m = 0; m < metric->num_points(); ++m) {
+          double candidate = cost->open_cost(m, full);
+          for (const Request& r : surviving.requests())
+            candidate += metric->distance(m, r.location);
+          if (candidate < opt.cost) opt.cost = candidate;
+        }
+        opt.exact = false;
+        opt.method = "single-full-facility";
+        try {
+          WindowBoundOptions wopt;
+          const ChunkedBound chunked =
+              bound_instance_chunked(surviving, wopt);
+          opt.lower = chunked.lower;
+          opt.lower_certified = true;
+          opt.lower_method = "dual-ascent/chunked(" +
+                             std::to_string(chunked.chunks) + ")";
+        } catch (const BoundUnsupportedError&) {
+          opt.lower_method = "unsupported";
+        }
+      }
       std::cout << "opt(surv)  " << opt.cost << " (" << opt.method
-                << (opt.exact ? ", exact" : ", upper bound") << ")\n"
-                << "ratio      " << ledger.active_cost() / opt.cost
-                << "  (active cost vs OPT on the surviving set)\n";
+                << (opt.exact ? ", exact" : ", upper bound") << ")\n";
+      if (opt.lower_certified)
+        std::cout << "lb(surv)   " << opt.lower << " (" << opt.lower_method
+                  << ", certified)\n";
+      if (opt.lower_certified && opt.lower > 0.0) {
+        std::cout << "ratio      [" << ledger.active_cost() / opt.cost
+                  << ", " << ledger.active_cost() / opt.lower
+                  << "]  (estimated, certified — active cost vs OPT on "
+                     "the surviving set)\n";
+      } else {
+        std::cout << "ratio      " << ledger.active_cost() / opt.cost
+                  << "  (active cost vs OPT on the surviving set)\n";
+      }
     }
   }
 }
@@ -374,9 +483,9 @@ int cmd_stream(const std::vector<std::string>& args) {
       algorithm, derive_algorithm_seed(seed));
 
   auto finish = [&](const std::string& name, const StreamRunResult& result,
-                    const EventStream* materialized) {
+                    const MetricPtr& metric, const CostModelPtr& cost) {
     report_stream(name, *algo, seed, result,
-                  options.verify && !result.violation, materialized,
+                  options.verify && !result.violation, metric, cost,
                   force_ratio);
     if (result.violation)
       throw std::logic_error("invalid stream run: " +
@@ -388,10 +497,6 @@ int cmd_stream(const std::vector<std::string>& args) {
     if (!save_path.empty())
       throw std::invalid_argument(
           "stream: --save applies to generated scenarios only");
-    if (force_ratio)
-      throw std::invalid_argument(
-          "stream: --ratio requires --scenario (the batched trace path "
-          "never materializes the surviving set)");
     if (!overrides.empty())
       throw std::invalid_argument(
           "stream: --set applies to generated scenarios only; a trace "
@@ -400,7 +505,7 @@ int cmd_stream(const std::vector<std::string>& args) {
     if (!file) throw std::runtime_error("cannot open " + trace_path);
     StreamTraceReader reader(file);
     const StreamRunResult result = run_stream(*algo, reader, options);
-    return finish(reader.name(), result, nullptr);
+    return finish(reader.name(), result, reader.metric(), reader.cost());
   }
 
   const EventStream stream =
@@ -413,7 +518,8 @@ int cmd_stream(const std::vector<std::string>& args) {
     std::cout << "saved      " << save_path << "\n";
   }
   const StreamRunResult result = run_stream(*algo, stream, options);
-  return finish(stream.name(), result, &stream);
+  return finish(stream.name(), result, stream.metric_ptr(),
+                stream.cost_ptr());
 }
 
 // ----------------------------------------------------------------- serve ---
@@ -568,6 +674,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       parse_set(take_value(args, i), options.overrides);
     } else if (args[i] == "--threads") {
       options.threads = parse_u64_arg(take_value(args, i), "--threads");
+    } else if (args[i] == "--ratio") {
+      options.opt.compute_lower = true;
     } else if (args[i] == "--csv") {
       csv_path = take_value(args, i);
     } else if (args[i] == "--json") {
@@ -598,6 +706,230 @@ int cmd_sweep(const std::vector<std::string>& args) {
     std::cout << "wrote JSON to " << json_path << "\n";
   }
   return 0;
+}
+
+// ----------------------------------------------------------------- bound ---
+
+// Shared tail of cmd_bound: optionally run `algorithm` for the cost
+// numerator, print the certified ratio, apply the gates. `cost` is the
+// gross/total cost the given lower bound certifies a ratio against;
+// `paper_n` is the request count entering H_n of Theorem 4's bound.
+// Output contains no timing — CI diffs it bitwise across thread counts.
+int bound_gates(double cost, bool have_cost, double lower,
+                std::size_t num_commodities, std::size_t paper_n,
+                std::optional<double> max_certified_ratio,
+                bool assert_paper_bound) {
+  if (!have_cost) {
+    if (max_certified_ratio || assert_paper_bound)
+      throw std::invalid_argument(
+          "bound: the ratio gates need --algorithm to produce a cost");
+    return 0;
+  }
+  if (lower <= 0.0) {
+    std::cout << "certified  ratio unavailable (lower bound is 0)\n";
+    if (max_certified_ratio || assert_paper_bound) {
+      std::cout << "FAIL       a gate was requested but the lower bound "
+                   "is vacuous\n";
+      return 1;
+    }
+    return 0;
+  }
+  const double certified_ratio = cost / lower;
+  std::cout << "certified  ratio " << certified_ratio
+            << " (cost / certified lower bound; true ratio <= this)\n";
+  int exit_code = 0;
+  if (max_certified_ratio) {
+    if (certified_ratio > *max_certified_ratio) {
+      std::cout << "FAIL       certified ratio " << certified_ratio
+                << " exceeds --max-certified-ratio "
+                << *max_certified_ratio << "\n";
+      exit_code = 1;
+    } else {
+      std::cout << "ok         certified ratio within "
+                << *max_certified_ratio << "\n";
+    }
+  }
+  if (assert_paper_bound) {
+    const double paper = theorem4_bound(num_commodities, paper_n);
+    if (certified_ratio > paper) {
+      std::cout << "FAIL       certified ratio " << certified_ratio
+                << " exceeds Theorem 4's 15*sqrt(|S|)*H_n = " << paper
+                << "\n";
+      exit_code = 1;
+    } else {
+      std::cout << "ok         within Theorem 4's 15*sqrt(|S|)*H_n = "
+                << paper << "\n";
+    }
+  }
+  return exit_code;
+}
+
+int cmd_bound(const std::vector<std::string>& args) {
+  std::string scenario;
+  std::string instance_path;
+  std::string stream_scenario;
+  std::string trace_path;
+  std::string method = "auto";
+  std::string algorithm;
+  std::string save_cert_path;
+  std::uint64_t seed = 1;
+  std::size_t window = 4096;
+  std::optional<double> max_certified_ratio;
+  bool assert_paper_bound = false;
+  std::map<std::string, double> overrides;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scenario") scenario = take_value(args, i);
+    else if (args[i] == "--instance") instance_path = take_value(args, i);
+    else if (args[i] == "--stream") stream_scenario = take_value(args, i);
+    else if (args[i] == "--trace") trace_path = take_value(args, i);
+    else if (args[i] == "--method") method = take_value(args, i);
+    else if (args[i] == "--algorithm") algorithm = take_value(args, i);
+    else if (args[i] == "--seed")
+      seed = parse_u64_arg(take_value(args, i), "--seed");
+    else if (args[i] == "--set") parse_set(take_value(args, i), overrides);
+    else if (args[i] == "--window")
+      window = parse_u64_arg(take_value(args, i), "--window");
+    else if (args[i] == "--max-certified-ratio")
+      max_certified_ratio = parse_double_arg(take_value(args, i),
+                                             "--max-certified-ratio");
+    else if (args[i] == "--assert-paper-bound") assert_paper_bound = true;
+    else if (args[i] == "--save-cert") save_cert_path = take_value(args, i);
+    else throw std::invalid_argument("bound: unknown option " + args[i]);
+  }
+  const int sources = (scenario.empty() ? 0 : 1) +
+                      (instance_path.empty() ? 0 : 1) +
+                      (stream_scenario.empty() ? 0 : 1) +
+                      (trace_path.empty() ? 0 : 1);
+  if (sources != 1)
+    throw std::invalid_argument(
+        "bound: exactly one of --scenario / --instance / --stream / "
+        "--trace is required");
+
+  std::cout.precision(17);
+
+  // ---- static instance: one registry bound, optional certificate dump.
+  if (!scenario.empty() || !instance_path.empty()) {
+    Instance instance = [&] {
+      if (!scenario.empty())
+        return default_scenario_registry().make(scenario, seed, overrides);
+      if (!overrides.empty())
+        throw std::invalid_argument(
+            "bound: --set applies to generated scenarios only");
+      std::ifstream file(instance_path);
+      if (!file) throw std::runtime_error("cannot open " + instance_path);
+      return read_instance(file);
+    }();
+    const BoundOutcome outcome =
+        default_bound_registry().make(method, instance);
+    std::cout << "instance   " << instance.name() << " (n="
+              << instance.num_requests() << ", |S|="
+              << instance.num_commodities() << ", |M|="
+              << instance.metric().num_points() << ")\n"
+              << "method     " << outcome.method << "\n"
+              << "lower      " << outcome.lower << " (certified"
+              << (outcome.exact ? ", exact" : "") << ")\n";
+    if (!save_cert_path.empty()) {
+      if (!outcome.certificate)
+        throw std::invalid_argument("bound: method '" + method +
+                                    "' produced no certificate to save");
+      std::ofstream file(save_cert_path);
+      if (!file)
+        throw std::runtime_error("cannot open " + save_cert_path +
+                                 " for writing");
+      write_certificate(file, *outcome.certificate);
+      std::cout << "saved      " << save_cert_path << "\n";
+    }
+    double cost = 0.0;
+    bool have_cost = false;
+    if (!algorithm.empty()) {
+      auto algo = default_algorithm_registry().make(
+          algorithm, derive_algorithm_seed(seed));
+      const SolutionLedger ledger = run_online(*algo, instance);
+      if (const auto violation = verify_solution(instance, ledger))
+        throw std::logic_error("invalid solution: " + violation->what);
+      cost = ledger.total_cost();
+      have_cost = true;
+      std::cout << "algorithm  " << algo->name() << " (seed " << seed
+                << ")\n"
+                << "cost       " << cost << "\n";
+    }
+    return bound_gates(cost, have_cost, outcome.lower,
+                       instance.num_commodities(), instance.num_requests(),
+                       max_certified_ratio, assert_paper_bound);
+  }
+
+  // ---- event stream: windowed decomposition, bounded memory. The sum of
+  // per-window bounds certifies the windowed re-optimizing adversary (see
+  // src/bound/window.hpp), the baseline the algorithm's *gross* cost is
+  // compared against.
+  if (!save_cert_path.empty())
+    throw std::invalid_argument(
+        "bound: --save-cert applies to static bounds (stream windows each "
+        "carry their own certificate)");
+  if (method != "auto")
+    throw std::invalid_argument(
+        "bound: --method applies to static bounds (streams always use "
+        "the windowed dual ascent)");
+  WindowBoundOptions wopt;
+  wopt.max_window_arrivals = window;
+  StreamBoundResult bound_result;
+  std::string name;
+  std::size_t num_commodities = 0;
+  if (!trace_path.empty()) {
+    if (!overrides.empty())
+      throw std::invalid_argument(
+          "bound: --set applies to generated scenarios only");
+    std::ifstream file(trace_path);
+    if (!file) throw std::runtime_error("cannot open " + trace_path);
+    StreamTraceReader reader(file);
+    bound_result = bound_stream_windows(reader, wopt);
+    name = reader.name();
+    num_commodities = reader.cost()->num_commodities();
+  } else {
+    const EventStream stream = default_stream_scenario_registry().make(
+        stream_scenario, seed, overrides);
+    MaterializedEventSource source(stream);
+    bound_result = bound_stream_windows(source, wopt);
+    name = stream.name();
+    num_commodities = stream.num_commodities();
+  }
+  std::cout << "stream     " << name << " (events=" << bound_result.events
+            << ", arrivals=" << bound_result.arrivals << ")\n"
+            << "windows    " << bound_result.windows << " ("
+            << bound_result.forced_splits << " forced splits, largest "
+            << bound_result.max_window_arrivals << " arrivals)\n"
+            << "lower      " << bound_result.windowed_lower
+            << " (windowed sum, certified vs the per-window re-optimizing "
+               "adversary)\n";
+  double cost = 0.0;
+  bool have_cost = false;
+  if (!algorithm.empty()) {
+    auto algo = default_algorithm_registry().make(
+        algorithm, derive_algorithm_seed(seed));
+    StreamRunOptions run_options;
+    run_options.verify = true;
+    const StreamRunResult run = [&] {
+      if (!trace_path.empty()) {
+        std::ifstream file(trace_path);
+        if (!file) throw std::runtime_error("cannot open " + trace_path);
+        StreamTraceReader reader(file);
+        return run_stream(*algo, reader, run_options);
+      }
+      const EventStream stream = default_stream_scenario_registry().make(
+          stream_scenario, seed, overrides);
+      return run_stream(*algo, stream, run_options);
+    }();
+    if (run.violation)
+      throw std::logic_error("invalid stream run: " + run.violation->what);
+    cost = run.ledger.total_cost();
+    have_cost = true;
+    std::cout << "algorithm  " << algo->name() << " (seed " << seed << ")\n"
+              << "gross      " << cost << "\n";
+  }
+  return bound_gates(cost, have_cost, bound_result.windowed_lower,
+                     num_commodities,
+                     static_cast<std::size_t>(bound_result.arrivals),
+                     max_certified_ratio, assert_paper_bound);
 }
 
 // ----------------------------------------------------------------- bench ---
@@ -686,6 +1018,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "stream") return cmd_stream(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "bound") return cmd_bound(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "help" || command == "--help" || command == "-h")
