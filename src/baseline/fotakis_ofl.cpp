@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "kernel/kernels.hpp"
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
@@ -75,6 +76,37 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
   if (best_kind == 3) {
     serving = ledger.open_facility(best_point, single);
     facilities_.push_back(OpenRecord{best_point, serving});
+    if (obs::tracing()) {
+      // Captured before the reinvestment loop below mutates bids_ and the
+      // maintained facility distances.
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kFacilityOpen;
+      ev.request = ledger.num_requests() - 1;
+      ev.constraint = 3;
+      ev.commodity = 0;
+      ev.facility = serving;
+      ev.point = best_point;
+      ev.config_size = 1;
+      ev.cost = ledger.facility(serving).open_cost;
+      ev.bid_mass = bids_[best_point];
+      ev.tightness = a;
+      std::vector<TraceContributor> contribs;
+      const double* dist_m = dist_->row(best_point);
+      for (std::size_t j = 0; j < past_.size(); ++j) {
+        const PastRequest& pr = past_[j];
+        const double v = std::min(pr.dual, pr.facility_dist);
+        if (v <= 0.0) continue;
+        const double amount = v - dist_m[pr.location];
+        if (amount > 0.0)
+          contribs.push_back(TraceContributor{j, amount});
+      }
+      const double own = a - dist_m[loc];
+      if (own > 0.0)
+        contribs.push_back(
+            TraceContributor{ledger.num_requests() - 1, own});
+      set_trace_contributors(ev, std::move(contribs));
+      obs::emit(ev);
+    }
     // The new facility may lower past requests' d(F, j); shrink their
     // outstanding bids accordingly (Lemma 6's reinvestment rule).
     for (PastRequest& pr : past_) {
@@ -115,6 +147,16 @@ void FotakisOfl::serve(const Request& request, SolutionLedger& ledger) {
 
   total_dual_ += a;
   duals_.push_back(a);
+
+  if (obs::tracing()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kDualRaise;
+    ev.request = ledger.num_requests() - 1;
+    ev.commodity = 0;
+    ev.config_size = 1;
+    ev.cost = a;
+    obs::emit(ev);
+  }
 }
 
 void FotakisOfl::depart(RequestId id, const Request& request,
@@ -134,6 +176,14 @@ void FotakisOfl::depart(RequestId id, const Request& request,
                               0.0, num_points_);
   }
   total_dual_ -= pr.dual;
+  if (obs::tracing()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kBidRollback;
+    ev.request = id;
+    ev.bid_mass = v > 0.0 ? v : 0.0;
+    ev.cost = pr.dual;
+    obs::emit(ev);
+  }
   pr.dual = 0.0;  // reinvestment shifts for this request become no-ops
 }
 

@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
+
+namespace {
+
+/// facility_open for the greedy baselines: bid_mass is the accumulated
+/// spend that triggered the buy (the rent account for RentOrBuy, 0
+/// otherwise) and tightness the local threshold it crossed.
+void emit_greedy_open(const SolutionLedger& ledger, FacilityId id,
+                      CommodityId commodity, double bid_mass,
+                      double tightness) {
+  if (!obs::tracing()) return;
+  const OpenFacilityRecord& record = ledger.facility(id);
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kFacilityOpen;
+  ev.request = ledger.num_requests() - 1;
+  ev.commodity = commodity;
+  ev.facility = id;
+  ev.point = record.location;
+  ev.config_size = record.config.count();
+  ev.cost = record.open_cost;
+  ev.bid_mass = bid_mass;
+  ev.tightness = tightness;
+  obs::emit(ev);
+}
+
+}  // namespace
 
 void AlwaysOpen::reset(const ProblemContext& context) {
   OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
@@ -16,6 +42,7 @@ void AlwaysOpen::reset(const ProblemContext& context) {
 void AlwaysOpen::serve(const Request& request, SolutionLedger& ledger) {
   const FacilityId id =
       ledger.open_facility(request.location, request.commodities);
+  emit_greedy_open(ledger, id, kInvalidCommodity, 0.0, 0.0);
   request.commodities.for_each(
       [&](CommodityId e) { ledger.assign(e, id); });
 }
@@ -55,6 +82,7 @@ void NearestOrOpen::serve(const Request& request, SolutionLedger& ledger) {
       const FacilityId nid = ledger.open_facility(
           request.location, CommoditySet::singleton(num_commodities_, e));
       offering_[e].push_back(OpenRecord{request.location, nid});
+      emit_greedy_open(ledger, nid, e, 0.0, open_here);
       ledger.assign(e, nid);
     }
   });
@@ -97,10 +125,12 @@ void RentOrBuy::serve(const Request& request, SolutionLedger& ledger) {
       rent_account_[e] += d;
       ledger.assign(e, id);
     } else {
+      const double rent_spent = rent_account_[e];
       rent_account_[e] = 0.0;
       const FacilityId nid = ledger.open_facility(
           request.location, CommoditySet::singleton(num_commodities_, e));
       offering_[e].push_back(OpenRecord{request.location, nid});
+      emit_greedy_open(ledger, nid, e, rent_spent, open_here);
       ledger.assign(e, nid);
     }
   });

@@ -3,10 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
+
+namespace {
+
+/// facility_open for Meyerson coins: tightness carries the coin
+/// probability (1.0 on the completion path), like RAND-OMFLP.
+void emit_meyerson_open(const SolutionLedger& ledger, FacilityId id,
+                        double coin_p) {
+  if (!obs::tracing()) return;
+  const OpenFacilityRecord& record = ledger.facility(id);
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kFacilityOpen;
+  ev.request = ledger.num_requests() - 1;
+  ev.commodity = 0;
+  ev.facility = id;
+  ev.point = record.location;
+  ev.config_size = record.config.count();
+  ev.cost = record.open_cost;
+  ev.tightness = coin_p;
+  obs::emit(ev);
+}
+
+}  // namespace
 
 void MeyersonOfl::reset(const ProblemContext& context) {
   OMFLP_REQUIRE(context.metric != nullptr && context.cost != nullptr,
@@ -55,6 +78,7 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
       const FacilityId id =
           ledger.open_facility(site, CommoditySet::full_set(1));
       facilities_.push_back(OpenRecord{site, id});
+      emit_meyerson_open(ledger, id, p);
     }
   }
 
@@ -63,6 +87,7 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
     const FacilityId id =
         ledger.open_facility(open.point, CommoditySet::full_set(1));
     facilities_.push_back(OpenRecord{open.point, id});
+    emit_meyerson_open(ledger, id, /*coin_p=*/1.0);
   }
 
   FacilityId best_id = kInvalidFacility;

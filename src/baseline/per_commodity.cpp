@@ -1,12 +1,48 @@
 #include "baseline/per_commodity.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "baseline/fotakis_ofl.hpp"
 #include "baseline/meyerson_ofl.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
+
+namespace {
+
+/// Re-emit events a sub-algorithm produced against its private
+/// sub-ledger, translated into real-ledger ids. request_assign events are
+/// dropped: the adapter's own ledger.assign() re-emits them with real ids.
+/// (Templated on the adapter's private SubInstance type.)
+template <typename SubInstance>
+void replay_sub_trace(const TraceBuffer& sub_trace, const SubInstance& sub,
+                      CommodityId e) {
+  for (TraceEvent ev : sub_trace.events()) {
+    if (ev.kind == TraceEventKind::kRequestAssign) continue;
+    ev.commodity = e;
+    if (ev.facility != kInvalidFacility) {
+      OMFLP_CHECK(ev.facility < sub.facility_map.size(),
+                  "PerCommodityAdapter: trace names an unmirrored facility");
+      ev.facility = sub.facility_map[ev.facility];
+    }
+    if (ev.request != kInvalidRequest) {
+      OMFLP_CHECK(ev.request < sub.real_request.size(),
+                  "PerCommodityAdapter: trace names an unknown sub-request");
+      ev.request = sub.real_request[ev.request];
+    }
+    for (TraceContributor& c : ev.contributors) {
+      OMFLP_CHECK(c.request < sub.real_request.size(),
+                  "PerCommodityAdapter: contributor is an unknown "
+                  "sub-request");
+      c.request = sub.real_request[c.request];
+    }
+    obs::emit(ev);
+  }
+}
+
+}  // namespace
 
 RestrictedCostModel::RestrictedCostModel(CostModelPtr base,
                                          CommodityId commodity)
@@ -84,13 +120,21 @@ void PerCommodityAdapter::serve(const Request& request,
   request.commodities.for_each([&](CommodityId e) {
     SubInstance& sub = sub_for(e);
     sub_ids_.back().emplace_back(e, sub.ledger->num_requests());
+    sub.real_request.push_back(ledger.num_requests() - 1);
 
     Request sub_request;
     sub_request.location = request.location;
     sub_request.commodities = CommoditySet::full_set(1);
-    sub.ledger->begin_request(sub_request);
-    sub.algorithm->serve(sub_request, *sub.ledger);
-    sub.ledger->finish_request();
+    // Sub-algorithms emit trace events in their own sub-ledger id space;
+    // capture them in a buffer and replay with translated ids below.
+    TraceBuffer sub_trace;
+    {
+      std::optional<TraceScope> capture;
+      if (obs::tracing()) capture.emplace(sub_trace);
+      sub.ledger->begin_request(sub_request);
+      sub.algorithm->serve(sub_request, *sub.ledger);
+      sub.ledger->finish_request();
+    }
 
     // Mirror any newly opened sub-facilities into the real ledger as
     // singleton-{e} facilities.
@@ -100,6 +144,7 @@ void PerCommodityAdapter::serve(const Request& request,
       sub.facility_map.push_back(
           ledger.open_facility(f.location, CommoditySet::singleton(s, e)));
     }
+    replay_sub_trace(sub_trace, sub, e);
 
     // Mirror the assignment of the sub-request just served.
     const RequestRecord& rec = sub.ledger->request_records().back();
@@ -120,7 +165,13 @@ void PerCommodityAdapter::depart(RequestId id, const Request& request,
   sub_request.commodities = CommoditySet::full_set(1);
   for (const auto& [e, sub_id] : sub_ids_[id]) {
     SubInstance& sub = sub_for(e);
-    sub.algorithm->depart(sub_id, sub_request, *sub.ledger);
+    TraceBuffer sub_trace;
+    {
+      std::optional<TraceScope> capture;
+      if (obs::tracing()) capture.emplace(sub_trace);
+      sub.algorithm->depart(sub_id, sub_request, *sub.ledger);
+    }
+    replay_sub_trace(sub_trace, sub, e);
   }
 }
 

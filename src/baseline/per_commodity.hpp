@@ -72,6 +72,7 @@ class PerCommodityAdapter final : public OnlineAlgorithm {
     std::unique_ptr<OnlineAlgorithm> algorithm;
     std::unique_ptr<SolutionLedger> ledger;  // the sub-algorithm's view
     std::vector<FacilityId> facility_map;    // sub facility id -> real id
+    std::vector<RequestId> real_request;     // sub request id -> real id
     bool initialized = false;
   };
   std::vector<SubInstance> subs_;

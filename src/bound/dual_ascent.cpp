@@ -11,6 +11,7 @@
 
 #include "kernel/kernels.hpp"
 #include "metric/distance_oracle.hpp"
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
@@ -380,6 +381,18 @@ DualAscentResult dual_ascent_lower_bound(const Instance& instance,
       cert.duals[refs[j].request][refs[j].slot] = outcomes[i].freeze[j];
     objective += outcomes[i].objective;
     result.tight_facilities += outcomes[i].tight;
+    // Emitted here, in commodity order after the parallel ascent, so the
+    // trace is independent of the thread count. One aggregate raise per
+    // commodity: config_size carries the dual count, cost the frozen sum.
+    if (obs::tracing()) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kDualRaise;
+      ev.request = kInvalidRequest;
+      ev.commodity = demanded[i];
+      ev.config_size = refs.size();
+      ev.cost = outcomes[i].objective;
+      obs::emit(ev);
+    }
   }
   cert.objective = objective;
   result.lower_bound = objective;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "kernel/kernels.hpp"
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
@@ -321,6 +322,19 @@ void PdOmflp::archive_request(const Request& request,
   record.duals = duals;
   dual_records_.push_back(std::move(record));
   for (double a : duals) total_dual_ += a;
+
+  if (obs::tracing()) {
+    // One dual_raise per (request, commodity) slot: the frozen a_re.
+    for (std::size_t slot = 0; slot < commodities.size(); ++slot) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kDualRaise;
+      ev.request = j;
+      ev.commodity = commodities[slot];
+      ev.config_size = 1;
+      ev.cost = duals[slot];
+      obs::emit(ev);
+    }
+  }
 }
 
 void PdOmflp::depart(RequestId id, const Request& request,
@@ -340,9 +354,12 @@ void PdOmflp::depart(RequestId id, const Request& request,
   // min{a_je, d(F(e), j)} with the *maintained* nearest distance is
   // exactly what archive_request posted and integrate_facility has been
   // shifting, so shifting it to zero removes the request from the row.
+  double withdrawn = 0.0;     // bid mass leaving the rows
+  double dual_removed = 0.0;  // dual objective leaving total_dual_
   for (std::size_t slot = 0; slot < pr.commodities.size(); ++slot) {
     const CommodityId e = pr.commodities[slot];
     const double v = std::min(pr.duals[slot], pr.small_dist[slot]);
+    if (v > 0.0) withdrawn += v;
     if (incremental && v > 0.0 && bids_.active(e)) {
       OMFLP_PERF_ADD(bids_updated, num_points_);
       OMFLP_PERF_ADD(distance_lookups, num_points_);
@@ -350,11 +367,13 @@ void PdOmflp::depart(RequestId id, const Request& request,
                                 0.0, num_points_);
     }
     total_dual_ -= pr.duals[slot];
+    dual_removed += pr.duals[slot];
     pr.duals[slot] = 0.0;
   }
-  if (incremental && prediction_enabled()) {
+  if (prediction_enabled()) {
     const double v = std::min(pr.dual_sum_large, pr.large_dist);
-    if (v > 0.0) {
+    if (v > 0.0) withdrawn += v;
+    if (incremental && v > 0.0) {
       OMFLP_PERF_ADD(bids_updated, num_points_);
       OMFLP_PERF_ADD(distance_lookups, num_points_);
       kernel::shift_clipped_bid(bids_.row(large_row_),
@@ -364,6 +383,14 @@ void PdOmflp::depart(RequestId id, const Request& request,
   }
   pr.dual_sum_large = 0.0;
   pr.departed = true;
+  if (obs::tracing()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kBidRollback;
+    ev.request = id;
+    ev.bid_mass = withdrawn;
+    ev.cost = dual_removed;
+    obs::emit(ev);
+  }
   // With the duals zeroed, reference-mode recomputation skips the slot
   // (min{0, d} is never positive) and integrate_facility's shifts become
   // no-ops, so both bid modes keep agreeing after deletions. The
@@ -561,6 +588,19 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
   PointId new_large_point = kInvalidPoint;            // new (4)
   bool opened_large = false;
 
+  // Decision-time captures for the trace sink (bid rows are mutated by
+  // archive_request after the round, so the values must be taken when the
+  // constraint fires, not at commit). Allocated only while tracing.
+  const bool tracing = obs::tracing();
+  std::vector<double> traced_bid_mass;
+  std::vector<double> traced_tightness;
+  double traced_large_bid_mass = 0.0;
+  double traced_large_tightness = 0.0;
+  if (tracing) {
+    traced_bid_mass.assign(k, 0.0);
+    traced_tightness.assign(k, 0.0);
+  }
+
   while (unserved > 0) {
     // Find the next tightness event. Priority on ties: (2) and (4) end the
     // round and subsume any simultaneous (1)/(3) event (the pseudocode
@@ -661,6 +701,10 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
       case 1: {  // (4) — open a new large facility at best.point.
         opened_large = true;
         new_large_point = best.point;
+        if (tracing) {
+          traced_large_bid_mass = bids_large[best.point];
+          traced_large_tightness = raised;
+        }
         serve_eligible_by_large();
         if (options_.record_trace)
           trace_.push_back(PdTraceEvent{request_id, 4, kInvalidCommodity,
@@ -683,6 +727,10 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
       case 3: {  // (3) — temporarily open a small facility {e} at m.
         served[best.slot] = true;
         temp_point[best.slot] = best.point;
+        if (tracing) {
+          traced_bid_mass[best.slot] = bids_small[best.slot][best.point];
+          traced_tightness[best.slot] = raised;
+        }
         --unserved;
         if (eligible[best.slot]) --unserved_eligible;
         if (options_.record_trace)
@@ -707,11 +755,71 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
   };
   std::vector<NewFacility> committed;
 
+  // facility_open trace events, emitted at commit with the decision-time
+  // bid/tightness captures. Contributor lists are rebuilt from the
+  // archived state: each past request's clipped bid at the opening point
+  // plus the current request's own term — the left-hand side of the
+  // constraint that went tight.
+  const auto emit_small_open = [&](std::size_t slot, FacilityId id) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFacilityOpen;
+    ev.request = request_id;
+    ev.constraint = 3;
+    ev.commodity = commodities[slot];
+    ev.facility = id;
+    ev.point = temp_point[slot];
+    ev.config_size = 1;
+    ev.cost = ledger.facility(id).open_cost;
+    ev.bid_mass = traced_bid_mass[slot];
+    ev.tightness = traced_tightness[slot];
+    std::vector<TraceContributor> contribs;
+    const double* dist_m = dist_->row(temp_point[slot]);
+    for (const auto& [j, pslot] : by_commodity_[commodities[slot]]) {
+      const PastRequest& pr = past_[j];
+      const double v = std::min(pr.duals[pslot], pr.small_dist[pslot]);
+      if (v <= 0.0) continue;
+      const double amount = positive_part(v - dist_m[pr.location]);
+      if (amount > 0.0) contribs.push_back(TraceContributor{j, amount});
+    }
+    const double own = positive_part(a[slot] - dist_loc[temp_point[slot]]);
+    if (own > 0.0)
+      contribs.push_back(TraceContributor{request_id, own});
+    set_trace_contributors(ev, std::move(contribs));
+    obs::emit(ev);
+  };
+  const auto emit_large_open = [&](FacilityId id) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFacilityOpen;
+    ev.request = request_id;
+    ev.constraint = 4;
+    ev.facility = id;
+    ev.point = new_large_point;
+    ev.config_size = large_cfg.count();
+    ev.cost = ledger.facility(id).open_cost;
+    ev.bid_mass = traced_large_bid_mass;
+    ev.tightness = traced_large_tightness;
+    std::vector<TraceContributor> contribs;
+    const double* dist_m = dist_->row(new_large_point);
+    for (std::size_t j = 0; j < past_.size(); ++j) {
+      const PastRequest& pr = past_[j];
+      const double v = std::min(pr.dual_sum_large, pr.large_dist);
+      if (v <= 0.0) continue;
+      const double amount = positive_part(v - dist_m[pr.location]);
+      if (amount > 0.0) contribs.push_back(TraceContributor{j, amount});
+    }
+    const double own = positive_part(sum_eligible - dist_loc[new_large_point]);
+    if (own > 0.0)
+      contribs.push_back(TraceContributor{request_id, own});
+    set_trace_contributors(ev, std::move(contribs));
+    obs::emit(ev);
+  };
+
   FacilityId large_id = large_serving;
   if (opened_large) {
     large_id = ledger.open_facility(new_large_point, large_cfg);
     committed.push_back(
         NewFacility{new_large_point, large_cfg, large_id, true});
+    if (tracing) emit_large_open(large_id);
   }
   for (std::size_t slot = 0; slot < k; ++slot) {
     if (via_large[slot]) {
@@ -723,6 +831,7 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
           CommoditySet::singleton(num_commodities_, commodities[slot]);
       const FacilityId id = ledger.open_facility(temp_point[slot], single);
       committed.push_back(NewFacility{temp_point[slot], single, id, false});
+      if (tracing) emit_small_open(slot, id);
       ledger.assign(commodities[slot], id);
     } else {
       OMFLP_CHECK(via_existing[slot] && fac1[slot] != kInvalidFacility,

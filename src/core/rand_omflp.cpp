@@ -3,10 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
+
+namespace {
+
+/// facility_open for the randomized algorithm: no primal-dual bid mass;
+/// tightness carries the coin probability that fired (1.0 on the
+/// deterministic completion path).
+void emit_rand_open(const SolutionLedger& ledger, FacilityId id,
+                    CommodityId commodity, double coin_p) {
+  if (!obs::tracing()) return;
+  const OpenFacilityRecord& record = ledger.facility(id);
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kFacilityOpen;
+  ev.request = ledger.num_requests() - 1;
+  ev.commodity = commodity;
+  ev.facility = id;
+  ev.point = record.location;
+  ev.config_size = record.config.count();
+  ev.cost = record.open_cost;
+  ev.tightness = coin_p;
+  obs::emit(ev);
+}
+
+}  // namespace
 
 RandOmflp::RandOmflp(RandOptions options)
     : options_(options), rng_(options.seed) {}
@@ -83,19 +107,22 @@ std::pair<double, FacilityId> RandOmflp::nearest_large(PointId p) const {
 }
 
 FacilityId RandOmflp::open_small(PointId m, CommodityId e,
-                                 SolutionLedger& ledger) {
+                                 SolutionLedger& ledger, double coin_p) {
   const FacilityId id =
       ledger.open_facility(m, CommoditySet::singleton(num_commodities_, e));
   offering_[e].push_back(OpenRecord{m, id});
+  emit_rand_open(ledger, id, e, coin_p);
   return id;
 }
 
-FacilityId RandOmflp::open_large(PointId m, SolutionLedger& ledger) {
+FacilityId RandOmflp::open_large(PointId m, SolutionLedger& ledger,
+                                 double coin_p) {
   const FacilityId id =
       ledger.open_facility(m, CommoditySet::full_set(num_commodities_));
   larges_.push_back(OpenRecord{m, id});
   for (CommodityId e = 0; e < num_commodities_; ++e)
     offering_[e].push_back(OpenRecord{m, id});
+  emit_rand_open(ledger, id, kInvalidCommodity, coin_p);
   return id;
 }
 
@@ -156,7 +183,7 @@ void RandOmflp::serve(const Request& request, SolutionLedger& ledger) {
           c_i > 0.0 ? std::min(1.0, improvement / c_i * share) : 1.0;
       acct.expected_small += p * c_i;
       OMFLP_PERF_COUNT(coin_flips);
-      if (p > 0.0 && rng_.bernoulli(p)) open_small(site, e, ledger);
+      if (p > 0.0 && rng_.bernoulli(p)) open_small(site, e, ledger, p);
     }
   }
 
@@ -174,7 +201,7 @@ void RandOmflp::serve(const Request& request, SolutionLedger& ledger) {
       const double p = c_i > 0.0 ? std::min(1.0, improvement / c_i) : 1.0;
       acct.expected_large += p * c_i;
       OMFLP_PERF_COUNT(coin_flips);
-      if (p > 0.0 && rng_.bernoulli(p)) open_large(site, ledger);
+      if (p > 0.0 && rng_.bernoulli(p)) open_large(site, ledger, p);
     }
   }
 
@@ -192,9 +219,10 @@ void RandOmflp::serve(const Request& request, SolutionLedger& ledger) {
     if (!use_large_side || x_total <= z_total) {
       for (std::size_t slot = 0; slot < commodities.size(); ++slot)
         if (offering_[commodities[slot]].empty())
-          open_small(small_open[slot].point, commodities[slot], ledger);
+          open_small(small_open[slot].point, commodities[slot], ledger,
+                     /*coin_p=*/1.0);
     } else {
-      open_large(large_open.point, ledger);
+      open_large(large_open.point, ledger, /*coin_p=*/1.0);
     }
   }
 

@@ -113,8 +113,12 @@ class RandOmflp final : public OnlineAlgorithm {
                                                  PointId p) const;
   std::pair<double, FacilityId> nearest_large(PointId p) const;
 
-  FacilityId open_small(PointId m, CommodityId e, SolutionLedger& ledger);
-  FacilityId open_large(PointId m, SolutionLedger& ledger);
+  /// `coin_p` is the Bernoulli probability that opened the facility (1.0
+  /// on the deterministic completion path); it lands in the trace event's
+  /// tightness field.
+  FacilityId open_small(PointId m, CommodityId e, SolutionLedger& ledger,
+                        double coin_p);
+  FacilityId open_large(PointId m, SolutionLedger& ledger, double coin_p);
 };
 
 }  // namespace omflp

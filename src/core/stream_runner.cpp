@@ -5,10 +5,28 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
 namespace omflp {
+
+namespace {
+
+/// depart / lease_expire retirement marker, emitted before the
+/// algorithm's depart() hook so the retirement precedes any bid_rollback
+/// it causes in the trace.
+void emit_retire(TraceEventKind kind, RequestId id,
+                 std::uint64_t stream_event) {
+  if (!obs::tracing()) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.request = id;
+  ev.stream_event = stream_event;
+  obs::emit(ev);
+}
+
+}  // namespace
 
 namespace {
 
@@ -74,6 +92,7 @@ void StreamSession::process_event(const StreamEvent& event) {
     const auto [deadline, id] = expiries_.top();
     expiries_.pop();
     if (!active_[id]) continue;  // departed explicitly before expiry
+    emit_retire(TraceEventKind::kLeaseExpire, id, deadline);
     retire(id, deadline);
     ++result_.lease_expiries;
   }
@@ -105,6 +124,7 @@ void StreamSession::process_event(const StreamEvent& event) {
       bad_event(clock_, "departure of an arrival that has not happened");
     if (!active_[event.target])
       bad_event(clock_, "departure of an arrival that is no longer active");
+    emit_retire(TraceEventKind::kDepart, event.target, clock_);
     retire(event.target, clock_);
     ++result_.departures;
   }

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics_sampler.hpp"
+#include "obs/trace_sink.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/registry_util.hpp"
 #include "support/parallel.hpp"
@@ -109,10 +111,31 @@ EngineResult ShardedEngine::run() const {
   std::vector<PerfCounters> shard_counters(shards);
   // Work counters are collected only when the caller is already
   // counting (a sink installed on the calling thread — the bench
-  // suite's instrumented pass). Plain serving runs with counting
-  // disabled, exactly like every other timed path, so the serve/seq
-  // bench pair is measured under identical hook states.
-  const bool collect_counters = perf::thread_sink() != nullptr;
+  // suite's instrumented pass) or a metrics sampler wants the deltas.
+  // Plain serving runs with counting disabled, exactly like every other
+  // timed path, so the serve/seq bench pair is measured under identical
+  // hook states.
+  const bool collect_counters =
+      perf::thread_sink() != nullptr || options_.sampler != nullptr;
+
+  // Sampler-only state: per-shard histograms (the global `histogram`
+  // stays the source of the final batch_latency) and non-empty batch
+  // counts. Workers write only their own shard's slots; the calling
+  // thread reads between rounds.
+  std::vector<std::unique_ptr<LatencyHistogram>> shard_histograms;
+  std::vector<std::uint64_t> shard_batches;
+  if (options_.sampler != nullptr) {
+    shard_histograms.resize(shards);
+    for (auto& h : shard_histograms)
+      h = std::make_unique<LatencyHistogram>();
+    shard_batches.assign(shards, 0);
+  }
+
+  // Tracing: each tenant records into its own buffer while stepped (the
+  // TraceScope travels with the tenant, not the shard), drained into the
+  // caller's sink in tenant order after every round.
+  std::vector<TraceBuffer> trace_buffers(
+      options_.trace_sink != nullptr ? num_tenants : 0);
 
   // The global clock: one parallel_for over the shards per round, each
   // shard stepping every live tenant by one batch. The loop ends when a
@@ -131,19 +154,59 @@ EngineResult ShardedEngine::run() const {
           for (const std::size_t tenant : shard_tenants[s]) {
             StreamSession& session = states[tenant]->session;
             if (session.exhausted()) continue;
+            std::optional<TraceScope> trace_scope;
+            if (options_.trace_sink != nullptr)
+              trace_scope.emplace(trace_buffers[tenant]);
             const std::uint64_t batch_start_ns = now_ns();
             const std::size_t processed = session.step_batch();
             // Zero-event exhaustion probes are not serving work; letting
             // them into the histogram would drag p50 toward no-op time.
-            if (processed > 0)
-              histogram.record_ns(
-                  static_cast<double>(now_ns() - batch_start_ns));
+            if (processed > 0) {
+              const double batch_ns =
+                  static_cast<double>(now_ns() - batch_start_ns);
+              histogram.record_ns(batch_ns);
+              if (options_.sampler != nullptr) {
+                shard_histograms[s]->record_ns(batch_ns);
+                ++shard_batches[s];
+              }
+            }
           }
         },
         threads);
     live = 0;
     for (const auto& state : states)
       if (!state->session.exhausted()) ++live;
+
+    // Drain per-tenant trace buffers in tenant order — the output order
+    // depends only on the tenant list and the round structure, never on
+    // shard placement or thread scheduling.
+    if (options_.trace_sink != nullptr) {
+      for (std::size_t i = 0; i < num_tenants; ++i) {
+        for (const TraceEvent& event : trace_buffers[i].events())
+          options_.trace_sink->on_event(event);
+        trace_buffers[i].clear();
+      }
+    }
+
+    if (options_.sampler != nullptr) {
+      std::vector<ShardRoundStats> stats(shards);
+      for (std::size_t s = 0; s < shards; ++s) {
+        ShardRoundStats& stat = stats[s];
+        for (const std::size_t tenant : shard_tenants[s]) {
+          const StreamSession& session = states[tenant]->session;
+          stat.events += session.events_processed();
+          const SolutionLedger& ledger = session.ledger();
+          stat.facilities_open += ledger.num_facilities();
+          stat.active_requests += ledger.num_active_requests();
+          stat.resident_records += ledger.request_records().size();
+        }
+        stat.batches = shard_batches[s];
+        stat.counters = shard_counters[s];
+        stat.latency = shard_histograms[s].get();
+      }
+      options_.sampler->on_round(result.rounds, stats,
+                                 /*final_round=*/live == 0);
+    }
   }
   result.wall_ns = static_cast<double>(now_ns() - wall_start_ns);
 

@@ -49,6 +49,9 @@
 
 namespace omflp {
 
+class MetricsSampler;
+class TraceSink;
+
 struct EngineOptions {
   /// Worker shards; 0 = min(tenants, threads). Clamped to the tenant
   /// count (an empty shard serves nobody).
@@ -63,6 +66,17 @@ struct EngineOptions {
   /// Compact retired ledger prefixes after each batch.
   bool compact = true;
   ConnectionChargePolicy policy = ConnectionChargePolicy::kPerFacility;
+  /// Live telemetry (borrowed, may be null): ticked on the calling
+  /// thread after every round with cumulative per-shard stats. When
+  /// installed the engine keeps per-shard latency histograms, gauge
+  /// sums and work counters; when null none of that state exists.
+  MetricsSampler* sampler = nullptr;
+  /// Decision-trace output (borrowed, may be null). Each tenant records
+  /// into a private TraceBuffer while being stepped; after every round
+  /// the buffers are drained into this sink in tenant order on the
+  /// calling thread — so the trace is bitwise independent of both the
+  /// shard count and OMFLP_THREADS.
+  TraceSink* trace_sink = nullptr;
 };
 
 struct TenantResult {
@@ -87,7 +101,8 @@ struct EngineResult {
   double aggregate_gross_cost = 0.0;
   double aggregate_active_cost = 0.0;
   /// Per-shard work counters merged in shard order; all-zero unless the
-  /// calling thread had a PerfCounters sink installed at run() entry.
+  /// calling thread had a PerfCounters sink installed at run() entry or
+  /// a MetricsSampler was attached (the sampler needs the deltas).
   PerfCounters counters;
   /// Distribution of per-tenant step_batch() wall times across the run —
   /// the per-batch serving latency (p50/p95/p99). Zero-event exhaustion

@@ -1,0 +1,460 @@
+#include "instance/tracelog_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "instance/io_detail.hpp"
+#include "support/parse.hpp"
+
+namespace omflp {
+
+namespace {
+
+constexpr const char* kHeader =
+    "{\"format\":\"OMFLP-TRACELOG\",\"version\":1}";
+
+void append_double(std::string& out, const char* field, double value) {
+  if (!std::isfinite(value))
+    throw std::invalid_argument(
+        std::string("tracelog_event_to_json: non-finite ") + field);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Strict scanner over one tracelog line. Every expectation is literal —
+/// the canonical form is the only accepted form, which is what makes
+/// read → rewrite byte-identical and tampering detectable.
+struct LineScanner {
+  const std::string& line;
+  const iodetail::LineReader& reader;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    reader.fail(msg + " at column " + std::to_string(pos));
+  }
+
+  bool try_consume(const char* literal) {
+    const std::size_t n = std::strlen(literal);
+    if (line.compare(pos, n, literal) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  void expect(const char* literal) {
+    if (!try_consume(literal))
+      fail(std::string("expected '") + literal + "'");
+  }
+
+  std::uint64_t take_u64(const char* what) {
+    std::size_t end = pos;
+    while (end < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[end])))
+      ++end;
+    const auto value =
+        parse_u64_strict(std::string_view(line).substr(pos, end - pos));
+    if (!value) fail(std::string("bad ") + what);
+    pos = end;
+    return *value;
+  }
+
+  double take_double(const char* what) {
+    std::size_t end = pos;
+    while (end < line.size() &&
+           std::strchr("+-.0123456789eE", line[end]) != nullptr)
+      ++end;
+    const auto value =
+        parse_double_strict(std::string_view(line).substr(pos, end - pos));
+    if (!value) fail(std::string("bad ") + what);
+    pos = end;
+    return *value;
+  }
+
+  /// Body of a JSON string after the opening quote; consumes the closing
+  /// quote. Only the writer's escapes are accepted (lowercase \u00xx for
+  /// control bytes), keeping the canonical form unique.
+  std::string take_string(const char* what) {
+    std::string out;
+    while (pos < line.size()) {
+      const char c = line[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail(std::string("raw control byte in ") + what);
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= line.size()) break;
+      const char esc = line[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > line.size())
+            fail(std::string("truncated \\u escape in ") + what);
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = line[pos++];
+            value <<= 4;
+            if (h >= '0' && h <= '9')
+              value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            else
+              fail(std::string("bad \\u escape in ") + what);
+          }
+          // The writer only \u-escapes control bytes; anything else has
+          // a shorter canonical form and is rejected.
+          if (value >= 0x20)
+            fail(std::string("non-canonical \\u escape in ") + what);
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          fail(std::string("bad escape in ") + what);
+      }
+    }
+    fail(std::string("unterminated string in ") + what);
+  }
+
+  void end_of_line() const {
+    if (pos != line.size()) fail("trailing content on line");
+  }
+};
+
+TraceEventKind parse_kind(LineScanner& scan) {
+  const std::size_t close = scan.line.find('"', scan.pos);
+  if (close == std::string::npos) scan.fail("unterminated kind");
+  const std::string_view name =
+      std::string_view(scan.line).substr(scan.pos, close - scan.pos);
+  for (int k = 0; k <= 6; ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (name == trace_event_kind_name(kind)) {
+      scan.pos = close + 1;
+      return kind;
+    }
+  }
+  scan.fail("unknown event kind '" + std::string(name) + "'");
+}
+
+TraceEvent parse_event_line(const std::string& line,
+                            std::uint64_t expected_seq,
+                            const iodetail::LineReader& reader) {
+  LineScanner scan{line, reader};
+  scan.expect("{\"seq\":");
+  const std::uint64_t seq = scan.take_u64("seq");
+  if (seq != expected_seq)
+    reader.fail("sequence gap: expected seq " +
+                std::to_string(expected_seq) + ", got " +
+                std::to_string(seq));
+  scan.expect(",\"kind\":\"");
+
+  TraceEvent event;
+  event.kind = parse_kind(scan);
+
+  const auto u64_field = [&](const char* name) {
+    scan.expect(",\"");
+    scan.expect(name);
+    scan.expect("\":");
+    return scan.take_u64(name);
+  };
+  const auto num_field = [&](const char* name) {
+    scan.expect(",\"");
+    scan.expect(name);
+    scan.expect("\":");
+    return scan.take_double(name);
+  };
+  const auto id_field = [&](const char* name) -> std::uint32_t {
+    const std::uint64_t value = u64_field(name);
+    if (value > std::numeric_limits<std::uint32_t>::max())
+      scan.fail(std::string(name) + " out of range");
+    return static_cast<std::uint32_t>(value);
+  };
+
+  switch (event.kind) {
+    case TraceEventKind::kFacilityOpen: {
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.commodity = id_field("commodity");
+      event.facility = static_cast<FacilityId>(u64_field("facility"));
+      event.point = static_cast<PointId>(id_field("point"));
+      event.config_size = u64_field("config_size");
+      const std::uint64_t constraint = u64_field("constraint");
+      if (constraint > 4) scan.fail("constraint out of range");
+      event.constraint = static_cast<std::uint8_t>(constraint);
+      event.cost = num_field("cost");
+      event.bid_mass = num_field("bid_mass");
+      event.tightness = num_field("tightness");
+      scan.expect(",\"contributors\":[");
+      bool first = true;
+      while (!scan.try_consume("]")) {
+        if (!first) scan.expect(",");
+        first = false;
+        if (event.contributors.size() >= kMaxTraceContributors)
+          scan.fail("too many contributors");
+        TraceContributor c;
+        scan.expect("{\"request\":");
+        c.request = static_cast<RequestId>(scan.take_u64("request"));
+        scan.expect(",\"amount\":");
+        c.amount = scan.take_double("amount");
+        scan.expect("}");
+        event.contributors.push_back(c);
+      }
+      event.residual = num_field("residual");
+      break;
+    }
+    case TraceEventKind::kRequestAssign:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.commodity = id_field("commodity");
+      event.facility = static_cast<FacilityId>(u64_field("facility"));
+      event.point = static_cast<PointId>(id_field("point"));
+      event.cost = num_field("cost");
+      break;
+    case TraceEventKind::kBidRollback:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.bid_mass = num_field("bid_mass");
+      event.cost = num_field("cost");
+      break;
+    case TraceEventKind::kDepart:
+    case TraceEventKind::kLeaseExpire:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.stream_event = u64_field("stream_event");
+      break;
+    case TraceEventKind::kDualRaise:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.commodity = id_field("commodity");
+      event.config_size = u64_field("config_size");
+      event.cost = num_field("cost");
+      break;
+    case TraceEventKind::kVerifierFlag:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      scan.expect(",\"note\":\"");
+      event.note = scan.take_string("note");
+      break;
+  }
+  scan.expect("}");
+  scan.end_of_line();
+  return event;
+}
+
+}  // namespace
+
+std::string tracelog_event_to_json(const TraceEvent& event,
+                                   std::uint64_t seq) {
+  std::string out = "{\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"kind\":\"";
+  out += trace_event_kind_name(event.kind);
+  out += '"';
+
+  const auto u64 = [&](const char* name, std::uint64_t value) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  const auto num = [&](const char* name, double value) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    append_double(out, name, value);
+  };
+
+  switch (event.kind) {
+    case TraceEventKind::kFacilityOpen: {
+      u64("request", event.request);
+      u64("commodity", event.commodity);
+      u64("facility", event.facility);
+      u64("point", event.point);
+      u64("config_size", event.config_size);
+      u64("constraint", event.constraint);
+      num("cost", event.cost);
+      num("bid_mass", event.bid_mass);
+      num("tightness", event.tightness);
+      if (event.contributors.size() > kMaxTraceContributors)
+        throw std::invalid_argument(
+            "tracelog_event_to_json: contributor list exceeds the cap");
+      out += ",\"contributors\":[";
+      for (std::size_t i = 0; i < event.contributors.size(); ++i) {
+        if (i) out += ',';
+        out += "{\"request\":";
+        out += std::to_string(event.contributors[i].request);
+        out += ",\"amount\":";
+        append_double(out, "amount", event.contributors[i].amount);
+        out += '}';
+      }
+      out += ']';
+      num("residual", event.residual);
+      break;
+    }
+    case TraceEventKind::kRequestAssign:
+      u64("request", event.request);
+      u64("commodity", event.commodity);
+      u64("facility", event.facility);
+      u64("point", event.point);
+      num("cost", event.cost);
+      break;
+    case TraceEventKind::kBidRollback:
+      u64("request", event.request);
+      num("bid_mass", event.bid_mass);
+      num("cost", event.cost);
+      break;
+    case TraceEventKind::kDepart:
+    case TraceEventKind::kLeaseExpire:
+      u64("request", event.request);
+      u64("stream_event", event.stream_event);
+      break;
+    case TraceEventKind::kDualRaise:
+      u64("request", event.request);
+      u64("commodity", event.commodity);
+      u64("config_size", event.config_size);
+      num("cost", event.cost);
+      break;
+    case TraceEventKind::kVerifierFlag:
+      u64("request", event.request);
+      out += ",\"note\":\"";
+      append_escaped(out, event.note);
+      out += '"';
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+// --------------------------------------------------------------- writer ---
+
+TraceLogWriter::TraceLogWriter(std::ostream& os) : os_(os) {
+  os_ << kHeader << '\n';
+}
+
+TraceLogWriter::~TraceLogWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an unfinished log is detectable by the
+    // reader (missing end line) anyway.
+  }
+}
+
+void TraceLogWriter::on_event(const TraceEvent& event) {
+  if (finished_)
+    throw std::logic_error("TraceLogWriter: on_event after finish");
+  os_ << tracelog_event_to_json(event, seq_) << '\n';
+  ++seq_;
+}
+
+void TraceLogWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "{\"end\":true,\"events\":" << seq_ << "}\n";
+  os_.flush();
+}
+
+// --------------------------------------------------------------- reader ---
+
+struct TraceLogReader::Impl {
+  iodetail::LineReader reader;
+  std::uint64_t seq = 0;
+  bool done = false;
+
+  explicit Impl(std::istream& is) : reader(is, "read_tracelog") {
+    if (reader.next("header") != kHeader)
+      reader.fail(
+          "bad header, expected "
+          "{\"format\":\"OMFLP-TRACELOG\",\"version\":1}");
+  }
+};
+
+TraceLogReader::TraceLogReader(std::istream& is)
+    : impl_(std::make_unique<Impl>(is)) {}
+
+TraceLogReader::~TraceLogReader() = default;
+
+std::uint64_t TraceLogReader::events_read() const noexcept {
+  return impl_->seq;
+}
+
+bool TraceLogReader::next(TraceEvent& out) {
+  if (impl_->done) return false;
+  const std::string line = impl_->reader.next("event or end line");
+  if (line.rfind("{\"end\":", 0) == 0) {
+    LineScanner scan{line, impl_->reader};
+    scan.expect("{\"end\":true,\"events\":");
+    const std::uint64_t declared = scan.take_u64("event count");
+    scan.expect("}");
+    scan.end_of_line();
+    if (declared != impl_->seq)
+      impl_->reader.fail("end line declares " + std::to_string(declared) +
+                         " events but " + std::to_string(impl_->seq) +
+                         " were present");
+    if (impl_->reader.try_next())
+      impl_->reader.fail("trailing content after the end line");
+    impl_->done = true;
+    return false;
+  }
+  out = parse_event_line(line, impl_->seq, impl_->reader);
+  ++impl_->seq;
+  return true;
+}
+
+// --------------------------------------------------- convenience layer ---
+
+std::vector<TraceEvent> read_tracelog(std::istream& is) {
+  TraceLogReader reader(is);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (reader.next(event)) events.push_back(std::move(event));
+  return events;
+}
+
+std::vector<TraceEvent> tracelog_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_tracelog(is);
+}
+
+void write_tracelog(std::ostream& os,
+                    const std::vector<TraceEvent>& events) {
+  TraceLogWriter writer(os);
+  for (const TraceEvent& event : events) writer.on_event(event);
+  writer.finish();
+}
+
+std::string tracelog_to_string(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  write_tracelog(os, events);
+  return os.str();
+}
+
+}  // namespace omflp

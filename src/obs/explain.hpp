@@ -1,0 +1,41 @@
+// explain_trace — replay a decision trace and render the causal chain
+// behind its facility openings.
+//
+// The question a trace exists to answer: *why is this facility open?*
+// For a chosen facility the explainer finds its facility_open event and
+// reports which constraint went tight, at what dual value, which
+// requests contributed how much bid mass (with each contributor's share
+// of the total), how many connections the facility went on to serve,
+// and — for dynamic streams — whether later departures rolled back the
+// bid mass that paid for it, i.e. whether the opening was undone in the
+// dual sense even though the facility stays open (openings are
+// irrevocable; only the accounting is withdrawn).
+//
+// Per-request mode collects every event a request appears in (as the
+// served request or as a contributor), and the default mode summarizes
+// the whole trace. Used by `omflp explain`; pure function of the event
+// list, so tests can drive it on hand-computed instances.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+namespace omflp {
+
+struct ExplainOptions {
+  /// Explain the opening of this facility (real-ledger id).
+  std::optional<FacilityId> facility;
+  /// Show every event involving this request.
+  std::optional<RequestId> request;
+};
+
+/// Render the explanation as human-readable text. Throws
+/// std::invalid_argument when the requested facility never opened in the
+/// trace.
+std::string explain_trace(const std::vector<TraceEvent>& events,
+                          const ExplainOptions& options = {});
+
+}  // namespace omflp

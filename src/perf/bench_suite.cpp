@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@
 #include "kernel/kernels.hpp"
 #include "metric/distance_oracle.hpp"
 #include "metric/line_metric.hpp"
+#include "obs/trace_sink.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/registry_util.hpp"
 #include "scenario/scenario_registry.hpp"
@@ -115,8 +117,10 @@ void BenchReport::write_json(std::ostream& os) const {
        << "     \"ns_per_op_mean\": " << c.ns_per_op_mean << ",\n"
        << "     \"ns_per_op_min\": " << c.ns_per_op_min << ",\n"
        << "     \"ns_per_op_max\": " << c.ns_per_op_max << ",\n"
-       << "     \"requests_per_sec\": " << c.requests_per_sec << ",\n"
-       << "     \"counters\": {";
+       << "     \"requests_per_sec\": " << c.requests_per_sec << ",\n";
+    if (c.latency.count > 0)
+      os << "     \"latency\": " << c.latency.to_json() << ",\n";
+    os << "     \"counters\": {";
     bool first = true;
     PerfCounters::for_each_field(c.counters,
                                  [&](const char* name, std::uint64_t value) {
@@ -220,6 +224,7 @@ BenchReport BenchSuite::run(const BenchOptions& options) const {
       PerfScope scope(result.counters);
       c.op();
     }
+    if (c.latency) result.latency = *c.latency;
     report.cases.push_back(std::move(result));
 
     if (options.progress)
@@ -381,6 +386,37 @@ BenchSuite default_bench_suite() {
                                                 {{"events", 2048}}));
     suite.add(stream_case("stream/churn-pd", std::make_shared<PdOmflp>(),
                           churn_small));
+
+    // The trace-overhead pair: the same PD churn replay with no TraceSink
+    // installed (the state every other timed case runs in — measuring the
+    // disabled obs::tracing() hook) and with a TraceScope recording every
+    // decision into a buffer cleared per op. `omflp compare` across the
+    // two measures the cost of live tracing; the tentpole's
+    // zero-overhead-when-off claim is trace/off staying on par with
+    // stream/churn-pd.
+    const auto traced_case = [&](std::string name, bool traced) {
+      BenchCase c;
+      c.name = std::move(name);
+      c.requests_per_op = churn_small->num_events();
+      c.op = [algorithm = std::make_shared<PdOmflp>(),
+              buffer = std::make_shared<TraceBuffer>(),
+              stream = churn_small, traced] {
+        StreamRunOptions options;
+        options.batch_size = 2048;
+        std::optional<TraceScope> scope;
+        if (traced) {
+          buffer->clear();
+          scope.emplace(*buffer);
+        }
+        const StreamRunResult result =
+            run_stream(*algorithm, *stream, options);
+        volatile double sink = result.ledger.active_cost();
+        (void)sink;
+      };
+      return c;
+    };
+    suite.add(traced_case("trace/off", false));
+    suite.add(traced_case("trace/on", true));
   }
 
   // The serving-engine pairs: serve/mixed-* is one full ShardedEngine
@@ -414,10 +450,14 @@ BenchSuite default_bench_suite() {
       c.name = std::move(name);
       c.requests_per_op =
           static_cast<std::size_t>(engine->total_events());
-      c.op = [engine] {
+      // Latency channel: the last trial's per-batch distribution lands
+      // in the case result (sequential twins have no batch latency).
+      c.latency = std::make_shared<LatencySnapshot>();
+      c.op = [engine, latency = c.latency] {
         const EngineResult result = engine->run();
         volatile double sink = result.aggregate_active_cost;
         (void)sink;
+        *latency = result.batch_latency;
         // Shard workers count into the engine's per-shard sinks; forward
         // the merged totals so the case's counter column matches the
         // sequential twin.

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "perf/latency_histogram.hpp"
 #include "perf/perf_counters.hpp"
 
 namespace omflp {
@@ -48,6 +50,11 @@ struct BenchCase {
   /// the natural work unit for micro cases (e.g. lookups per op).
   std::size_t requests_per_op = 1;
   std::function<void()> op;
+  /// Optional latency channel: when set, the op writes its most recent
+  /// internal latency distribution here (e.g. the engine's per-batch
+  /// snapshot) and the suite copies the last trial's value into the case
+  /// result, where write_json() emits it as a "latency" object.
+  std::shared_ptr<LatencySnapshot> latency = nullptr;
 };
 
 struct BenchOptions {
@@ -69,6 +76,9 @@ struct BenchCaseResult {
   double ns_per_op_max = 0.0;
   double requests_per_sec = 0.0;  // requests_per_op / median seconds
   PerfCounters counters;          // totals of one op; all-zero if skipped
+  /// Internal latency distribution of the last trial (count == 0 when
+  /// the case has no latency channel).
+  LatencySnapshot latency;
 };
 
 struct BenchReport {
@@ -119,11 +129,13 @@ class BenchSuite {
 /// PD), the serving-engine pairs (serve/mixed-* = ShardedEngine over the
 /// 16-tenant "mixed" workload mix at default shards/threads, serve/seq-*
 /// = the same tenants as a sequential run_stream loop — the ratio is the
-/// engine's aggregate speedup on this machine), and the counters on/off
+/// engine's aggregate speedup on this machine), the counters on/off
 /// overhead pair (the disabled-mode case the telemetry claims are judged
-/// against). Workloads are identical at both scales so reports stay
-/// comparable; `quick` only shrinks warmup/trials via
-/// quick_bench_options().
+/// against), and the trace on/off pair (the same churn stream with and
+/// without a TraceSink installed — the measurement behind the
+/// zero-overhead-when-off tracing claim). Workloads are identical at
+/// both scales so reports stay comparable; `quick` only shrinks
+/// warmup/trials via quick_bench_options().
 BenchSuite default_bench_suite();
 
 BenchOptions quick_bench_options();

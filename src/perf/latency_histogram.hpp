@@ -25,6 +25,8 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace omflp {
 
@@ -36,10 +38,34 @@ struct LatencySnapshot {
   double p50_ns = 0.0;
   double p95_ns = 0.0;
   double p99_ns = 0.0;
+  double p999_ns = 0.0;
 
   double mean_ns() const noexcept {
     return count > 0 ? total_ns / static_cast<double>(count) : 0.0;
   }
+
+  /// One-line JSON object, fields in fixed order. Doubles are written
+  /// with %.17g so a snapshot survives a JSON round trip bit-exactly.
+  std::string to_json() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"mean_ns\":%.17g,\"p50_ns\":%.17g,"
+                  "\"p95_ns\":%.17g,\"p99_ns\":%.17g,\"p999_ns\":%.17g,"
+                  "\"max_ns\":%.17g}",
+                  static_cast<unsigned long long>(count), mean_ns(), p50_ns,
+                  p95_ns, p99_ns, p999_ns, max_ns);
+    return std::string(buf);
+  }
+};
+
+class LatencyHistogram;
+
+/// Mutable bucket-count checkpoint used by snapshot_delta() to turn a
+/// cumulative histogram into interval (steady-state) percentiles. One
+/// baseline per observed histogram; ~3.9 KB each.
+struct LatencyBaseline {
+  std::array<std::uint64_t, (64 - 3) << 3> counts{};
+  std::uint64_t total_ns = 0;
 };
 
 class LatencyHistogram {
@@ -47,6 +73,8 @@ class LatencyHistogram {
   static constexpr int kSubBits = 3;  // 8 sub-buckets per octave, <=12.5%
   static constexpr int kNumBuckets =
       (64 - kSubBits) << kSubBits;  // covers 0 .. 2^63 ns
+  static_assert(sizeof(LatencyBaseline::counts) ==
+                kNumBuckets * sizeof(std::uint64_t));
 
   LatencyHistogram() = default;
   LatencyHistogram(const LatencyHistogram&) = delete;
@@ -99,8 +127,41 @@ class LatencyHistogram {
         static_cast<double>(total_ns_.load(std::memory_order_relaxed));
     snap.max_ns =
         static_cast<double>(max_ns_.load(std::memory_order_relaxed));
-    if (snap.count == 0) return snap;
+    fill_quantiles(counts, snap);
+    return snap;
+  }
 
+  /// Percentiles of the samples recorded *since the baseline* (the
+  /// MetricsSampler's interval view), then advances the baseline to now.
+  /// max_ns remains the cumulative maximum — the histogram keeps no
+  /// per-interval extremum, and an interval max would understate tail
+  /// spikes that straddle sample boundaries anyway.
+  LatencySnapshot snapshot_delta(LatencyBaseline& baseline) const noexcept {
+    std::array<std::uint64_t, kNumBuckets> delta;
+    LatencySnapshot snap;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const auto i = static_cast<std::size_t>(b);
+      const std::uint64_t now =
+          buckets_[i].load(std::memory_order_relaxed);
+      delta[i] = now - baseline.counts[i];
+      baseline.counts[i] = now;
+      snap.count += delta[i];
+    }
+    const std::uint64_t total_now =
+        total_ns_.load(std::memory_order_relaxed);
+    snap.total_ns = static_cast<double>(total_now - baseline.total_ns);
+    baseline.total_ns = total_now;
+    snap.max_ns =
+        static_cast<double>(max_ns_.load(std::memory_order_relaxed));
+    fill_quantiles(delta, snap);
+    return snap;
+  }
+
+ private:
+  static void fill_quantiles(
+      const std::array<std::uint64_t, kNumBuckets>& counts,
+      LatencySnapshot& snap) noexcept {
+    if (snap.count == 0) return;
     const auto quantile = [&](double q) {
       const std::uint64_t target = std::max<std::uint64_t>(
           1, static_cast<std::uint64_t>(
@@ -115,10 +176,9 @@ class LatencyHistogram {
     snap.p50_ns = quantile(0.50);
     snap.p95_ns = quantile(0.95);
     snap.p99_ns = quantile(0.99);
-    return snap;
+    snap.p999_ns = quantile(0.999);
   }
 
- private:
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> total_ns_{0};
   std::atomic<std::uint64_t> max_ns_{0};

@@ -43,6 +43,7 @@ struct PerfCounters {
   std::uint64_t requests_served = 0;    // serve() calls through run_online
   std::uint64_t facilities_opened = 0;  // ledger facility openings
   std::uint64_t duals_raised = 0;       // bound-layer dual variables raised
+  std::uint64_t trace_events_emitted = 0;  // obs-layer trace events sunk
 
   void reset() noexcept { *this = PerfCounters{}; }
 
@@ -56,6 +57,7 @@ struct PerfCounters {
     requests_served += o.requests_served;
     facilities_opened += o.facilities_opened;
     duals_raised += o.duals_raised;
+    trace_events_emitted += o.trace_events_emitted;
     return *this;
   }
 
@@ -63,7 +65,8 @@ struct PerfCounters {
     return distance_lookups == 0 && bids_evaluated == 0 &&
            bids_updated == 0 && facilities_probed == 0 && coin_flips == 0 &&
            verifier_checks == 0 && requests_served == 0 &&
-           facilities_opened == 0 && duals_raised == 0;
+           facilities_opened == 0 && duals_raised == 0 &&
+           trace_events_emitted == 0;
   }
 
   /// Visit every (name, value) pair in a fixed order — the single source
@@ -79,6 +82,7 @@ struct PerfCounters {
     fn("requests_served", self.requests_served);
     fn("facilities_opened", self.facilities_opened);
     fn("duals_raised", self.duals_raised);
+    fn("trace_events_emitted", self.trace_events_emitted);
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
 
@@ -69,6 +70,17 @@ void SolutionLedger::assign(CommodityId e, FacilityId f) {
     OMFLP_REQUIRE(sc.commodity != e,
                   "SolutionLedger: commodity assigned twice");
   record.served.push_back(ServedCommodity{e, f});
+  if (obs::tracing()) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRequestAssign;
+    event.request = num_requests() - 1;
+    event.commodity = e;
+    event.facility = f;
+    event.point = facilities_[f].location;
+    event.cost = metric_->distance(record.request.location,
+                                   facilities_[f].location);
+    obs::emit(event);
+  }
 }
 
 void SolutionLedger::finish_request() {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 
 namespace omflp {
@@ -317,7 +318,17 @@ StreamVerifier::StreamVerifier(MetricPtr metric, CostModelPtr cost,
 }
 
 void StreamVerifier::fail_check(const std::string& what) {
-  if (!error_) error_ = VerificationError{what};
+  if (error_) return;
+  error_ = VerificationError{what};
+  if (obs::tracing()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kVerifierFlag;
+    // The most recently admitted arrival, if any — the request being
+    // processed when the invariant broke.
+    ev.request = next_expected_ > 0 ? next_expected_ - 1 : kInvalidRequest;
+    ev.note = what;
+    obs::emit(ev);
+  }
 }
 
 void StreamVerifier::on_arrival(RequestId id, const Request& request,

@@ -24,6 +24,8 @@ inline constexpr CommodityId kInvalidCommodity =
     std::numeric_limits<CommodityId>::max();
 inline constexpr FacilityId kInvalidFacility =
     std::numeric_limits<FacilityId>::max();
+inline constexpr RequestId kInvalidRequest =
+    std::numeric_limits<RequestId>::max();
 
 /// Infinity used for "no facility yet" distances.
 inline constexpr double kInfiniteDistance =

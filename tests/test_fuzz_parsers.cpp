@@ -1,5 +1,6 @@
 // Fuzz-ish parser robustness: a deterministic corpus of mutated
-// OMFLP-STREAM, OMFLP-INSTANCE and OMFLP-CERT bytes — truncations,
+// OMFLP-STREAM, OMFLP-INSTANCE, OMFLP-CERT and OMFLP-TRACELOG bytes —
+// truncations,
 // flipped signs, duplicated/deleted lines, absurd declared counts,
 // random byte corruption — fed through every reader. The contract: a mutant either
 // parses (some mutations are harmless) or is rejected with an ordinary
@@ -17,8 +18,12 @@
 
 #include "bound/certificate.hpp"
 #include "bound/dual_ascent.hpp"
+#include "core/pd_omflp.hpp"
+#include "core/stream_runner.hpp"
 #include "instance/io.hpp"
 #include "instance/stream_io.hpp"
+#include "instance/tracelog_io.hpp"
+#include "obs/trace_sink.hpp"
 #include "scenario/scenario_registry.hpp"
 #include "scenario/stream_registry.hpp"
 #include "support/rng.hpp"
@@ -90,6 +95,30 @@ std::string valid_certificate() {
       "uniform-line", /*seed=*/4, {{"requests", 32}});
   return certificate_to_string(
       dual_ascent_lower_bound(instance).certificate);
+}
+
+ParseOutcome feed_tracelog_reader(const std::string& text) {
+  try {
+    (void)tracelog_from_string(text);
+    return ParseOutcome::kAccepted;
+  } catch (const std::exception&) {
+    return ParseOutcome::kRejected;
+  }
+}
+
+/// A real decision trace: PD over a small churn stream, so the corpus
+/// covers every event kind (opens with contributor lists, assigns, dual
+/// raises, departs, rollbacks).
+std::string valid_tracelog() {
+  const EventStream stream = default_stream_scenario_registry().make(
+      "churn-uniform", /*seed=*/5, {{"events", 160}});
+  PdOmflp pd;
+  TraceBuffer buffer;
+  {
+    TraceScope scope(buffer);
+    (void)run_stream(pd, stream, {});
+  }
+  return tracelog_to_string(buffer.events());
 }
 
 std::vector<std::string> split_lines(const std::string& text) {
@@ -189,6 +218,38 @@ TEST(FuzzParsers, InstanceTraceMutationsNeverCrash) {
 
 TEST(FuzzParsers, CertificateMutationsNeverCrash) {
   run_corpus(valid_certificate(), feed_certificate_reader);
+}
+
+TEST(FuzzParsers, TracelogMutationsNeverCrash) {
+  run_corpus(valid_tracelog(), feed_tracelog_reader);
+}
+
+TEST(FuzzParsers, TracelogCountTamperingIsRejected) {
+  const std::string trace = valid_tracelog();
+
+  // Overstated/absurd totals on the end line: the reader must fail on
+  // the count mismatch, never trust it for allocation.
+  for (const char* huge :
+       {"18446744073709551615", "1099511627776",
+        "99999999999999999999999", "0", "-5"}) {
+    EXPECT_EQ(
+        feed_tracelog_reader(with_count(trace, "{\"end\"", huge)),
+        ParseOutcome::kRejected)
+        << huge;
+  }
+
+  // Re-sequencing: bump the first event's seq so it no longer equals its
+  // line index.
+  {
+    std::vector<std::string> lines = split_lines(trace);
+    ASSERT_GE(lines.size(), 3u);
+    ASSERT_EQ(lines[1].rfind("{\"seq\":0,", 0), 0u);
+    std::string resequenced = lines[1];
+    resequenced.replace(8, 1, "7");
+    lines[1] = resequenced;
+    EXPECT_EQ(feed_tracelog_reader(join_lines(lines)),
+              ParseOutcome::kRejected);
+  }
 }
 
 TEST(FuzzParsers, HugeDeclaredCountsAreRejectedNotAllocated) {

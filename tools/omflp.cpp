@@ -6,6 +6,7 @@
 //   omflp replay FILE ...               re-run a saved instance trace
 //   omflp stream --scenario S ...       process a dynamic event stream
 //   omflp serve  --tenants K ...        drive the sharded multi-tenant engine
+//   omflp explain TRACELOG ...          replay a decision trace, render causality
 //   omflp bound  --scenario S ...       certified OPT lower bound
 //   omflp bench                         run the perf suite, emit BENCH json
 //   omflp compare OLD NEW               diff two BENCH json files
@@ -32,6 +33,7 @@
 // `stream --trace` reads the trace in bounded-memory batches and compacts
 // retired ledger records, so million-event traces process in O(active
 // set + batch) resident state.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -49,6 +51,10 @@
 #include "engine/sharded_engine.hpp"
 #include "instance/io.hpp"
 #include "instance/stream_io.hpp"
+#include "instance/tracelog_io.hpp"
+#include "obs/explain.hpp"
+#include "obs/metrics_sampler.hpp"
+#include "obs/trace_sink.hpp"
 #include "perf/bench_compare.hpp"
 #include "perf/bench_suite.hpp"
 #include "scenario/algorithm_registry.hpp"
@@ -108,6 +114,10 @@ int usage(std::ostream& os, int exit_code) {
         "(default: 8192)\n"
         "    --no-verify               skip the incremental stream "
         "verifier\n"
+        "    --trace-out FILE          write the decision trace "
+        "(OMFLP-TRACELOG v1 jsonl)\n"
+        "    --latency-csv FILE        write per-batch latency CSV "
+        "(batch,events,batch_ns,...)\n"
         "    --ratio                   force the OPT(surviving) ratio "
         "bracket (works with\n"
         "                              --trace too: the surviving set is "
@@ -156,6 +166,17 @@ int usage(std::ostream& os, int exit_code) {
         "verifiers\n"
         "    --seq-baseline            also run the tenants sequentially "
         "and report the speedup\n"
+        "    --metrics-out FILE        live per-shard telemetry "
+        "(.jsonl/.json -> JSONL, else CSV)\n"
+        "    --sample-every N          rounds between telemetry samples "
+        "(default: 1)\n"
+        "    --trace-out FILE          write the merged decision trace "
+        "(tenant-order, deterministic)\n"
+        "  explain TRACELOG          replay a decision trace and render "
+        "the causal chain\n"
+        "    --facility N              why did facility N open (bids, "
+        "tightness, rollbacks)\n"
+        "    --request N               every event involving request N\n"
         "  bench                     run the perf suite, write BENCH json\n"
         "    --out FILE                default: BENCH_<suite>.json\n"
         "    --quick                   fewer warmup/timed trials (CI "
@@ -451,11 +472,79 @@ void report_stream(const std::string& stream_name,
   }
 }
 
+// run_stream with the observability taps of this CLI: a decision-trace
+// writer installed around (only) the session stepping, and a per-batch
+// latency CSV. Falls back to the plain runner when neither tap is
+// requested, so the untapped path is exactly the library path.
+StreamRunResult run_stream_observed(OnlineAlgorithm& algorithm,
+                                    EventSource& source,
+                                    const StreamRunOptions& options,
+                                    const std::string& trace_out,
+                                    const std::string& latency_csv) {
+  if (trace_out.empty() && latency_csv.empty())
+    return run_stream(algorithm, source, options);
+
+  std::ofstream trace_file;
+  std::optional<TraceLogWriter> writer;
+  std::optional<TraceScope> scope;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file)
+      throw std::runtime_error("cannot open " + trace_out + " for writing");
+    writer.emplace(trace_file);
+    scope.emplace(*writer);
+  }
+  std::ofstream latency_file;
+  if (!latency_csv.empty()) {
+    latency_file.open(latency_csv);
+    if (!latency_file)
+      throw std::runtime_error("cannot open " + latency_csv +
+                               " for writing");
+    latency_file << "batch,events,total_events,batch_ns,events_per_sec\n";
+  }
+
+  StreamSession session(algorithm, source, options);
+  std::uint64_t batch_index = 0;
+  std::uint64_t total_events = 0;
+  while (true) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t processed = session.step_batch();
+    if (processed == 0) break;
+    const double batch_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    total_events += processed;
+    if (latency_file.is_open())
+      latency_file << batch_index << ',' << processed << ','
+                   << total_events << ',' << batch_ns << ','
+                   << (batch_ns > 0.0
+                           ? static_cast<double>(processed) * 1e9 / batch_ns
+                           : 0.0)
+                   << '\n';
+    ++batch_index;
+  }
+  // Uninstall before finish()/reporting so later analysis passes (opt
+  // estimation re-runs dual ascent) do not leak into the trace.
+  scope.reset();
+  if (writer) {
+    writer->finish();
+    std::cout << "trace      " << writer->events_written() << " events -> "
+              << trace_out << "\n";
+  }
+  if (latency_file.is_open())
+    std::cout << "latency    " << batch_index << " batch samples -> "
+              << latency_csv << "\n";
+  return session.finish();
+}
+
 int cmd_stream(const std::vector<std::string>& args) {
   std::string scenario;
   std::string trace_path;
   std::string algorithm = "pd";
   std::string save_path;
+  std::string trace_out;
+  std::string latency_csv;
   std::uint64_t seed = 1;
   std::map<std::string, double> overrides;
   StreamRunOptions options;
@@ -472,6 +561,8 @@ int cmd_stream(const std::vector<std::string>& args) {
     else if (args[i] == "--batch")
       options.batch_size = parse_u64_arg(take_value(args, i), "--batch");
     else if (args[i] == "--no-verify") options.verify = false;
+    else if (args[i] == "--trace-out") trace_out = take_value(args, i);
+    else if (args[i] == "--latency-csv") latency_csv = take_value(args, i);
     else if (args[i] == "--ratio") force_ratio = true;
     else throw std::invalid_argument("stream: unknown option " + args[i]);
   }
@@ -504,7 +595,8 @@ int cmd_stream(const std::vector<std::string>& args) {
     std::ifstream file(trace_path);
     if (!file) throw std::runtime_error("cannot open " + trace_path);
     StreamTraceReader reader(file);
-    const StreamRunResult result = run_stream(*algo, reader, options);
+    const StreamRunResult result =
+        run_stream_observed(*algo, reader, options, trace_out, latency_csv);
     return finish(reader.name(), result, reader.metric(), reader.cost());
   }
 
@@ -517,7 +609,9 @@ int cmd_stream(const std::vector<std::string>& args) {
     write_event_stream(file, stream);
     std::cout << "saved      " << save_path << "\n";
   }
-  const StreamRunResult result = run_stream(*algo, stream, options);
+  MaterializedEventSource source(stream);
+  const StreamRunResult result =
+      run_stream_observed(*algo, source, options, trace_out, latency_csv);
   return finish(stream.name(), result, stream.metric_ptr(),
                 stream.cost_ptr());
 }
@@ -528,6 +622,9 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::size_t tenants = 8;
   std::string mix = "mixed";
   std::string algorithm = "pd";
+  std::string metrics_out;
+  std::string trace_out;
+  std::uint64_t sample_every = 1;
   std::uint64_t seed = 1;
   double scale = 1.0;
   bool seq_baseline = false;
@@ -549,6 +646,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       scale = parse_double_arg(take_value(args, i), "--scale");
     else if (args[i] == "--no-verify") options.verify = false;
     else if (args[i] == "--seq-baseline") seq_baseline = true;
+    else if (args[i] == "--metrics-out") metrics_out = take_value(args, i);
+    else if (args[i] == "--sample-every")
+      sample_every = parse_u64_arg(take_value(args, i), "--sample-every");
+    else if (args[i] == "--trace-out") trace_out = take_value(args, i);
     else throw std::invalid_argument("serve: unknown option " + args[i]);
   }
 
@@ -556,8 +657,46 @@ int cmd_serve(const std::vector<std::string>& args) {
       default_workload_mix_registry().tenants(mix, tenants, seed, scale);
   for (TenantSpec& spec : specs) spec.algorithm = algorithm;
 
+  // Observability taps, wired into EngineOptions before construction.
+  std::ofstream metrics_file;
+  std::optional<MetricsSampler> sampler;
+  if (!metrics_out.empty()) {
+    metrics_file.open(metrics_out);
+    if (!metrics_file)
+      throw std::runtime_error("cannot open " + metrics_out +
+                               " for writing");
+    const bool jsonl =
+        metrics_out.size() >= 5 &&
+        (metrics_out.rfind(".jsonl") == metrics_out.size() - 6 ||
+         metrics_out.rfind(".json") == metrics_out.size() - 5);
+    sampler.emplace(metrics_file,
+                    jsonl ? MetricsSampler::Format::kJsonl
+                          : MetricsSampler::Format::kCsv,
+                    sample_every);
+    options.sampler = &*sampler;
+  }
+  std::ofstream trace_file;
+  std::optional<TraceLogWriter> trace_writer;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file)
+      throw std::runtime_error("cannot open " + trace_out + " for writing");
+    trace_writer.emplace(trace_file);
+    options.trace_sink = &*trace_writer;
+  }
+
   const ShardedEngine engine(std::move(specs), options);
   const EngineResult result = engine.run();
+
+  if (trace_writer) {
+    trace_writer->finish();
+    std::cout << "trace      " << trace_writer->events_written()
+              << " events -> " << trace_out << "\n";
+  }
+  if (sampler)
+    std::cout << "metrics    per-shard telemetry (every " << sample_every
+              << " round" << (sample_every == 1 ? "" : "s") << ") -> "
+              << metrics_out << "\n";
 
   std::cout.precision(17);
   std::cout << "engine     mix=" << mix << " tenants="
@@ -573,7 +712,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   const LatencySnapshot& latency = result.batch_latency;
   std::cout << "latency    batch p50 " << latency.p50_ns / 1e6
             << " ms, p95 " << latency.p95_ns / 1e6 << " ms, p99 "
-            << latency.p99_ns / 1e6 << " ms, max " << latency.max_ns / 1e6
+            << latency.p99_ns / 1e6 << " ms, p999 "
+            << latency.p999_ns / 1e6 << " ms, max " << latency.max_ns / 1e6
             << " ms (" << latency.count << " batches)\n"
             << "aggregate  gross " << result.aggregate_gross_cost
             << " active " << result.aggregate_active_cost << "\n";
@@ -650,6 +790,35 @@ int cmd_serve(const std::vector<std::string>& args) {
                       : 0.0)
               << "x; per-tenant costs bitwise identical\n";
   }
+  return 0;
+}
+
+// --------------------------------------------------------------- explain ---
+
+int cmd_explain(const std::vector<std::string>& args) {
+  std::string path;
+  ExplainOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--facility")
+      options.facility = static_cast<FacilityId>(
+          parse_u64_arg(take_value(args, i), "--facility"));
+    else if (args[i] == "--request")
+      options.request = static_cast<RequestId>(
+          parse_u64_arg(take_value(args, i), "--request"));
+    else if (!args[i].empty() && args[i][0] != '-' && path.empty())
+      path = args[i];
+    else throw std::invalid_argument("explain: unknown option " + args[i]);
+  }
+  if (path.empty())
+    throw std::invalid_argument("explain: a tracelog file is required");
+  if (options.facility && options.request)
+    throw std::invalid_argument(
+        "explain: --facility and --request are mutually exclusive");
+
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  const std::vector<TraceEvent> events = read_tracelog(file);
+  std::cout << explain_trace(events, options);
   return 0;
 }
 
@@ -1018,6 +1187,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "stream") return cmd_stream(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "explain") return cmd_explain(args);
     if (command == "bound") return cmd_bound(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "compare") return cmd_compare(args);
