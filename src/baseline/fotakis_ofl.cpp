@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "instance/checkpoint_io.hpp"
 #include "kernel/kernels.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
@@ -185,6 +186,56 @@ void FotakisOfl::depart(RequestId id, const Request& request,
     obs::emit(ev);
   }
   pr.dual = 0.0;  // reinvestment shifts for this request become no-ops
+}
+
+void FotakisOfl::serialize_state(CkptWriter& writer) const {
+  writer.line("facilities").u(facilities_.size());
+  for (const OpenRecord& f : facilities_) writer.u(f.point).u(f.id);
+  writer.line("past").u(past_.size());
+  for (const PastRequest& pr : past_) {
+    writer.line("past-request")
+        .u(pr.location)
+        .d(pr.dual)
+        .d(pr.facility_dist)
+        .b(pr.departed);
+  }
+  writer.line("bids").u(bids_.size());
+  for (const double v : bids_) writer.d(v);
+  writer.line("duals").d(total_dual_).u(duals_.size());
+  for (const double v : duals_) writer.d(v);
+}
+
+void FotakisOfl::restore_state(CkptReader& reader) {
+  reader.expect("facilities");
+  const std::uint64_t num_facilities = reader.u();
+  facilities_.reserve(capped_reserve(num_facilities));
+  for (std::uint64_t i = 0; i < num_facilities; ++i) {
+    OpenRecord f;
+    f.point = static_cast<PointId>(reader.u());
+    f.id = static_cast<FacilityId>(reader.u());
+    facilities_.push_back(f);
+  }
+  reader.expect("past");
+  const std::uint64_t num_past = reader.u();
+  past_.reserve(capped_reserve(num_past));
+  for (std::uint64_t i = 0; i < num_past; ++i) {
+    reader.expect("past-request");
+    PastRequest pr;
+    pr.location = static_cast<PointId>(reader.u());
+    pr.dual = reader.d();
+    pr.facility_dist = reader.d();
+    pr.departed = reader.b();
+    past_.push_back(pr);
+  }
+  reader.expect("bids");
+  if (reader.u() != bids_.size())
+    reader.fail("bid row length differs from the metric");
+  for (double& v : bids_) v = reader.d();
+  reader.expect("duals");
+  total_dual_ = reader.d();
+  const std::uint64_t num_duals = reader.u();
+  duals_.reserve(capped_reserve(num_duals));
+  for (std::uint64_t i = 0; i < num_duals; ++i) duals_.push_back(reader.d());
 }
 
 }  // namespace omflp

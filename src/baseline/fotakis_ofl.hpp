@@ -42,6 +42,12 @@ class FotakisOfl final : public OnlineAlgorithm {
   /// Final dual a_r of every request, in arrival order.
   const std::vector<double>& duals() const noexcept { return duals_; }
 
+  /// Checkpoint: facilities, past requests (duals, maintained facility
+  /// distances, rollback flags), the posted bid row and the dual totals,
+  /// all bitwise (the cost row is rebuilt by reset()).
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
+
  private:
   CostModelPtr cost_;
   std::unique_ptr<DistanceOracle> dist_;

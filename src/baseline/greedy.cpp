@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
@@ -134,6 +135,64 @@ void RentOrBuy::serve(const Request& request, SolutionLedger& ledger) {
       ledger.assign(e, nid);
     }
   });
+}
+
+namespace {
+
+/// Shared shape of the greedy baselines' facility index: one line per
+/// commodity with its (point, facility id) records.
+template <typename OpenRecordT>
+void serialize_offering(
+    CkptWriter& writer,
+    const std::vector<std::vector<OpenRecordT>>& offering) {
+  writer.line("offering-index").u(offering.size());
+  for (const auto& row : offering) {
+    writer.line("offering").u(row.size());
+    for (const auto& f : row) writer.u(f.point).u(f.id);
+  }
+}
+
+template <typename OpenRecordT>
+void restore_offering(CkptReader& reader,
+                      std::vector<std::vector<OpenRecordT>>& offering) {
+  reader.expect("offering-index");
+  if (reader.u() != offering.size())
+    reader.fail("offering index universe mismatch");
+  for (auto& row : offering) {
+    reader.expect("offering");
+    const std::uint64_t n = reader.u();
+    row.reserve(capped_reserve(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      OpenRecordT f;
+      f.point = static_cast<PointId>(reader.u());
+      f.id = static_cast<FacilityId>(reader.u());
+      row.push_back(f);
+    }
+  }
+}
+
+}  // namespace
+
+void NearestOrOpen::serialize_state(CkptWriter& writer) const {
+  serialize_offering(writer, offering_);
+}
+
+void NearestOrOpen::restore_state(CkptReader& reader) {
+  restore_offering(reader, offering_);
+}
+
+void RentOrBuy::serialize_state(CkptWriter& writer) const {
+  serialize_offering(writer, offering_);
+  writer.line("rent-accounts").u(rent_account_.size());
+  for (const double v : rent_account_) writer.d(v);
+}
+
+void RentOrBuy::restore_state(CkptReader& reader) {
+  restore_offering(reader, offering_);
+  reader.expect("rent-accounts");
+  if (reader.u() != rent_account_.size())
+    reader.fail("rent account universe mismatch");
+  for (double& v : rent_account_) v = reader.d();
 }
 
 }  // namespace omflp

@@ -51,6 +51,9 @@ class NearestOrOpen final : public OnlineAlgorithm {
   std::string name() const override { return "NearestOrOpen"; }
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  /// Checkpoint: the opened-facility index (the algorithm's only state).
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
 
  protected:
   CostModelPtr cost_;
@@ -71,6 +74,9 @@ class RentOrBuy final : public OnlineAlgorithm {
   std::string name() const override { return "RentOrBuy"; }
   void reset(const ProblemContext& context) override;
   void serve(const Request& request, SolutionLedger& ledger) override;
+  /// Checkpoint: the opened-facility index plus the ski-rental accounts.
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
 
  private:
   CostModelPtr cost_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
@@ -103,6 +104,25 @@ void MeyersonOfl::serve(const Request& request, SolutionLedger& ledger) {
     }
   }
   ledger.assign(0, best_id);
+}
+
+void MeyersonOfl::serialize_state(CkptWriter& writer) const {
+  serialize_rng(writer, rng_);
+  writer.line("facilities").u(facilities_.size());
+  for (const OpenRecord& f : facilities_) writer.u(f.point).u(f.id);
+}
+
+void MeyersonOfl::restore_state(CkptReader& reader) {
+  restore_rng(reader, rng_);
+  reader.expect("facilities");
+  const std::uint64_t n = reader.u();
+  facilities_.reserve(capped_reserve(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    OpenRecord f;
+    f.point = static_cast<PointId>(reader.u());
+    f.id = static_cast<FacilityId>(reader.u());
+    facilities_.push_back(f);
+  }
 }
 
 }  // namespace omflp

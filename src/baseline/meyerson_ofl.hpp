@@ -31,6 +31,12 @@ class MeyersonOfl final : public OnlineAlgorithm {
   // Deletion policy: frozen (inherited no-op depart) — Meyerson's
   // algorithm is memoryless beyond its opened facilities.
 
+  /// Checkpoint: the opened facilities plus the full RNG state, so the
+  /// restored coin-flip sequence continues bitwise (the class index is
+  /// rebuilt deterministically by reset()).
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
+
  private:
   std::uint64_t seed_;
   Rng rng_;

@@ -5,6 +5,7 @@
 
 #include "baseline/fotakis_ofl.hpp"
 #include "baseline/meyerson_ofl.hpp"
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "support/assert.hpp"
 
@@ -172,6 +173,70 @@ void PerCommodityAdapter::depart(RequestId id, const Request& request,
       sub.algorithm->depart(sub_id, sub_request, *sub.ledger);
     }
     replay_sub_trace(sub_trace, sub, e);
+  }
+}
+
+void PerCommodityAdapter::serialize_state(CkptWriter& writer) const {
+  writer.line("subs").u(subs_.size());
+  for (std::size_t e = 0; e < subs_.size(); ++e) {
+    const SubInstance& sub = subs_[e];
+    writer.line("sub").u(e).b(sub.initialized);
+    if (!sub.initialized) continue;
+    sub.algorithm->serialize_state(writer);
+    sub.ledger->serialize(writer);
+    writer.line("facility-map").u(sub.facility_map.size());
+    for (const FacilityId f : sub.facility_map) writer.u(f);
+    writer.line("real-requests").u(sub.real_request.size());
+    for (const RequestId r : sub.real_request) writer.u(r);
+  }
+  writer.line("sub-ids").u(sub_ids_.size());
+  for (const auto& entries : sub_ids_) {
+    writer.line("sub-id").u(entries.size());
+    for (const auto& [commodity, sub_request] : entries)
+      writer.u(commodity).u(sub_request);
+  }
+}
+
+void PerCommodityAdapter::restore_state(CkptReader& reader) {
+  reader.expect("subs");
+  if (reader.u() != subs_.size())
+    reader.fail("sub-instance count differs from the commodity universe");
+  for (std::size_t e = 0; e < subs_.size(); ++e) {
+    reader.expect("sub");
+    if (reader.u() != e) reader.fail("sub-instances out of order");
+    if (!reader.b()) continue;
+    // Re-initialize through the factory (same derived seed), then hand
+    // the sub-algorithm and sub-ledger their serialized state.
+    SubInstance& sub = sub_for(static_cast<CommodityId>(e));
+    sub.algorithm->restore_state(reader);
+    sub.ledger->restore(reader);
+    reader.expect("facility-map");
+    const std::uint64_t num_mapped = reader.u();
+    if (num_mapped != sub.ledger->num_facilities())
+      reader.fail("facility map out of step with the sub-ledger");
+    sub.facility_map.reserve(capped_reserve(num_mapped));
+    for (std::uint64_t i = 0; i < num_mapped; ++i)
+      sub.facility_map.push_back(static_cast<FacilityId>(reader.u()));
+    reader.expect("real-requests");
+    const std::uint64_t num_requests = reader.u();
+    sub.real_request.reserve(capped_reserve(num_requests));
+    for (std::uint64_t i = 0; i < num_requests; ++i)
+      sub.real_request.push_back(static_cast<RequestId>(reader.u()));
+  }
+  reader.expect("sub-ids");
+  const std::uint64_t num_sub_ids = reader.u();
+  sub_ids_.reserve(capped_reserve(num_sub_ids));
+  for (std::uint64_t i = 0; i < num_sub_ids; ++i) {
+    reader.expect("sub-id");
+    const std::uint64_t n = reader.u();
+    std::vector<std::pair<CommodityId, RequestId>> entries;
+    entries.reserve(capped_reserve(n));
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto commodity = static_cast<CommodityId>(reader.u());
+      if (commodity >= subs_.size()) reader.fail("sub-id commodity range");
+      entries.emplace_back(commodity, static_cast<RequestId>(reader.u()));
+    }
+    sub_ids_.push_back(std::move(entries));
   }
 }
 

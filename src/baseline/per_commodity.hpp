@@ -63,6 +63,14 @@ class PerCommodityAdapter final : public OnlineAlgorithm {
   void depart(RequestId id, const Request& request,
               SolutionLedger& ledger) override;
 
+  /// Checkpoint: recurses into every initialized sub-instance — the
+  /// sub-algorithm's own state (via its serialize_state), the sub-ledger
+  /// and the id-translation tables — so a restored adapter continues
+  /// every per-commodity run bitwise. Sub-instances are re-initialized
+  /// through the factory on restore (same derived seeds).
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
+
  private:
   Factory factory_;
   std::string label_;

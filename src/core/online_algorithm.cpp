@@ -13,6 +13,13 @@ void OnlineAlgorithm::depart(RequestId id, const Request& request,
   (void)ledger;
 }
 
+void OnlineAlgorithm::serialize_state(CkptWriter& writer) const {
+  // Stateless beyond reset(): nothing to capture.
+  (void)writer;
+}
+
+void OnlineAlgorithm::restore_state(CkptReader& reader) { (void)reader; }
+
 SolutionLedger run_online(OnlineAlgorithm& algorithm, const Instance& instance,
                           ConnectionChargePolicy policy) {
   SolutionLedger ledger(instance.metric_ptr(), instance.cost_ptr(), policy);

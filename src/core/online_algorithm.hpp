@@ -16,6 +16,9 @@
 
 namespace omflp {
 
+class CkptReader;
+class CkptWriter;
+
 struct ProblemContext {
   MetricPtr metric;
   CostModelPtr cost;
@@ -50,6 +53,18 @@ class OnlineAlgorithm {
   /// potentials override this with bid rollback (PD-OMFLP, Fotakis).
   virtual void depart(RequestId id, const Request& request,
                       SolutionLedger& ledger);
+
+  /// Checkpoint/restore (instance/checkpoint_io.hpp). serialize_state
+  /// writes the algorithm's complete mutable state in canonical form —
+  /// serialize → restore → serialize must be byte-identical, and a
+  /// restored algorithm must continue the run *bitwise* identically to
+  /// one that never stopped. restore_state is called on a freshly
+  /// reset() algorithm (same options and seed, same ProblemContext);
+  /// per-run caches that reset() rebuilds deterministically are not
+  /// serialized. The defaults are no-ops for stateless algorithms
+  /// (AlwaysOpen); everything stateful overrides both.
+  virtual void serialize_state(CkptWriter& writer) const;
+  virtual void restore_state(CkptReader& reader);
 };
 
 /// Replay the instance through the algorithm; returns the priced ledger.

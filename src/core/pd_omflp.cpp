@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "instance/checkpoint_io.hpp"
 #include "kernel/kernels.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
@@ -844,6 +845,202 @@ void PdOmflp::serve(const Request& request, SolutionLedger& ledger) {
     integrate_facility(nf.point, nf.config, nf.id, nf.is_large);
 
   archive_request(request, commodities, a);
+}
+
+namespace {
+
+const char* bid_mode_tag(PdOptions::BidMode m) {
+  return m == PdOptions::BidMode::kIncremental ? "incremental" : "reference";
+}
+const char* prediction_tag(PdOptions::Prediction p) {
+  return p == PdOptions::Prediction::kOn ? "on" : "off";
+}
+const char* large_config_tag(PdOptions::LargeConfig c) {
+  return c == PdOptions::LargeConfig::kFullS ? "full-s" : "seen-union";
+}
+const char* deletion_tag(PdOptions::DeletionPolicy d) {
+  return d == PdOptions::DeletionPolicy::kRollback ? "rollback" : "frozen";
+}
+
+}  // namespace
+
+void PdOmflp::serialize_state(CkptWriter& writer) const {
+  // Options guard: a checkpoint only restores into the same variant.
+  writer.line("pd-options")
+      .tok(bid_mode_tag(options_.bid_mode))
+      .tok(prediction_tag(options_.prediction))
+      .tok(large_config_tag(options_.large_config))
+      .tok(deletion_tag(options_.deletion_policy))
+      .set(excluded_);
+  writer.line("offering-index").u(offering_.size());
+  for (const auto& row : offering_) {
+    writer.line("offering").u(row.size());
+    for (const OpenRecord& f : row) writer.u(f.point).u(f.id);
+  }
+  writer.line("larges").u(larges_.size());
+  for (const LargeRecord& f : larges_)
+    writer.line("large").u(f.point).u(f.id).set(f.config);
+  writer.line("seen").set(seen_);
+  writer.line("past").u(past_.size());
+  for (const PastRequest& pr : past_) {
+    writer.line("past-request")
+        .u(pr.location)
+        .u(pr.commodities.size())
+        .d(pr.dual_sum_large)
+        .d(pr.large_dist)
+        .b(pr.departed);
+    writer.line("past-commodities");
+    for (const CommodityId e : pr.commodities) writer.u(e);
+    writer.line("past-duals");
+    for (const double a : pr.duals) writer.d(a);
+    writer.line("past-small-dist");
+    for (const double d : pr.small_dist) writer.d(d);
+  }
+  // Incremental bid rows, bitwise, in canonical (row id) order — slot
+  // order inside the arena is an activation-history artifact that never
+  // affects numerics.
+  std::vector<std::size_t> active_rows;
+  for (std::size_t r = 0; r < bids_.num_rows(); ++r)
+    if (bids_.active(r)) active_rows.push_back(r);
+  writer.line("bid-rows").u(active_rows.size()).u(bids_.row_length());
+  for (const std::size_t r : active_rows) {
+    writer.line("bid-row").u(r);
+    const double* row = bids_.row(r);
+    for (std::size_t m = 0; m < bids_.row_length(); ++m) writer.d(row[m]);
+  }
+  writer.line("dual-total").d(total_dual_);
+  writer.line("dual-records").u(dual_records_.size());
+  for (const PdDualRecord& rec : dual_records_) {
+    writer.line("dual-record").u(rec.location).u(rec.commodities.size());
+    for (std::size_t i = 0; i < rec.commodities.size(); ++i)
+      writer.u(rec.commodities[i]).d(rec.duals[i]);
+  }
+  writer.line("trace").u(trace_.size());
+  for (const PdTraceEvent& ev : trace_) {
+    writer.line("trace-event")
+        .u(ev.request)
+        .u(static_cast<std::uint64_t>(ev.constraint))
+        .u(ev.commodity)
+        .u(ev.point)
+        .d(ev.raised);
+  }
+}
+
+void PdOmflp::restore_state(CkptReader& reader) {
+  reader.expect("pd-options");
+  if (reader.tok() != bid_mode_tag(options_.bid_mode) ||
+      reader.tok() != prediction_tag(options_.prediction) ||
+      reader.tok() != large_config_tag(options_.large_config) ||
+      reader.tok() != deletion_tag(options_.deletion_policy))
+    reader.fail("checkpoint was written by a different PD-OMFLP variant");
+  if (!(reader.set() == excluded_))
+    reader.fail("checkpoint excluded-commodity set mismatch");
+  reader.expect("offering-index");
+  if (reader.u() != offering_.size())
+    reader.fail("offering index universe mismatch");
+  for (auto& row : offering_) {
+    reader.expect("offering");
+    const std::uint64_t n = reader.u();
+    row.reserve(capped_reserve(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      OpenRecord f;
+      f.point = static_cast<PointId>(reader.u());
+      f.id = static_cast<FacilityId>(reader.u());
+      row.push_back(f);
+    }
+  }
+  reader.expect("larges");
+  const std::uint64_t num_larges = reader.u();
+  larges_.reserve(capped_reserve(num_larges));
+  for (std::uint64_t i = 0; i < num_larges; ++i) {
+    reader.expect("large");
+    LargeRecord f;
+    f.point = static_cast<PointId>(reader.u());
+    f.id = static_cast<FacilityId>(reader.u());
+    f.config = reader.set();
+    if (f.config.universe_size() != num_commodities_)
+      reader.fail("large facility config universe mismatch");
+    larges_.push_back(std::move(f));
+  }
+  reader.expect("seen");
+  seen_ = reader.set();
+  if (seen_.universe_size() != num_commodities_)
+    reader.fail("seen-union universe mismatch");
+  reader.expect("past");
+  const std::uint64_t num_past = reader.u();
+  past_.reserve(capped_reserve(num_past));
+  for (std::uint64_t j = 0; j < num_past; ++j) {
+    reader.expect("past-request");
+    PastRequest pr;
+    pr.location = static_cast<PointId>(reader.u());
+    const std::uint64_t slots = reader.u();
+    pr.dual_sum_large = reader.d();
+    pr.large_dist = reader.d();
+    pr.departed = reader.b();
+    pr.commodities.reserve(capped_reserve(slots));
+    reader.expect("past-commodities");
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      const auto e = static_cast<CommodityId>(reader.u());
+      if (e >= num_commodities_) reader.fail("past commodity out of range");
+      pr.commodities.push_back(e);
+    }
+    pr.duals.reserve(capped_reserve(slots));
+    reader.expect("past-duals");
+    for (std::uint64_t i = 0; i < slots; ++i) pr.duals.push_back(reader.d());
+    pr.small_dist.reserve(capped_reserve(slots));
+    reader.expect("past-small-dist");
+    for (std::uint64_t i = 0; i < slots; ++i)
+      pr.small_dist.push_back(reader.d());
+    // Rebuild the per-commodity index (a pure function of past_).
+    for (std::size_t slot = 0; slot < pr.commodities.size(); ++slot)
+      by_commodity_[pr.commodities[slot]].emplace_back(
+          static_cast<std::size_t>(j), static_cast<std::uint32_t>(slot));
+    past_.push_back(std::move(pr));
+  }
+  reader.expect("bid-rows");
+  const std::uint64_t num_bid_rows = reader.u();
+  if (reader.u() != bids_.row_length())
+    reader.fail("bid row length differs from the metric");
+  for (std::uint64_t i = 0; i < num_bid_rows; ++i) {
+    reader.expect("bid-row");
+    const std::uint64_t r = reader.u();
+    if (r >= bids_.num_rows()) reader.fail("bid row id out of range");
+    double* row = bids_.active(static_cast<std::size_t>(r))
+                      ? bids_.row(static_cast<std::size_t>(r))
+                      : bids_.activate(static_cast<std::size_t>(r));
+    for (std::size_t m = 0; m < bids_.row_length(); ++m) row[m] = reader.d();
+  }
+  reader.expect("dual-total");
+  total_dual_ = reader.d();
+  reader.expect("dual-records");
+  const std::uint64_t num_dual_records = reader.u();
+  dual_records_.reserve(capped_reserve(num_dual_records));
+  for (std::uint64_t i = 0; i < num_dual_records; ++i) {
+    reader.expect("dual-record");
+    PdDualRecord rec;
+    rec.location = static_cast<PointId>(reader.u());
+    const std::uint64_t slots = reader.u();
+    rec.commodities.reserve(capped_reserve(slots));
+    rec.duals.reserve(capped_reserve(slots));
+    for (std::uint64_t k = 0; k < slots; ++k) {
+      rec.commodities.push_back(static_cast<CommodityId>(reader.u()));
+      rec.duals.push_back(reader.d());
+    }
+    dual_records_.push_back(std::move(rec));
+  }
+  reader.expect("trace");
+  const std::uint64_t num_trace = reader.u();
+  trace_.reserve(capped_reserve(num_trace));
+  for (std::uint64_t i = 0; i < num_trace; ++i) {
+    reader.expect("trace-event");
+    PdTraceEvent ev;
+    ev.request = reader.u();
+    ev.constraint = static_cast<int>(reader.u());
+    ev.commodity = static_cast<CommodityId>(reader.u());
+    ev.point = static_cast<PointId>(reader.u());
+    ev.raised = reader.d();
+    trace_.push_back(ev);
+  }
 }
 
 }  // namespace omflp

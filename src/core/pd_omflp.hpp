@@ -120,6 +120,15 @@ class PdOmflp final : public OnlineAlgorithm {
   void depart(RequestId id, const Request& request,
               SolutionLedger& ledger) override;
 
+  /// Checkpoint: the facility indexes, every archived request's frozen
+  /// duals and maintained distances, the incremental bid rows (bitwise —
+  /// recomputing them on restore would only agree to audit tolerance,
+  /// not bit-for-bit), the dual records and an options guard. Caches the
+  /// cost model determines (cost rows, the large cost row) are rebuilt
+  /// lazily; by_commodity_ is rebuilt from the archived requests.
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
+
   /// Σ_r Σ_{e∈s_r} a_re — the dual objective before scaling. On dynamic
   /// runs with kRollback, departed requests' duals leave the sum (the
   /// dual bound is argued on the surviving set).

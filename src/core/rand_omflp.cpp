@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
@@ -250,6 +251,72 @@ void RandOmflp::serve(const Request& request, SolutionLedger& ledger) {
         large_id != kInvalidFacility && d_large < sum_small ? d_large
                                                             : sum_small;
     accounting_.push_back(acct);
+  }
+}
+
+void RandOmflp::serialize_state(CkptWriter& writer) const {
+  serialize_rng(writer, rng_);
+  writer.line("offering-index").u(offering_.size());
+  for (const auto& row : offering_) {
+    writer.line("offering").u(row.size());
+    for (const OpenRecord& f : row) writer.u(f.point).u(f.id);
+  }
+  writer.line("larges").u(larges_.size());
+  for (const OpenRecord& f : larges_) writer.u(f.point).u(f.id);
+  writer.line("accounting").u(accounting_.size());
+  for (const RandAccounting& a : accounting_) {
+    writer.line("acct")
+        .d(a.budget)
+        .d(a.x_total)
+        .d(a.z_total)
+        .d(a.expected_small)
+        .d(a.expected_large)
+        .d(a.realized_open)
+        .d(a.realized_connect)
+        .b(a.completion_used);
+  }
+}
+
+void RandOmflp::restore_state(CkptReader& reader) {
+  restore_rng(reader, rng_);
+  reader.expect("offering-index");
+  if (reader.u() != offering_.size())
+    reader.fail("offering index universe mismatch");
+  for (auto& row : offering_) {
+    reader.expect("offering");
+    const std::uint64_t n = reader.u();
+    row.reserve(capped_reserve(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      OpenRecord f;
+      f.point = static_cast<PointId>(reader.u());
+      f.id = static_cast<FacilityId>(reader.u());
+      row.push_back(f);
+    }
+  }
+  reader.expect("larges");
+  const std::uint64_t num_larges = reader.u();
+  larges_.reserve(capped_reserve(num_larges));
+  for (std::uint64_t i = 0; i < num_larges; ++i) {
+    OpenRecord f;
+    f.point = static_cast<PointId>(reader.u());
+    f.id = static_cast<FacilityId>(reader.u());
+    larges_.push_back(f);
+  }
+  reader.expect("accounting");
+  const std::uint64_t num_acct = reader.u();
+  accounting_.reserve(capped_reserve(num_acct));
+  for (std::uint64_t i = 0; i < num_acct; ++i) {
+    reader.expect("acct");
+    RandAccounting a;
+    a.budget = reader.d();
+    a.x_total = reader.d();
+    a.z_total = reader.d();
+    a.expected_small = reader.d();
+    a.expected_large = reader.d();
+    a.realized_open = reader.d();
+    a.realized_connect = reader.d();
+    a.completion_used = reader.b();
+    accounting_.push_back(a);
   }
 }
 

@@ -83,6 +83,13 @@ class RandOmflp final : public OnlineAlgorithm {
     return accounting_;
   }
 
+  /// Checkpoint: the opened facilities plus the full RNG state, so the
+  /// restored coin-flip sequence continues bitwise. The class indexes
+  /// are pure functions of the cost model and rebuilt lazily; the
+  /// accounting log is serialized only when record_accounting is on.
+  void serialize_state(CkptWriter& writer) const override;
+  void restore_state(CkptReader& reader) override;
+
  private:
   RandOptions options_;
   Rng rng_;

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
@@ -70,6 +72,129 @@ StreamSession::StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
   if (options_.verify)
     verifier_.emplace(source_.metric(), source_.cost());
   batch_.reserve(options_.batch_size);
+}
+
+namespace {
+
+const char* policy_tag(ConnectionChargePolicy policy) {
+  return policy == ConnectionChargePolicy::kPerFacility ? "per-facility"
+                                                        : "per-commodity";
+}
+
+}  // namespace
+
+StreamSession::StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
+                             const StreamRunOptions& options,
+                             CkptReader& reader)
+    : algorithm_(algorithm),
+      source_(source),
+      options_(options),
+      result_(make_session_ledger(source, options)) {
+  algorithm_.reset(ProblemContext{source_.metric(), source_.cost()});
+  batch_.reserve(options_.batch_size);
+
+  reader.expect("session");
+  clock_ = reader.u();
+  exhausted_ = reader.b();
+  if (reader.b() != options_.verify)
+    reader.fail("checkpoint verify flag differs from the session options");
+  if (reader.tok() != policy_tag(options_.policy))
+    reader.fail("checkpoint connection-charge policy mismatch");
+  reader.expect("session-stats");
+  result_.arrivals = reader.u();
+  result_.departures = reader.u();
+  result_.lease_expiries = reader.u();
+  result_.peak_active = reader.u();
+  result_.peak_resident_records = reader.u();
+  result_.run_ns = reader.d();
+
+  reader.expect("active");
+  const std::uint64_t num_arrived = reader.u();
+  num_active_ = reader.u();
+  const std::uint64_t num_words = (num_arrived + 63) / 64;
+  std::vector<std::uint64_t> words;
+  words.reserve(capped_reserve(num_words));
+  for (std::uint64_t i = 0; i < num_words; ++i) words.push_back(reader.u());
+  // Every declared word was actually present, so num_arrived is bounded
+  // by the file's real size — safe to materialize the bitmap now.
+  active_.assign(num_arrived, false);
+  std::size_t popcount = 0;
+  for (std::uint64_t id = 0; id < num_arrived; ++id) {
+    if ((words[id >> 6] >> (id & 63)) & 1) {
+      active_[id] = true;
+      ++popcount;
+    }
+  }
+  if (popcount != num_active_)
+    reader.fail("active-request bitmap disagrees with the active count");
+  if (result_.arrivals != num_arrived)
+    reader.fail("arrival count disagrees with the active bitmap");
+
+  reader.expect("expiries");
+  const std::uint64_t num_expiries = reader.u();
+  for (std::uint64_t i = 0; i < num_expiries; ++i) {
+    reader.expect("expiry");
+    const std::uint64_t deadline = reader.u();
+    const auto id = static_cast<RequestId>(reader.u());
+    if (id >= active_.size()) reader.fail("expiry of an unknown arrival");
+    expiries_.emplace(deadline, id);
+  }
+
+  if (options_.verify) {
+    verifier_.emplace(source_.metric(), source_.cost());
+    verifier_->restore(reader);
+  }
+  result_.ledger.restore(reader);
+  if (result_.ledger.num_requests() != num_arrived)
+    reader.fail("ledger request count disagrees with the arrival count");
+  if (result_.ledger.num_active_requests() != num_active_)
+    reader.fail("ledger active count disagrees with the session's");
+
+  reader.expect("algo");
+  if (reader.bytes() != algorithm_.name())
+    reader.fail("checkpoint belongs to a different algorithm");
+  algorithm_.restore_state(reader);
+
+  source_.skip_events(clock_);
+}
+
+void StreamSession::checkpoint(CkptWriter& writer) const {
+  OMFLP_REQUIRE(!finished_, "StreamSession: checkpoint after finish");
+  OMFLP_REQUIRE(!result_.ledger.request_in_flight(),
+                "StreamSession: checkpoint with a request in flight");
+  writer.line("session")
+      .u(clock_)
+      .b(exhausted_)
+      .b(options_.verify)
+      .tok(policy_tag(options_.policy));
+  writer.line("session-stats")
+      .u(result_.arrivals)
+      .u(result_.departures)
+      .u(result_.lease_expiries)
+      .u(result_.peak_active)
+      .u(result_.peak_resident_records)
+      .d(result_.run_ns);
+  writer.line("active").u(active_.size()).u(num_active_);
+  std::vector<std::uint64_t> words((active_.size() + 63) / 64, 0);
+  for (std::size_t id = 0; id < active_.size(); ++id)
+    if (active_[id]) words[id >> 6] |= (1ULL << (id & 63));
+  for (const std::uint64_t w : words) writer.u(w);
+  // Canonical form: the pending expiries sorted ascending — pop order is
+  // fully determined by (deadline, id), so heap layout is irrelevant.
+  auto heap = expiries_;
+  std::vector<Expiry> pending;
+  pending.reserve(heap.size());
+  while (!heap.empty()) {
+    pending.push_back(heap.top());
+    heap.pop();
+  }
+  writer.line("expiries").u(pending.size());
+  for (const auto& [deadline, id] : pending)
+    writer.line("expiry").u(deadline).u(id);
+  if (verifier_) verifier_->serialize(writer);
+  result_.ledger.serialize(writer);
+  writer.line("algo").bytes(algorithm_.name());
+  algorithm_.serialize_state(writer);
 }
 
 void StreamSession::retire(RequestId id, std::uint64_t event_index) {

@@ -97,6 +97,17 @@ class StreamSession {
   StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
                 const StreamRunOptions& options = {});
 
+  /// Restoring constructor (instance/checkpoint_io.hpp): rebuilds the
+  /// session from a checkpoint() snapshot. The algorithm must be a fresh
+  /// instance constructed exactly as for the original run (same options
+  /// and seed) — it is reset() and handed its serialized state — and the
+  /// source a fresh source of the *same* stream, which is fast-forwarded
+  /// to the snapshot's clock. options must match the snapshot (verify
+  /// flag and policy are guarded). The restored session continues
+  /// bitwise identically to one that never stopped.
+  StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
+                const StreamRunOptions& options, CkptReader& reader);
+
   StreamSession(const StreamSession&) = delete;
   StreamSession& operator=(const StreamSession&) = delete;
 
@@ -123,6 +134,15 @@ class StreamSession {
   /// session is spent afterwards; requires exhausted() and may be called
   /// once.
   StreamRunResult finish();
+
+  /// Serializes the complete between-batches state — the stream clock,
+  /// active set, pending lease expiries, result statistics, verifier,
+  /// ledger and the algorithm's own state — in canonical form (a
+  /// checkpoint of a restored session is byte-identical to the one it
+  /// was restored from). Call between step_batch() calls, before
+  /// finish(). run_ns is serialized for continuity of the stats but is
+  /// wall time, the one field excluded from bitwise comparisons.
+  void checkpoint(CkptWriter& writer) const;
 
  private:
   void retire(RequestId id, std::uint64_t event_index);

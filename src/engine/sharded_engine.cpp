@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/metrics_sampler.hpp"
 #include "obs/trace_sink.hpp"
+#include "recover/checkpoint_store.hpp"
+#include "recover/fault_plan.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/registry_util.hpp"
 #include "support/parallel.hpp"
@@ -74,10 +79,14 @@ EngineResult ShardedEngine::run() const {
   run_options.verify = options_.verify;
 
   // Per-tenant state, heap-pinned so the session's borrowed references
-  // stay valid. Sessions reset their algorithms at construction.
+  // stay valid. Sessions reset their algorithms at construction; the
+  // restoring variant then overlays a checkpoint snapshot and
+  // fast-forwards the source.
   struct TenantState {
     MaterializedEventSource source;
     std::unique_ptr<OnlineAlgorithm> algorithm;
+    std::ifstream ckpt_in;            // open only while restoring
+    std::optional<CkptReader> reader;
     StreamSession session;
 
     TenantState(const EventStream& stream,
@@ -86,26 +95,91 @@ EngineResult ShardedEngine::run() const {
         : source(stream),
           algorithm(std::move(algo)),
           session(*algorithm, source, options) {}
+
+    TenantState(const EventStream& stream,
+                std::unique_ptr<OnlineAlgorithm> algo,
+                const StreamRunOptions& options,
+                const std::string& ckpt_path)
+        : source(stream),
+          algorithm(std::move(algo)),
+          ckpt_in(ckpt_path, std::ios::binary),
+          reader(std::in_place, ckpt_in),
+          session(*algorithm, source, options, *reader) {
+      reader->finish();
+      reader.reset();
+      ckpt_in.close();
+    }
   };
+
+  // Recovery: with a checkpoint directory configured, resume from the
+  // newest generation whose manifest and every tenant file validate —
+  // torn or corrupted generations fall back to the previous one.
+  std::optional<CheckpointStore> store;
+  std::optional<CheckpointManifest> restored;
+  if (!options_.checkpoint_dir.empty()) {
+    store.emplace(options_.checkpoint_dir);
+    restored = store->latest_valid();
+    if (restored) {
+      if (restored->tenants.size() != num_tenants)
+        throw std::invalid_argument(
+            "ShardedEngine: checkpoint set has " +
+            std::to_string(restored->tenants.size()) + " tenants, run has " +
+            std::to_string(num_tenants));
+      for (std::size_t i = 0; i < num_tenants; ++i)
+        if (restored->tenants[i] != specs_[i].name)
+          throw std::invalid_argument(
+              "ShardedEngine: checkpoint tenant '" + restored->tenants[i] +
+              "' does not match spec tenant '" + specs_[i].name + "'");
+    }
+  }
+
   const AlgorithmRegistry& algorithms = default_algorithm_registry();
   std::vector<std::unique_ptr<TenantState>> states;
   states.reserve(num_tenants);
-  for (std::size_t i = 0; i < num_tenants; ++i)
-    states.push_back(std::make_unique<TenantState>(
-        streams_[i],
-        algorithms.make(specs_[i].algorithm,
-                        derive_algorithm_seed(specs_[i].seed)),
-        run_options));
+  for (std::size_t i = 0; i < num_tenants; ++i) {
+    auto algorithm = algorithms.make(specs_[i].algorithm,
+                                     derive_algorithm_seed(specs_[i].seed));
+    states.push_back(
+        restored ? std::make_unique<TenantState>(
+                       streams_[i], std::move(algorithm), run_options,
+                       store->tenant_path(i, restored->generation))
+                 : std::make_unique<TenantState>(
+                       streams_[i], std::move(algorithm), run_options));
+  }
 
-  // Round-robin shard placement: with Zipf-skewed mixes shard 0 gets the
-  // hottest tenant, so load is deliberately unbalanced across shards.
+  // Shard placement: round-robin by default (with Zipf-skewed mixes
+  // shard 0 gets the hottest tenant, so load is deliberately unbalanced
+  // across shards), or the caller's explicit placement — the migration
+  // path: restore a checkpoint set under a different placement.
+  std::vector<std::size_t> placement(num_tenants);
+  if (!options_.placement.empty()) {
+    if (options_.placement.size() != num_tenants)
+      throw std::invalid_argument(
+          "ShardedEngine: placement names " +
+          std::to_string(options_.placement.size()) + " tenants, run has " +
+          std::to_string(num_tenants));
+    for (const std::size_t s : options_.placement)
+      if (s >= shards)
+        throw std::invalid_argument(
+            "ShardedEngine: placement shard " + std::to_string(s) +
+            " out of range (shards=" + std::to_string(shards) + ")");
+    placement = options_.placement;
+  } else {
+    for (std::size_t i = 0; i < num_tenants; ++i) placement[i] = i % shards;
+  }
   std::vector<std::vector<std::size_t>> shard_tenants(shards);
   for (std::size_t i = 0; i < num_tenants; ++i)
-    shard_tenants[i % shards].push_back(i);
+    shard_tenants[placement[i]].push_back(i);
 
   EngineResult result;
   result.shards = shards;
   result.threads = threads;
+  std::uint64_t trace_seq = 0;
+  if (restored) {
+    result.rounds = restored->round;
+    result.restored_from_round = restored->round;
+    trace_seq = restored->trace_seq;
+  }
 
   LatencyHistogram histogram;
   std::vector<PerfCounters> shard_counters(shards);
@@ -143,7 +217,11 @@ EngineResult ShardedEngine::run() const {
   // zero-batch probe to observe exhaustion, so rounds is at most
   // max ceil(events/batch) + 1).
   const std::uint64_t wall_start_ns = now_ns();
-  std::size_t live = num_tenants;
+  // A restored session may already be exhausted (checkpoint taken on the
+  // final cadence round), so count live tenants rather than assuming all.
+  std::size_t live = 0;
+  for (const auto& state : states)
+    if (!state->session.exhausted()) ++live;
   while (live > 0) {
     ++result.rounds;
     parallel_for(
@@ -182,8 +260,10 @@ EngineResult ShardedEngine::run() const {
     // shard placement or thread scheduling.
     if (options_.trace_sink != nullptr) {
       for (std::size_t i = 0; i < num_tenants; ++i) {
-        for (const TraceEvent& event : trace_buffers[i].events())
+        for (const TraceEvent& event : trace_buffers[i].events()) {
           options_.trace_sink->on_event(event);
+          ++trace_seq;
+        }
         trace_buffers[i].clear();
       }
     }
@@ -207,8 +287,41 @@ EngineResult ShardedEngine::run() const {
       options_.sampler->on_round(result.rounds, stats,
                                  /*final_round=*/live == 0);
     }
+
+    // Periodic checkpoint generation: serialize every tenant on the
+    // calling thread (sessions are between batches, so no request is in
+    // flight), publish tenant files first and the manifest last. The
+    // generation number is the round, so restarts keep it increasing.
+    if (store && options_.checkpoint_every > 0 &&
+        result.rounds % options_.checkpoint_every == 0) {
+      CheckpointManifest manifest;
+      manifest.generation = result.rounds;
+      manifest.round = result.rounds;
+      manifest.trace_seq = trace_seq;
+      std::vector<std::string> payloads;
+      payloads.reserve(num_tenants);
+      for (std::size_t i = 0; i < num_tenants; ++i) {
+        manifest.tenants.push_back(specs_[i].name);
+        std::ostringstream os;
+        CkptWriter writer(os);
+        states[i]->session.checkpoint(writer);
+        writer.finish();
+        payloads.push_back(os.str());
+      }
+      store->publish(manifest, payloads);
+      ++result.checkpoints_published;
+    }
+
+    // Injected faults fire after publication, so the damage lands on the
+    // snapshot recovery would otherwise pick first.
+    if (options_.fault_plan != nullptr &&
+        options_.fault_plan->should_crash(result.rounds)) {
+      if (store) options_.fault_plan->corrupt_latest(*store);
+      throw EngineCrash(result.rounds);
+    }
   }
   result.wall_ns = static_cast<double>(now_ns() - wall_start_ns);
+  result.trace_seq = trace_seq;
 
   for (std::size_t s = 0; s < shards; ++s)
     result.counters += shard_counters[s];
@@ -217,7 +330,7 @@ EngineResult ShardedEngine::run() const {
   result.tenants.reserve(num_tenants);
   for (std::size_t i = 0; i < num_tenants; ++i) {
     TenantResult tenant{specs_[i].name, specs_[i].scenario,
-                        specs_[i].algorithm, i % shards,
+                        specs_[i].algorithm, placement[i],
                         states[i]->session.finish()};
     result.total_events += tenant.run.events;
     result.aggregate_gross_cost += tenant.run.ledger.total_cost();

@@ -49,6 +49,7 @@
 
 namespace omflp {
 
+class FaultPlan;
 class MetricsSampler;
 class TraceSink;
 
@@ -77,6 +78,28 @@ struct EngineOptions {
   /// calling thread — so the trace is bitwise independent of both the
   /// shard count and OMFLP_THREADS.
   TraceSink* trace_sink = nullptr;
+  /// Checkpoint directory (recover/checkpoint_store.hpp). When set,
+  /// run() first restores every tenant from the newest valid generation
+  /// found there (resuming the round clock from the manifest) and, with
+  /// checkpoint_every > 0, publishes a new generation every that many
+  /// rounds. Empty = fault tolerance off.
+  std::string checkpoint_dir;
+  /// Rounds between checkpoint generations (0 = restore-only: never
+  /// publish). Smaller values shorten the replay tail after a crash at
+  /// the price of more serialization and IO per round.
+  std::uint64_t checkpoint_every = 0;
+  /// Deterministic fault injection (borrowed, may be null). Consulted
+  /// after each round's checkpoint publication; a scheduled crash
+  /// corrupts the newest generation per the plan's torn/bitflip flags
+  /// and throws EngineCrash. The plan is stateful across run() attempts
+  /// so the driver's restart loop sees each crash once.
+  FaultPlan* fault_plan = nullptr;
+  /// Explicit tenant→shard placement (tenant i on shard placement[i]);
+  /// empty = round-robin i mod shards. Because per-tenant results are
+  /// bitwise independent of placement, restoring a checkpoint set under
+  /// a different placement *is* tenant migration — the cross-check is
+  /// that results match the never-migrated run exactly.
+  std::vector<std::size_t> placement;
 };
 
 struct TenantResult {
@@ -108,6 +131,14 @@ struct EngineResult {
   /// the per-batch serving latency (p50/p95/p99). Zero-event exhaustion
   /// probes are excluded.
   LatencySnapshot batch_latency;
+  /// Round the run resumed from (0 = fresh start, no checkpoint found).
+  std::uint64_t restored_from_round = 0;
+  /// Checkpoint generations published by this run() call.
+  std::uint64_t checkpoints_published = 0;
+  /// Trace events emitted to the sink over the whole logical run,
+  /// including rounds replayed before a restore point (the manifest's
+  /// trace_seq carries the count across restarts).
+  std::uint64_t trace_seq = 0;
 
   double events_per_sec() const noexcept {
     return wall_ns > 0.0

@@ -126,4 +126,28 @@ std::size_t MaterializedEventSource::next_batch(
   return n;
 }
 
+void EventSource::skip_events(std::uint64_t n) {
+  std::vector<StreamEvent> discard;
+  while (n > 0) {
+    discard.clear();
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, 8192));
+    const std::size_t got = next_batch(discard, chunk);
+    if (got == 0)
+      throw std::invalid_argument(
+          "EventSource::skip_events: stream shorter than the checkpoint "
+          "clock");
+    n -= got;
+  }
+}
+
+void MaterializedEventSource::skip_events(std::uint64_t n) {
+  const std::vector<StreamEvent>& events = stream_->events();
+  if (n > events.size() - cursor_)
+    throw std::invalid_argument(
+        "MaterializedEventSource::skip_events: stream shorter than the "
+        "checkpoint clock");
+  cursor_ += static_cast<std::size_t>(n);
+}
+
 }  // namespace omflp

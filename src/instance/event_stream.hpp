@@ -136,6 +136,14 @@ class EventSource {
   /// exhausted.
   virtual std::size_t next_batch(std::vector<StreamEvent>& out,
                                  std::size_t max_events) = 0;
+
+  /// Fast-forward past the next `n` events without delivering them —
+  /// checkpoint restore positions a fresh source at the stream clock the
+  /// snapshot was taken at, then replays the tail through next_batch().
+  /// Throws std::invalid_argument when the source holds fewer than `n`
+  /// further events (the checkpoint belongs to a longer stream). The
+  /// default pulls and discards; sources with random access override.
+  virtual void skip_events(std::uint64_t n);
 };
 
 /// EventSource over an in-memory EventStream (borrowed; the stream must
@@ -150,6 +158,7 @@ class MaterializedEventSource final : public EventSource {
   const std::string& name() const override { return stream_->name(); }
   std::size_t next_batch(std::vector<StreamEvent>& out,
                          std::size_t max_events) override;
+  void skip_events(std::uint64_t n) override;
 
  private:
   const EventStream* stream_;

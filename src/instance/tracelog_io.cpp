@@ -386,19 +386,54 @@ void TraceLogWriter::finish() {
 
 struct TraceLogReader::Impl {
   iodetail::LineReader reader;
+  TraceLogReadMode mode;
   std::uint64_t seq = 0;
   bool done = false;
+  bool truncated = false;
 
-  explicit Impl(std::istream& is) : reader(is, "read_tracelog") {
+  Impl(std::istream& is, TraceLogReadMode read_mode)
+      : reader(is, "read_tracelog"), mode(read_mode) {
     if (reader.next("header") != kHeader)
       reader.fail(
           "bad header, expected "
           "{\"format\":\"OMFLP-TRACELOG\",\"version\":1}");
   }
+
+  bool next_strict(TraceEvent& out) {
+    const std::optional<std::string> maybe_line = reader.try_next();
+    if (!maybe_line) {
+      if (mode == TraceLogReadMode::kStrict)
+        reader.fail("missing event or end line");
+      // Torn tail: the file ends without an end line; the prefix read so
+      // far is the recovery result.
+      truncated = true;
+      done = true;
+      return false;
+    }
+    const std::string& line = *maybe_line;
+    if (line.rfind("{\"end\":", 0) == 0) {
+      LineScanner scan{line, reader};
+      scan.expect("{\"end\":true,\"events\":");
+      const std::uint64_t declared = scan.take_u64("event count");
+      scan.expect("}");
+      scan.end_of_line();
+      if (declared != seq)
+        reader.fail("end line declares " + std::to_string(declared) +
+                    " events but " + std::to_string(seq) +
+                    " were present");
+      if (reader.try_next())
+        reader.fail("trailing content after the end line");
+      done = true;
+      return false;
+    }
+    out = parse_event_line(line, seq, reader);
+    ++seq;
+    return true;
+  }
 };
 
-TraceLogReader::TraceLogReader(std::istream& is)
-    : impl_(std::make_unique<Impl>(is)) {}
+TraceLogReader::TraceLogReader(std::istream& is, TraceLogReadMode mode)
+    : impl_(std::make_unique<Impl>(is, mode)) {}
 
 TraceLogReader::~TraceLogReader() = default;
 
@@ -406,33 +441,28 @@ std::uint64_t TraceLogReader::events_read() const noexcept {
   return impl_->seq;
 }
 
+bool TraceLogReader::truncated() const noexcept { return impl_->truncated; }
+
 bool TraceLogReader::next(TraceEvent& out) {
   if (impl_->done) return false;
-  const std::string line = impl_->reader.next("event or end line");
-  if (line.rfind("{\"end\":", 0) == 0) {
-    LineScanner scan{line, impl_->reader};
-    scan.expect("{\"end\":true,\"events\":");
-    const std::uint64_t declared = scan.take_u64("event count");
-    scan.expect("}");
-    scan.end_of_line();
-    if (declared != impl_->seq)
-      impl_->reader.fail("end line declares " + std::to_string(declared) +
-                         " events but " + std::to_string(impl_->seq) +
-                         " were present");
-    if (impl_->reader.try_next())
-      impl_->reader.fail("trailing content after the end line");
+  if (impl_->mode == TraceLogReadMode::kStrict)
+    return impl_->next_strict(out);
+  try {
+    return impl_->next_strict(out);
+  } catch (const std::invalid_argument&) {
+    // First damaged line (malformation, seq gap, bad end line): the
+    // events already yielded form the longest valid prefix.
+    impl_->truncated = true;
     impl_->done = true;
     return false;
   }
-  out = parse_event_line(line, impl_->seq, impl_->reader);
-  ++impl_->seq;
-  return true;
 }
 
 // --------------------------------------------------- convenience layer ---
 
-std::vector<TraceEvent> read_tracelog(std::istream& is) {
-  TraceLogReader reader(is);
+std::vector<TraceEvent> read_tracelog(std::istream& is,
+                                      TraceLogReadMode mode) {
+  TraceLogReader reader(is, mode);
   std::vector<TraceEvent> events;
   TraceEvent event;
   while (reader.next(event)) events.push_back(std::move(event));

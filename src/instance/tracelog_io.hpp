@@ -63,23 +63,44 @@ class TraceLogWriter final : public TraceSink {
   bool finished_ = false;
 };
 
+/// Reader behavior on a damaged log (crash mid-write, torn tail).
+enum class TraceLogReadMode {
+  /// Reject everything: seq gaps, malformed lines, a missing end line
+  /// and trailing content all throw. The default, and the only mode
+  /// golden-trace diffing may use.
+  kStrict,
+  /// Crash recovery: yield the longest valid seq-contiguous prefix and
+  /// stop at the first damaged line (or at an unterminated tail), never
+  /// throwing past the header. truncated() reports whether anything was
+  /// dropped. The header must still be valid — a file that is not a
+  /// tracelog at all has no prefix to recover.
+  kRecoverPrefix,
+};
+
 /// Bounded-memory streaming reader for OMFLP-TRACELOG v1. The header is
 /// parsed on construction; next() yields events one at a time and returns
 /// false only after validating the end line and the absence of trailing
-/// content.
+/// content (strict mode) or at the first sign of damage (recover mode).
 class TraceLogReader {
  public:
-  explicit TraceLogReader(std::istream& is);
+  explicit TraceLogReader(std::istream& is,
+                          TraceLogReadMode mode = TraceLogReadMode::kStrict);
   ~TraceLogReader();
 
   TraceLogReader(const TraceLogReader&) = delete;
   TraceLogReader& operator=(const TraceLogReader&) = delete;
 
   /// Parse the next event into `out`. Returns false at the (validated)
-  /// end of the log; throws std::invalid_argument on any malformation.
+  /// end of the log; throws std::invalid_argument on any malformation
+  /// (strict mode only).
   bool next(TraceEvent& out);
 
   std::uint64_t events_read() const noexcept;
+
+  /// True when recover mode stopped before a valid end line — the log
+  /// was torn or corrupted and events_read() is the surviving prefix.
+  /// Always false in strict mode (damage throws instead).
+  bool truncated() const noexcept;
 
  private:
   struct Impl;
@@ -87,7 +108,8 @@ class TraceLogReader {
 };
 
 /// Materializing convenience wrappers (tests, `omflp explain`).
-std::vector<TraceEvent> read_tracelog(std::istream& is);
+std::vector<TraceEvent> read_tracelog(
+    std::istream& is, TraceLogReadMode mode = TraceLogReadMode::kStrict);
 std::vector<TraceEvent> tracelog_from_string(const std::string& text);
 void write_tracelog(std::ostream& os, const std::vector<TraceEvent>& events);
 std::string tracelog_to_string(const std::vector<TraceEvent>& events);

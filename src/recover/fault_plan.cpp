@@ -1,0 +1,113 @@
+#include "recover/fault_plan.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "recover/checkpoint_store.hpp"
+#include "support/parse.hpp"
+#include "support/rng.hpp"
+
+namespace omflp {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("--fault-plan: " + what);
+}
+
+std::uint64_t spec_u64(const std::string& key, const std::string& value) {
+  const auto parsed = parse_u64_strict(value);
+  if (!parsed) bad_spec("malformed value for " + key + ": '" + value + "'");
+  return *parsed;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file_raw(const std::string& path, const std::string& content) {
+  // Deliberately NOT atomic: fault injection simulates the damage a real
+  // crash leaves behind, so it writes in place.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  std::uint64_t crashes = 1;
+  std::uint64_t seed = 1;
+  std::uint64_t gap = 8;
+  FaultPlan plan;
+
+  std::istringstream fields(spec);
+  std::string field;
+  while (std::getline(fields, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos)
+      bad_spec("expected key=value, got '" + field + "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "crashes") {
+      crashes = spec_u64(key, value);
+    } else if (key == "seed") {
+      seed = spec_u64(key, value);
+    } else if (key == "gap") {
+      gap = spec_u64(key, value);
+    } else if (key == "torn") {
+      plan.torn_ = spec_u64(key, value) != 0;
+    } else if (key == "bitflip") {
+      plan.bitflip_ = spec_u64(key, value) != 0;
+    } else {
+      bad_spec("unknown key '" + key + "'");
+    }
+  }
+  if (gap == 0) bad_spec("gap must be positive");
+
+  Rng rng(seed);
+  std::uint64_t round = 0;
+  plan.crash_rounds_.reserve(crashes);
+  for (std::uint64_t k = 0; k < crashes; ++k) {
+    round += static_cast<std::uint64_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(gap)));
+    plan.crash_rounds_.push_back(round);
+  }
+  return plan;
+}
+
+bool FaultPlan::should_crash(std::uint64_t round) {
+  if (next_ >= crash_rounds_.size()) return false;
+  if (crash_rounds_[next_] > round) return false;
+  ++next_;
+  return true;
+}
+
+void FaultPlan::corrupt_latest(CheckpointStore& store) const {
+  if (!torn_ && !bitflip_) return;
+  const auto manifest = store.latest_valid();
+  if (!manifest || manifest->tenants.empty()) return;
+
+  if (torn_) {
+    // Truncate to half the payload: the checksum line is gone, so the
+    // structural validator must classify the file as torn.
+    const std::string path = store.tenant_path(0, manifest->generation);
+    const std::string content = read_file(path);
+    write_file_raw(path, content.substr(0, content.size() / 2));
+  }
+  if (bitflip_) {
+    const std::string path = store.tenant_path(
+        manifest->tenants.size() - 1, manifest->generation);
+    std::string content = read_file(path);
+    if (!content.empty()) {
+      content[content.size() / 2] =
+          static_cast<char>(content[content.size() / 2] ^ 0x01);
+      write_file_raw(path, content);
+    }
+  }
+}
+
+}  // namespace omflp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 #include "support/assert.hpp"
@@ -151,6 +152,106 @@ const RequestRecord& SolutionLedger::request_record(RequestId id) const {
 const OpenFacilityRecord& SolutionLedger::facility(FacilityId f) const {
   OMFLP_REQUIRE(f < facilities_.size(), "SolutionLedger: unknown facility");
   return facilities_[f];
+}
+
+void SolutionLedger::serialize(CkptWriter& writer) const {
+  OMFLP_REQUIRE(!in_flight_,
+                "SolutionLedger::serialize: request in flight");
+  writer.line("ledger").u(first_record_id_).u(requests_.size()).u(
+      facilities_.size());
+  writer.line("ledger-costs")
+      .d(opening_cost_)
+      .d(connection_cost_)
+      .d(active_connection_cost_)
+      .u(num_active_)
+      .u(num_small_)
+      .u(num_large_);
+  for (const OpenFacilityRecord& f : facilities_) {
+    writer.line("facility")
+        .u(f.id)
+        .u(f.location)
+        .set(f.config)
+        .d(f.open_cost)
+        .u(f.opened_during);
+  }
+  for (const RequestRecord& r : requests_) {
+    writer.line("request")
+        .u(r.request.location)
+        .set(r.request.commodities)
+        .u(r.retired_at)
+        .d(r.connection_cost);
+    writer.line("served").u(r.served.size());
+    for (const ServedCommodity& s : r.served)
+      writer.u(s.commodity).u(s.facility);
+    writer.line("connected").u(r.connected.size());
+    for (const FacilityId f : r.connected) writer.u(f);
+  }
+}
+
+void SolutionLedger::restore(CkptReader& reader) {
+  OMFLP_REQUIRE(facilities_.empty() && requests_.empty() && !in_flight_,
+                "SolutionLedger::restore: ledger not fresh");
+  reader.expect("ledger");
+  first_record_id_ = reader.u();
+  const std::uint64_t num_resident = reader.u();
+  const std::uint64_t num_facilities = reader.u();
+  reader.expect("ledger-costs");
+  opening_cost_ = reader.d();
+  connection_cost_ = reader.d();
+  active_connection_cost_ = reader.d();
+  num_active_ = reader.u();
+  num_small_ = reader.u();
+  num_large_ = reader.u();
+  facilities_.reserve(capped_reserve(num_facilities));
+  for (std::uint64_t i = 0; i < num_facilities; ++i) {
+    reader.expect("facility");
+    OpenFacilityRecord f;
+    f.id = static_cast<FacilityId>(reader.u());
+    if (f.id != i) reader.fail("facility ids out of order");
+    f.location = static_cast<PointId>(reader.u());
+    if (f.location >= metric_->num_points())
+      reader.fail("facility location outside the metric");
+    f.config = reader.set();
+    if (f.config.universe_size() != cost_->num_commodities())
+      reader.fail("facility config universe mismatch");
+    f.open_cost = reader.d();
+    f.opened_during = reader.u();
+    facilities_.push_back(std::move(f));
+  }
+  requests_.reserve(capped_reserve(num_resident));
+  for (std::uint64_t i = 0; i < num_resident; ++i) {
+    reader.expect("request");
+    RequestRecord r;
+    r.request.location = static_cast<PointId>(reader.u());
+    if (r.request.location >= metric_->num_points())
+      reader.fail("request location outside the metric");
+    r.request.commodities = reader.set();
+    if (r.request.commodities.universe_size() != cost_->num_commodities())
+      reader.fail("request demand universe mismatch");
+    r.retired_at = reader.u();
+    r.connection_cost = reader.d();
+    reader.expect("served");
+    const std::uint64_t num_served = reader.u();
+    r.served.reserve(capped_reserve(num_served));
+    for (std::uint64_t k = 0; k < num_served; ++k) {
+      ServedCommodity s;
+      s.commodity = static_cast<CommodityId>(reader.u());
+      s.facility = static_cast<FacilityId>(reader.u());
+      if (s.facility >= facilities_.size())
+        reader.fail("served entry references an unknown facility");
+      r.served.push_back(s);
+    }
+    reader.expect("connected");
+    const std::uint64_t num_connected = reader.u();
+    r.connected.reserve(capped_reserve(num_connected));
+    for (std::uint64_t k = 0; k < num_connected; ++k) {
+      const auto f = static_cast<FacilityId>(reader.u());
+      if (f >= facilities_.size())
+        reader.fail("connected entry references an unknown facility");
+      r.connected.push_back(f);
+    }
+    requests_.push_back(std::move(r));
+  }
 }
 
 }  // namespace omflp

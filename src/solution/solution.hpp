@@ -33,6 +33,9 @@
 
 namespace omflp {
 
+class CkptReader;
+class CkptWriter;
+
 enum class ConnectionChargePolicy {
   kPerFacility,   // paper default: one shared path per connected facility
   kPerCommodity,  // §1.1 alternative: every served commodity pays the path
@@ -159,6 +162,17 @@ class SolutionLedger {
   const FacilityCostModel& cost_model() const noexcept { return *cost_; }
 
   bool request_in_flight() const noexcept { return in_flight_; }
+
+  // ---- checkpoint/restore (instance/checkpoint_io.hpp) --------------------
+
+  /// Writes every resident record and accumulator in canonical form.
+  /// Requires no request in flight (checkpoints happen between batches).
+  void serialize(CkptWriter& writer) const;
+  /// Fills a freshly constructed ledger (same metric, cost model and
+  /// policy as at serialization) from the reader. Costs, counters and
+  /// record bytes come from the file verbatim — nothing is re-priced, so
+  /// a restored ledger is bitwise identical to the serialized one.
+  void restore(CkptReader& reader);
 
  private:
   MetricPtr metric_;

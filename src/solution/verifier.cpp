@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "instance/checkpoint_io.hpp"
 #include "obs/trace_sink.hpp"
 #include "perf/perf_counters.hpp"
 
@@ -408,6 +409,43 @@ std::optional<VerificationError> StreamVerifier::finish(
   else if (active_costs_.size() != ledger.num_active_requests())
     fail_check("active request count mismatch");
   return error_;
+}
+
+void StreamVerifier::serialize(CkptWriter& writer) const {
+  writer.line("verifier")
+      .u(next_expected_)
+      .u(facilities_seen_)
+      .d(opening_)
+      .d(gross_connection_)
+      .d(retired_connection_);
+  // Canonical form: the unordered map serialized sorted by request id.
+  std::vector<std::pair<RequestId, double>> active(active_costs_.begin(),
+                                                   active_costs_.end());
+  std::sort(active.begin(), active.end());
+  writer.line("verifier-active").u(active.size());
+  for (const auto& [id, cost] : active) writer.u(id).d(cost);
+  writer.line("verifier-error").b(error_.has_value());
+  if (error_) writer.bytes(error_->what);
+}
+
+void StreamVerifier::restore(CkptReader& reader) {
+  reader.expect("verifier");
+  next_expected_ = static_cast<RequestId>(reader.u());
+  facilities_seen_ = reader.u();
+  opening_ = reader.d();
+  gross_connection_ = reader.d();
+  retired_connection_ = reader.d();
+  reader.expect("verifier-active");
+  const std::uint64_t num_active = reader.u();
+  active_costs_.reserve(capped_reserve(num_active));
+  for (std::uint64_t i = 0; i < num_active; ++i) {
+    const auto id = static_cast<RequestId>(reader.u());
+    const double cost = reader.d();
+    if (!active_costs_.emplace(id, cost).second)
+      reader.fail("duplicate verifier active-request id");
+  }
+  reader.expect("verifier-error");
+  if (reader.b()) error_ = VerificationError{reader.bytes()};
 }
 
 }  // namespace omflp

@@ -26,6 +26,9 @@
 
 namespace omflp {
 
+class CkptReader;
+class CkptWriter;
+
 struct VerificationError {
   std::string what;
 };
@@ -82,6 +85,15 @@ class StreamVerifier {
   const std::optional<VerificationError>& error() const noexcept {
     return error_;
   }
+
+  /// Checkpoint/restore (instance/checkpoint_io.hpp): the verifier's
+  /// running totals and per-active-request recomputed costs, so a
+  /// restored run keeps full verification coverage over the events it
+  /// replays — including a sticky error recorded before the snapshot.
+  /// restore fills a freshly constructed verifier (same metric, cost
+  /// model and tolerance).
+  void serialize(CkptWriter& writer) const;
+  void restore(CkptReader& reader);
 
  private:
   void fail_check(const std::string& what);

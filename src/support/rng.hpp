@@ -29,6 +29,12 @@ class SplitMix64 {
     return z ^ (z >> 31);
   }
 
+  /// Checkpoint/restore (src/instance/checkpoint_io.hpp): the full
+  /// generator state, so a restored generator continues the exact draw
+  /// sequence.
+  std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t state) noexcept { state_ = state; }
+
  private:
   std::uint64_t state_;
 };
@@ -64,6 +70,14 @@ class Xoshiro256 {
   /// Advance the stream by 2^128 steps; used to derive independent
   /// per-thread / per-trial substreams from one master seed.
   void jump() noexcept;
+
+  /// Checkpoint/restore: the four state words, bitwise.
+  const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
@@ -138,6 +152,24 @@ class Rng {
   /// O(n) memory, deterministic). Throws on k > n.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
+
+  /// Checkpoint/restore: the complete draw-sequence state — the xoshiro
+  /// words plus the Marsaglia normal cache (normal() produces pairs; a
+  /// restore that dropped the cached half would desynchronize every
+  /// subsequent draw).
+  struct State {
+    std::array<std::uint64_t, 4> gen{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const noexcept {
+    return State{gen_.state(), cached_normal_, has_cached_normal_};
+  }
+  void set_state(const State& state) noexcept {
+    gen_.set_state(state.gen);
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
 
  private:
   Xoshiro256 gen_;

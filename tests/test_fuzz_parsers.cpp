@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "bound/dual_ascent.hpp"
 #include "core/pd_omflp.hpp"
 #include "core/stream_runner.hpp"
+#include "instance/checkpoint_io.hpp"
+#include "instance/event_stream.hpp"
 #include "instance/io.hpp"
 #include "instance/stream_io.hpp"
 #include "instance/tracelog_io.hpp"
@@ -295,6 +298,179 @@ TEST(FuzzParsers, HugeDeclaredCountsAreRejectedNotAllocated) {
             ParseOutcome::kRejected);
   EXPECT_EQ(feed_instance_reader(with_count(instance, "requests", "-5")),
             ParseOutcome::kRejected);
+}
+
+// --------------------------------------------------------- OMFLP-CKPT ---
+
+/// The stream behind the checkpoint corpus; the restore path needs a
+/// fresh source of the same stream.
+const EventStream& checkpoint_stream() {
+  static const EventStream stream = default_stream_scenario_registry().make(
+      "churn-uniform", /*seed=*/6,
+      {{"events", 192}, {"points", 16}, {"commodities", 4}});
+  return stream;
+}
+
+StreamRunOptions checkpoint_options() {
+  StreamRunOptions options;
+  options.batch_size = 64;
+  return options;
+}
+
+/// A real OMFLP-CKPT payload: a PD session snapshotted mid-stream,
+/// exactly as the serving engine checkpoints tenants.
+std::string valid_checkpoint() {
+  PdOmflp pd;
+  MaterializedEventSource source(checkpoint_stream());
+  StreamSession session(pd, source, checkpoint_options());
+  (void)session.step_batch();
+  (void)session.step_batch();
+  std::ostringstream os;
+  CkptWriter writer(os);
+  session.checkpoint(writer);
+  writer.finish();
+  return os.str();
+}
+
+/// Both consumers of a checkpoint payload: the non-throwing structural
+/// validator recovery trusts, and the full CkptReader restore path (a
+/// fresh PD session rebuilt from the bytes). A mutant is accepted only
+/// if both accept it; neither may crash or allocate from hostile counts
+/// (the sanitizer job turns either into a failure).
+ParseOutcome feed_checkpoint_readers(const std::string& text) {
+  ParseOutcome outcome = ParseOutcome::kAccepted;
+  {
+    std::istringstream is(text);
+    if (!checkpoint_payload_valid(is)) outcome = ParseOutcome::kRejected;
+  }
+  try {
+    PdOmflp pd;
+    MaterializedEventSource source(checkpoint_stream());
+    std::istringstream is(text);
+    CkptReader reader(is);
+    StreamSession session(pd, source, checkpoint_options(), reader);
+    reader.finish();
+  } catch (const std::exception&) {
+    outcome = ParseOutcome::kRejected;
+  }
+  return outcome;
+}
+
+/// FNV-1a 64, matching the writer's checksum; lets mutations re-seal a
+/// tampered payload so they reach the parse paths *behind* the checksum.
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Replace the trailing checksum line with a freshly computed one.
+std::string resealed(const std::string& text) {
+  std::vector<std::string> lines = split_lines(text);
+  if (lines.empty()) return text;
+  lines.pop_back();  // the checksum line
+  std::string body = join_lines(lines);
+  std::ostringstream os;
+  os << body << "checksum " << std::hex;
+  os.fill('0');
+  os.width(16);
+  os << fnv1a64(body) << "\n";
+  return os.str();
+}
+
+TEST(FuzzParsers, CheckpointMutationsNeverCrash) {
+  run_corpus(valid_checkpoint(), feed_checkpoint_readers);
+}
+
+TEST(FuzzParsers, CheckpointChecksumAndVersionTamperingIsRejected) {
+  const std::string base = valid_checkpoint();
+  ASSERT_EQ(feed_checkpoint_readers(base), ParseOutcome::kAccepted);
+  // Sanity for resealed(): recomputing the checksum of an untampered
+  // body reproduces an accepted payload (pins the test's own FNV).
+  ASSERT_EQ(resealed(base), base);
+
+  std::vector<std::string> lines = split_lines(base);
+  ASSERT_GE(lines.size(), 3u);
+
+  // Version bump: an OMFLP-CKPT 2 file is from the future, not ours.
+  {
+    std::vector<std::string> t = lines;
+    t[0] = "OMFLP-CKPT 2";
+    EXPECT_EQ(feed_checkpoint_readers(resealed(join_lines(t))),
+              ParseOutcome::kRejected);
+  }
+  // Flipped checksum digit: the classic bit-rot signature.
+  {
+    std::vector<std::string> t = lines;
+    std::string& check = t.back();
+    check.back() = check.back() == '0' ? '1' : '0';
+    EXPECT_EQ(feed_checkpoint_readers(join_lines(t)),
+              ParseOutcome::kRejected);
+  }
+  // Missing checksum line entirely: a torn write.
+  {
+    std::vector<std::string> t(lines.begin(), lines.end() - 1);
+    EXPECT_EQ(feed_checkpoint_readers(join_lines(t)),
+              ParseOutcome::kRejected);
+  }
+  // Content tampering behind a *valid* checksum: swap two interior
+  // lines and re-seal — structural validation passes, the typed reader
+  // must still reject on the key sequence.
+  {
+    std::vector<std::string> t = lines;
+    std::swap(t[1], t[2]);
+    const std::string mutant = resealed(join_lines(t));
+    std::istringstream is(mutant);
+    EXPECT_TRUE(checkpoint_payload_valid(is));
+    EXPECT_EQ(feed_checkpoint_readers(mutant), ParseOutcome::kRejected);
+  }
+}
+
+TEST(FuzzParsers, CheckpointHugeCountsAreRejectedNotAllocated) {
+  const std::string base = valid_checkpoint();
+  const std::vector<std::string> lines = split_lines(base);
+
+  // The count-bearing header lines of a PD session snapshot: each
+  // declares how many record lines follow. (Per-record lines carry
+  // unconstrained ids and values; a huge *id* is legal, a huge *count*
+  // must fail against the lines actually present.)
+  const std::set<std::string> count_keys = {
+      "active", "larges",       "expiries",      "dual-records",
+      "past",   "bid-rows",     "offering-index", "ledger",
+      "seen",   "verifier-active"};
+
+  // Re-seal each tampered payload so the hostile count is reached with
+  // a passing checksum: the declared count must then fail at parse
+  // ("unexpected end of input" / key mismatch), never be trusted for
+  // allocation (capped_reserve bounds the first reservation; growth is
+  // paid per input line).
+  std::size_t tampered = 0;
+  for (const char* huge :
+       {"18446744073709551615", "1099511627776",
+        "99999999999999999999999"}) {
+    for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+      const std::size_t space = lines[i].find(' ');
+      if (space == std::string::npos) continue;
+      if (count_keys.count(lines[i].substr(0, space)) == 0) continue;
+      const std::size_t digit =
+          lines[i].find_first_of("0123456789", space);
+      if (digit == std::string::npos) continue;
+      std::size_t end = digit;
+      while (end < lines[i].size() &&
+             std::isdigit(static_cast<unsigned char>(lines[i][end])))
+        ++end;
+      std::vector<std::string> t = lines;
+      t[i] = lines[i].substr(0, digit) + huge + lines[i].substr(end);
+      EXPECT_EQ(feed_checkpoint_readers(resealed(join_lines(t))),
+                ParseOutcome::kRejected)
+          << "line " << i << " [" << lines[i] << "] count -> " << huge;
+      ++tampered;
+    }
+  }
+  EXPECT_GT(tampered, 10u) << "corpus barely exercised the count paths";
 }
 
 }  // namespace

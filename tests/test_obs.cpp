@@ -235,6 +235,84 @@ TEST(TraceLog, TamperedLogsAreRejected) {
   }
 }
 
+TEST(TraceLog, RecoverPrefixSalvagesTornAndCorruptLogs) {
+  const std::vector<TraceEvent> events = traced_churn_events();
+  ASSERT_GE(events.size(), 8u);
+  const std::string text = tracelog_to_string(events);
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);) lines.push_back(line);
+  }
+  const auto joined = [](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const std::string& l : ls) out += l + "\n";
+    return out;
+  };
+  const auto recover = [](const std::string& t) {
+    std::istringstream is(t);
+    TraceLogReader reader(is, TraceLogReadMode::kRecoverPrefix);
+    std::vector<TraceEvent> out;
+    TraceEvent ev;
+    while (reader.next(ev)) out.push_back(ev);
+    return std::pair<std::vector<TraceEvent>, bool>{std::move(out),
+                                                    reader.truncated()};
+  };
+
+  // An intact log reads fully with truncated() == false.
+  {
+    const auto [prefix, truncated] = recover(text);
+    EXPECT_EQ(prefix.size(), events.size());
+    EXPECT_FALSE(truncated);
+  }
+  // Torn tail (crash mid-write): the end line and the last events are
+  // gone. Strict throws; recover yields exactly the surviving prefix.
+  {
+    std::vector<std::string> t(lines.begin(), lines.end() - 4);
+    EXPECT_THROW(tracelog_from_string(joined(t)), std::invalid_argument);
+    const auto [prefix, truncated] = recover(joined(t));
+    EXPECT_EQ(prefix.size(), events.size() - 3);
+    EXPECT_TRUE(truncated);
+    // The salvaged prefix re-serializes byte-identically to the
+    // corresponding prefix of the clean log.
+    EXPECT_EQ(tracelog_to_string(prefix),
+              tracelog_to_string(std::vector<TraceEvent>(
+                  events.begin(), events.end() - 3)));
+  }
+  // Half an event line at the tail — the classic torn write.
+  {
+    std::string t = joined({lines.begin(), lines.end() - 1});
+    t += lines.back().substr(0, lines.back().size() / 2);
+    const auto [prefix, truncated] = recover(t);
+    EXPECT_EQ(prefix.size(), events.size());
+    EXPECT_TRUE(truncated);  // end line never validated
+  }
+  // Corruption in the middle: recover stops just before the damage.
+  {
+    std::vector<std::string> t = lines;
+    t[5] = t[5].substr(0, t[5].size() / 2);
+    const auto [prefix, truncated] = recover(joined(t));
+    EXPECT_EQ(prefix.size(), 4u);
+    EXPECT_TRUE(truncated);
+  }
+  // A seq gap is damage too, even with a well-formed end line.
+  {
+    std::vector<std::string> t = lines;
+    t.erase(t.begin() + 4);
+    const auto [prefix, truncated] = recover(joined(t));
+    EXPECT_EQ(prefix.size(), 3u);
+    EXPECT_TRUE(truncated);
+  }
+  // The header stays strict: a file that is not a tracelog at all has no
+  // prefix to recover.
+  {
+    std::istringstream is("not a tracelog\n");
+    EXPECT_THROW(TraceLogReader(is, TraceLogReadMode::kRecoverPrefix),
+                 std::invalid_argument);
+  }
+}
+
 // ---------------------------------------------------------- determinism ---
 
 TEST(TraceDeterminism, StreamTraceIndependentOfThreadCount) {

@@ -57,12 +57,15 @@
 #include "obs/trace_sink.hpp"
 #include "perf/bench_compare.hpp"
 #include "perf/bench_suite.hpp"
+#include "recover/checkpoint_store.hpp"
+#include "recover/fault_plan.hpp"
 #include "scenario/algorithm_registry.hpp"
 #include "scenario/registry_util.hpp"
 #include "scenario/scenario_registry.hpp"
 #include "scenario/stream_registry.hpp"
 #include "scenario/sweep.hpp"
 #include "solution/verifier.hpp"
+#include "support/atomic_file.hpp"
 #include "support/parse.hpp"
 #include "support/table.hpp"
 
@@ -172,11 +175,23 @@ int usage(std::ostream& os, int exit_code) {
         "(default: 1)\n"
         "    --trace-out FILE          write the merged decision trace "
         "(tenant-order, deterministic)\n"
+        "    --checkpoint-dir DIR      restore from / publish OMFLP-CKPT "
+        "generations in DIR\n"
+        "    --checkpoint-every N      rounds between checkpoint "
+        "generations (default: 0 = restore only)\n"
+        "    --fault-plan SPEC         deterministic crash injection, e.g. "
+        "crashes=2,seed=7,gap=8,torn=1\n"
+        "    --placement \"0,1,...\"     explicit tenant->shard placement "
+        "(migration; default round-robin)\n"
+        "    --report-out FILE         write the deterministic per-tenant "
+        "report (atomic)\n"
         "  explain TRACELOG          replay a decision trace and render "
         "the causal chain\n"
         "    --facility N              why did facility N open (bids, "
         "tightness, rollbacks)\n"
         "    --request N               every event involving request N\n"
+        "    --recover                 accept a torn/corrupt tracelog and "
+        "use its valid prefix\n"
         "  bench                     run the perf suite, write BENCH json\n"
         "    --out FILE                default: BENCH_<suite>.json\n"
         "    --quick                   fewer warmup/timed trials (CI "
@@ -331,10 +346,9 @@ int cmd_run(const std::vector<std::string>& args) {
   const Instance instance =
       default_scenario_registry().make(scenario, seed, overrides);
   if (!save_path.empty()) {
-    std::ofstream file(save_path);
-    if (!file)
-      throw std::runtime_error("cannot open " + save_path + " for writing");
-    write_instance(file, instance);
+    AtomicFileWriter file(save_path);
+    write_instance(file.stream(), instance);
+    file.commit();
     std::cout << "saved      " << save_path << "\n";
   }
   report_run(instance, algorithm, seed);
@@ -484,23 +498,22 @@ StreamRunResult run_stream_observed(OnlineAlgorithm& algorithm,
   if (trace_out.empty() && latency_csv.empty())
     return run_stream(algorithm, source, options);
 
-  std::ofstream trace_file;
+  // Both taps stream into staging files and are published atomically on
+  // success; a crash or exception mid-run abandons the temp files and
+  // leaves any previous artifact intact.
+  std::optional<AtomicFileWriter> trace_file;
   std::optional<TraceLogWriter> writer;
   std::optional<TraceScope> scope;
   if (!trace_out.empty()) {
-    trace_file.open(trace_out);
-    if (!trace_file)
-      throw std::runtime_error("cannot open " + trace_out + " for writing");
-    writer.emplace(trace_file);
+    trace_file.emplace(trace_out);
+    writer.emplace(trace_file->stream());
     scope.emplace(*writer);
   }
-  std::ofstream latency_file;
+  std::optional<AtomicFileWriter> latency_file;
   if (!latency_csv.empty()) {
-    latency_file.open(latency_csv);
-    if (!latency_file)
-      throw std::runtime_error("cannot open " + latency_csv +
-                               " for writing");
-    latency_file << "batch,events,total_events,batch_ns,events_per_sec\n";
+    latency_file.emplace(latency_csv);
+    latency_file->stream()
+        << "batch,events,total_events,batch_ns,events_per_sec\n";
   }
 
   StreamSession session(algorithm, source, options);
@@ -515,13 +528,14 @@ StreamRunResult run_stream_observed(OnlineAlgorithm& algorithm,
             std::chrono::steady_clock::now() - start)
             .count());
     total_events += processed;
-    if (latency_file.is_open())
-      latency_file << batch_index << ',' << processed << ','
-                   << total_events << ',' << batch_ns << ','
-                   << (batch_ns > 0.0
-                           ? static_cast<double>(processed) * 1e9 / batch_ns
-                           : 0.0)
-                   << '\n';
+    if (latency_file)
+      latency_file->stream()
+          << batch_index << ',' << processed << ',' << total_events << ','
+          << batch_ns << ','
+          << (batch_ns > 0.0
+                  ? static_cast<double>(processed) * 1e9 / batch_ns
+                  : 0.0)
+          << '\n';
     ++batch_index;
   }
   // Uninstall before finish()/reporting so later analysis passes (opt
@@ -529,12 +543,15 @@ StreamRunResult run_stream_observed(OnlineAlgorithm& algorithm,
   scope.reset();
   if (writer) {
     writer->finish();
+    trace_file->commit();
     std::cout << "trace      " << writer->events_written() << " events -> "
               << trace_out << "\n";
   }
-  if (latency_file.is_open())
+  if (latency_file) {
+    latency_file->commit();
     std::cout << "latency    " << batch_index << " batch samples -> "
               << latency_csv << "\n";
+  }
   return session.finish();
 }
 
@@ -603,10 +620,9 @@ int cmd_stream(const std::vector<std::string>& args) {
   const EventStream stream =
       default_stream_scenario_registry().make(scenario, seed, overrides);
   if (!save_path.empty()) {
-    std::ofstream file(save_path);
-    if (!file)
-      throw std::runtime_error("cannot open " + save_path + " for writing");
-    write_event_stream(file, stream);
+    AtomicFileWriter file(save_path);
+    write_event_stream(file.stream(), stream);
+    file.commit();
     std::cout << "saved      " << save_path << "\n";
   }
   MaterializedEventSource source(stream);
@@ -618,12 +634,49 @@ int cmd_stream(const std::vector<std::string>& args) {
 
 // ----------------------------------------------------------------- serve ---
 
+// Collects the engine's merged decision trace in memory so the fault
+// harness can truncate it to the last checkpoint's trace_seq after an
+// injected crash — the replay tail then re-emits exactly the dropped
+// suffix, and the final log is bitwise identical to a crash-free run.
+struct VecTraceSink final : TraceSink {
+  std::vector<TraceEvent> events;
+  void on_event(const TraceEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+// The deterministic per-tenant block: costs, events and facility counts
+// are pure functions of the tenant specs — independent of shards,
+// threads, crash/restore cycles and placement. CI diffs it across shard
+// and thread counts and across fault-injected runs.
+std::string tenant_report(const EngineResult& result, bool verify) {
+  TableWriter table({"tenant", "scenario", "events", "gross cost",
+                     "active cost", "facilities", "verified"});
+  table.set_precision(17);
+  for (const TenantResult& tenant : result.tenants) {
+    table.begin_row()
+        .add(tenant.name)
+        .add(tenant.scenario)
+        .add(static_cast<long long>(tenant.run.events))
+        .add(tenant.run.ledger.total_cost())
+        .add(tenant.run.ledger.active_cost())
+        .add(static_cast<long long>(tenant.run.ledger.num_facilities()))
+        .add(!verify ? "off" : (tenant.run.violation ? "FAIL" : "ok"));
+  }
+  std::ostringstream os;
+  table.write_markdown(os);
+  return os.str();
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   std::size_t tenants = 8;
   std::string mix = "mixed";
   std::string algorithm = "pd";
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_spec;
+  std::string placement_spec;
+  std::string report_out;
   std::uint64_t sample_every = 1;
   std::uint64_t seed = 1;
   double scale = 1.0;
@@ -650,7 +703,35 @@ int cmd_serve(const std::vector<std::string>& args) {
     else if (args[i] == "--sample-every")
       sample_every = parse_u64_arg(take_value(args, i), "--sample-every");
     else if (args[i] == "--trace-out") trace_out = take_value(args, i);
+    else if (args[i] == "--checkpoint-dir")
+      options.checkpoint_dir = take_value(args, i);
+    else if (args[i] == "--checkpoint-every")
+      options.checkpoint_every =
+          parse_u64_arg(take_value(args, i), "--checkpoint-every");
+    else if (args[i] == "--fault-plan") fault_spec = take_value(args, i);
+    else if (args[i] == "--placement") placement_spec = take_value(args, i);
+    else if (args[i] == "--report-out") report_out = take_value(args, i);
     else throw std::invalid_argument("serve: unknown option " + args[i]);
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_dir.empty())
+    throw std::invalid_argument(
+        "serve: --checkpoint-every requires --checkpoint-dir");
+  if (!placement_spec.empty()) {
+    std::istringstream fields(placement_spec);
+    std::string field;
+    while (std::getline(fields, field, ','))
+      options.placement.push_back(
+          parse_u64_arg(field, "--placement"));
+  }
+  std::optional<FaultPlan> fault_plan;
+  if (!fault_spec.empty()) {
+    if (options.checkpoint_dir.empty() || options.checkpoint_every == 0)
+      throw std::invalid_argument(
+          "serve: --fault-plan requires --checkpoint-dir and "
+          "--checkpoint-every (a crash without checkpoints only loses "
+          "work)");
+    fault_plan = FaultPlan::parse(fault_spec);
+    options.fault_plan = &*fault_plan;
   }
 
   std::vector<TenantSpec> specs =
@@ -658,45 +739,92 @@ int cmd_serve(const std::vector<std::string>& args) {
   for (TenantSpec& spec : specs) spec.algorithm = algorithm;
 
   // Observability taps, wired into EngineOptions before construction.
-  std::ofstream metrics_file;
+  // The metrics stream stays open across injected crashes (the telemetry
+  // of a restart *should* show the replayed rounds); it is published
+  // atomically at the end.
+  std::optional<AtomicFileWriter> metrics_file;
   std::optional<MetricsSampler> sampler;
   if (!metrics_out.empty()) {
-    metrics_file.open(metrics_out);
-    if (!metrics_file)
-      throw std::runtime_error("cannot open " + metrics_out +
-                               " for writing");
+    metrics_file.emplace(metrics_out);
     const bool jsonl =
         metrics_out.size() >= 5 &&
         (metrics_out.rfind(".jsonl") == metrics_out.size() - 6 ||
          metrics_out.rfind(".json") == metrics_out.size() - 5);
-    sampler.emplace(metrics_file,
+    sampler.emplace(metrics_file->stream(),
                     jsonl ? MetricsSampler::Format::kJsonl
                           : MetricsSampler::Format::kCsv,
                     sample_every);
     options.sampler = &*sampler;
   }
-  std::ofstream trace_file;
+  // Decision trace: streamed straight to the (atomically published) file
+  // in normal runs. Under fault injection it is buffered in memory
+  // instead, because every crash has to rewind the log to the last
+  // checkpoint's trace_seq before the replay tail re-appends it.
+  std::optional<AtomicFileWriter> trace_file;
   std::optional<TraceLogWriter> trace_writer;
+  std::optional<VecTraceSink> trace_vec;
   if (!trace_out.empty()) {
-    trace_file.open(trace_out);
-    if (!trace_file)
-      throw std::runtime_error("cannot open " + trace_out + " for writing");
-    trace_writer.emplace(trace_file);
-    options.trace_sink = &*trace_writer;
+    if (fault_plan) {
+      trace_vec.emplace();
+      options.trace_sink = &*trace_vec;
+    } else {
+      trace_file.emplace(trace_out);
+      trace_writer.emplace(trace_file->stream());
+      options.trace_sink = &*trace_writer;
+    }
   }
 
-  const ShardedEngine engine(std::move(specs), options);
-  const EngineResult result = engine.run();
+  // The serve loop: under a fault plan, every injected crash tears down
+  // the engine (sessions, ledgers, algorithms — everything), corrupts
+  // the newest checkpoint generation per the plan, and the next
+  // iteration rebuilds from the newest *valid* one, exactly like a fresh
+  // process would.
+  std::optional<ShardedEngine> engine;
+  EngineResult result;
+  std::uint64_t restarts = 0;
+  for (;;) {
+    try {
+      engine.emplace(specs, options);
+      result = engine->run();
+      break;
+    } catch (const EngineCrash& crash) {
+      engine.reset();
+      ++restarts;
+      std::uint64_t resume_round = 0;
+      std::uint64_t keep_trace = 0;
+      CheckpointStore store(options.checkpoint_dir);
+      if (const auto manifest = store.latest_valid()) {
+        resume_round = manifest->round;
+        keep_trace = manifest->trace_seq;
+      }
+      if (trace_vec && trace_vec->events.size() > keep_trace)
+        trace_vec->events.resize(keep_trace);
+      std::cout << "crash      injected after round " << crash.round
+                << "; restarting from round " << resume_round << "\n";
+    }
+  }
 
-  if (trace_writer) {
+  if (trace_vec) {
+    trace_file.emplace(trace_out);
+    TraceLogWriter writer(trace_file->stream());
+    for (const TraceEvent& event : trace_vec->events)
+      writer.on_event(event);
+    writer.finish();
+    trace_file->commit();
+    std::cout << "trace      " << writer.events_written() << " events -> "
+              << trace_out << "\n";
+  } else if (trace_writer) {
     trace_writer->finish();
+    trace_file->commit();
     std::cout << "trace      " << trace_writer->events_written()
               << " events -> " << trace_out << "\n";
   }
-  if (sampler)
+  if (sampler) {
+    metrics_file->commit();
     std::cout << "metrics    per-shard telemetry (every " << sample_every
               << " round" << (sample_every == 1 ? "" : "s") << ") -> "
               << metrics_out << "\n";
+  }
 
   std::cout.precision(17);
   std::cout << "engine     mix=" << mix << " tenants="
@@ -709,6 +837,13 @@ int cmd_serve(const std::vector<std::string>& args) {
             << "throughput " << result.events_per_sec()
             << " events/s aggregate (" << result.wall_ns / 1e6
             << " ms wall)\n";
+  if (result.restored_from_round > 0 || result.checkpoints_published > 0 ||
+      restarts > 0)
+    std::cout << "recovery   restored from round "
+              << result.restored_from_round << ", "
+              << result.checkpoints_published
+              << " checkpoint generations published, " << restarts
+              << " injected crash" << (restarts == 1 ? "" : "es") << "\n";
   const LatencySnapshot& latency = result.batch_latency;
   std::cout << "latency    batch p50 " << latency.p50_ns / 1e6
             << " ms, p95 " << latency.p95_ns / 1e6 << " ms, p99 "
@@ -718,24 +853,12 @@ int cmd_serve(const std::vector<std::string>& args) {
             << "aggregate  gross " << result.aggregate_gross_cost
             << " active " << result.aggregate_active_cost << "\n";
 
-  // The per-tenant block is bitwise deterministic (costs, events,
-  // facility counts are pure functions of the tenant specs — independent
-  // of shards/threads); CI diffs it across shard and thread counts.
-  TableWriter table({"tenant", "scenario", "events", "gross cost",
-                     "active cost", "facilities", "verified"});
-  table.set_precision(17);
-  for (const TenantResult& tenant : result.tenants) {
-    table.begin_row()
-        .add(tenant.name)
-        .add(tenant.scenario)
-        .add(static_cast<long long>(tenant.run.events))
-        .add(tenant.run.ledger.total_cost())
-        .add(tenant.run.ledger.active_cost())
-        .add(static_cast<long long>(tenant.run.ledger.num_facilities()))
-        .add(!options.verify ? "off"
-                             : (tenant.run.violation ? "FAIL" : "ok"));
+  const std::string report = tenant_report(result, options.verify);
+  std::cout << report;
+  if (!report_out.empty()) {
+    write_file_atomic(report_out, report);
+    std::cout << "report     " << report_out << "\n";
   }
-  table.write_markdown(std::cout);
 
   if (const TenantResult* violation = result.first_violation())
     throw std::logic_error("invalid serve run: tenant '" + violation->name +
@@ -756,9 +879,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     run_options.verify = options.verify;
     std::vector<EventStream> streams;
     std::vector<std::unique_ptr<OnlineAlgorithm>> algorithms;
-    streams.reserve(engine.tenants().size());
-    algorithms.reserve(engine.tenants().size());
-    for (const TenantSpec& spec : engine.tenants()) {
+    streams.reserve(engine->tenants().size());
+    algorithms.reserve(engine->tenants().size());
+    for (const TenantSpec& spec : engine->tenants()) {
       streams.push_back(default_stream_scenario_registry().make(
           spec.scenario, spec.seed, spec.overrides));
       algorithms.push_back(default_algorithm_registry().make(
@@ -798,6 +921,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_explain(const std::vector<std::string>& args) {
   std::string path;
   ExplainOptions options;
+  TraceLogReadMode mode = TraceLogReadMode::kStrict;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--facility")
       options.facility = static_cast<FacilityId>(
@@ -805,6 +929,8 @@ int cmd_explain(const std::vector<std::string>& args) {
     else if (args[i] == "--request")
       options.request = static_cast<RequestId>(
           parse_u64_arg(take_value(args, i), "--request"));
+    else if (args[i] == "--recover")
+      mode = TraceLogReadMode::kRecoverPrefix;
     else if (!args[i].empty() && args[i][0] != '-' && path.empty())
       path = args[i];
     else throw std::invalid_argument("explain: unknown option " + args[i]);
@@ -817,7 +943,13 @@ int cmd_explain(const std::vector<std::string>& args) {
 
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot open " + path);
-  const std::vector<TraceEvent> events = read_tracelog(file);
+  TraceLogReader reader(file, mode);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (reader.next(event)) events.push_back(std::move(event));
+  if (reader.truncated())
+    std::cout << "recovered  " << reader.events_read()
+              << "-event valid prefix of a torn tracelog\n";
   std::cout << explain_trace(events, options);
   return 0;
 }
@@ -858,20 +990,18 @@ int cmd_sweep(const std::vector<std::string>& args) {
   if (csv_path.empty()) {
     result.write_csv(std::cout);
   } else {
-    std::ofstream file(csv_path);
-    if (!file)
-      throw std::runtime_error("cannot open " + csv_path + " for writing");
-    result.write_csv(file);
+    AtomicFileWriter file(csv_path);
+    result.write_csv(file.stream());
+    file.commit();
     std::cout << "wrote " << result.cells().size() << " cells ("
               << result.scenarios().size() << " scenarios x "
               << result.algorithms().size() << " algorithms, "
               << result.seeds() << " seeds each) to " << csv_path << "\n";
   }
   if (!json_path.empty()) {
-    std::ofstream file(json_path);
-    if (!file)
-      throw std::runtime_error("cannot open " + json_path + " for writing");
-    result.write_json(file);
+    AtomicFileWriter file(json_path);
+    result.write_json(file.stream());
+    file.commit();
     std::cout << "wrote JSON to " << json_path << "\n";
   }
   return 0;
@@ -1001,11 +1131,9 @@ int cmd_bound(const std::vector<std::string>& args) {
       if (!outcome.certificate)
         throw std::invalid_argument("bound: method '" + method +
                                     "' produced no certificate to save");
-      std::ofstream file(save_cert_path);
-      if (!file)
-        throw std::runtime_error("cannot open " + save_cert_path +
-                                 " for writing");
-      write_certificate(file, *outcome.certificate);
+      AtomicFileWriter file(save_cert_path);
+      write_certificate(file.stream(), *outcome.certificate);
+      file.commit();
       std::cout << "saved      " << save_cert_path << "\n";
     }
     double cost = 0.0;
@@ -1133,10 +1261,9 @@ int cmd_bench(const std::vector<std::string>& args) {
   report.write_table(std::cout);
 
   if (out_path.empty()) out_path = default_bench_filename(suite.name());
-  std::ofstream file(out_path);
-  if (!file)
-    throw std::runtime_error("cannot open " + out_path + " for writing");
-  report.write_json(file);
+  AtomicFileWriter file(out_path);
+  report.write_json(file.stream());
+  file.commit();
   std::cout << "\nwrote " << report.cases.size() << " cases (git "
             << report.git_sha << ", " << report.build_type << ") to "
             << out_path << "\n";
