@@ -254,6 +254,7 @@ std::string CkptReader::bytes() {
   if (token.empty() || token[0] != 'x' || token.size() % 2 != 1)
     fail("bad byte string '" + token + "'");
   std::string out;
+  // omflp-lint: allow(raw-reserve) sized by bytes actually present in the token
   out.reserve((token.size() - 1) / 2);
   for (std::size_t i = 1; i + 1 < token.size(); i += 2) {
     const int hi = hex_value(token[i]);

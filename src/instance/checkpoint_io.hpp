@@ -39,15 +39,10 @@
 #include <vector>
 
 #include "support/commodity_set.hpp"
+#include "support/parse.hpp"  // capped_reserve — every reader's bounded
+                              // first reservation for declared counts
 
 namespace omflp {
-
-/// Bounded first reservation for a count declared by the file: trust it
-/// only up to a fixed cap; growth beyond the cap is paid for by actual
-/// input lines.
-inline std::size_t capped_reserve(std::uint64_t declared) noexcept {
-  return static_cast<std::size_t>(declared < 4096 ? declared : 4096);
-}
 
 /// Streaming OMFLP-CKPT v1 writer. The header is written on
 /// construction; line(key) starts a record, the typed appenders add

@@ -8,6 +8,7 @@
 
 #include "instance/io_detail.hpp"
 #include "support/assert.hpp"
+#include "support/parse.hpp"
 
 namespace omflp {
 
@@ -72,7 +73,7 @@ Instance read_instance(std::istream& is) {
   std::vector<Request> requests;
   // Capped reserve: an absurd declared count (fuzzed/corrupt traces)
   // must fail at "bad request line", not in the allocator.
-  requests.reserve(std::min<std::size_t>(n, std::size_t{1} << 20));
+  requests.reserve(capped_reserve(n, std::size_t{1} << 20));
   for (std::size_t i = 0; i < n; ++i) {
     std::istringstream row(reader.next("request"));
     PointId location = 0;

@@ -10,6 +10,7 @@
 #include "cost/cost_models.hpp"
 #include "metric/matrix_metric.hpp"
 #include "support/commodity_set.hpp"
+#include "support/parse.hpp"
 
 namespace omflp::iodetail {
 
@@ -68,11 +69,11 @@ MetricPtr read_metric_matrix(LineReader& reader) {
   // proportional to the bytes actually present in the input.
   constexpr std::size_t kReserveCap = std::size_t{1} << 12;
   std::vector<std::vector<double>> matrix;
-  matrix.reserve(std::min(points, kReserveCap));
+  matrix.reserve(capped_reserve(points, kReserveCap));
   for (std::size_t a = 0; a < points; ++a) {
     std::istringstream row(reader.next("metric row"));
     std::vector<double> values;
-    values.reserve(std::min(points, kReserveCap));
+    values.reserve(capped_reserve(points, kReserveCap));
     for (std::size_t b = 0; b < points; ++b) {
       double value = 0.0;
       if (!(row >> value)) reader.fail("short metric row");
@@ -130,7 +131,7 @@ CostModelPtr read_cost_model(LineReader& reader, CommodityId s) {
   const std::size_t universe = static_cast<std::size_t>(s);
   if (cost_kind == "sizeonly") {
     std::vector<double> table;
-    table.reserve(std::min(universe + 1, kReserveCap));
+    table.reserve(capped_reserve(universe + 1, kReserveCap));
     for (std::size_t k = 0; k <= universe; ++k) {
       double value = 0.0;
       if (!(cost_line >> value)) reader.fail("short sizeonly cost table");
@@ -141,7 +142,7 @@ CostModelPtr read_cost_model(LineReader& reader, CommodityId s) {
   }
   if (cost_kind == "linear") {
     std::vector<double> weights;
-    weights.reserve(std::min(universe, kReserveCap));
+    weights.reserve(capped_reserve(universe, kReserveCap));
     for (std::size_t e = 0; e < universe; ++e) {
       double weight = 0.0;
       if (!(cost_line >> weight)) reader.fail("short linear weights");

@@ -170,8 +170,7 @@ EventStream read_event_stream(std::istream& is) {
   std::vector<StreamEvent> events;
   // Capped reserve: a syntactically-valid but absurd declared count must
   // fail at "unexpected end of input", not in the allocator.
-  events.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(header.num_events, 1u << 20)));
+  events.reserve(capped_reserve(header.num_events, std::size_t{1} << 20));
   const std::size_t points = header.metric->num_points();
   for (std::uint64_t i = 0; i < header.num_events; ++i)
     events.push_back(read_event(reader, header.commodities, points));

@@ -71,6 +71,7 @@ class BidPlane {
   std::size_t active_rows_ = 0;
   std::size_t slot_capacity_ = 0;
   /// row id -> arena slot, kInactive when not yet activated.
+  // omflp-lint: allow(kernel-purity) arena bookkeeping, grown only in grow() (setup)
   std::vector<std::uint32_t> slot_of_row_;
   /// Raw storage, over-allocated so arena_ can be 64-byte aligned.
   std::unique_ptr<double[]> storage_;

@@ -165,6 +165,7 @@ std::size_t argmin_over_row(const double* row, std::size_t n) {
   if (!use_parallel(n)) return span_argmin(0, n).index;
 
   const std::size_t chunks = num_chunks(n);
+  // omflp-lint: allow(kernel-purity) per-chunk partials, amortized over >=2^20 elements
   std::vector<SpanMin> partial(chunks);
   parallel_for(chunks, [&](std::size_t c) {
     const std::size_t begin = c * kChunk;
@@ -199,6 +200,7 @@ std::size_t argmin_over_row_where(const double* row,
   if (!use_parallel(n)) return span_argmin(0, n);
 
   const std::size_t chunks = num_chunks(n);
+  // omflp-lint: allow(kernel-purity) per-chunk partials, amortized over >=2^20 elements
   std::vector<std::size_t> partial(chunks);
   parallel_for(chunks, [&](std::size_t c) {
     const std::size_t begin = c * kChunk;
@@ -239,6 +241,7 @@ RowEvent min_tightness_over_row(const double* dist_row,
   }
 
   const std::size_t chunks = num_chunks(n);
+  // omflp-lint: allow(kernel-purity) per-chunk partials, amortized over >=2^20 elements
   std::vector<RowEvent> partial(chunks);
   parallel_for(chunks, [&](std::size_t c) {
     const std::size_t begin = c * kChunk;

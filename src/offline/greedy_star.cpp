@@ -33,6 +33,9 @@ std::vector<Candidate> build_candidates(const Instance& instance,
 
   const CommodityId s = instance.num_commodities();
   const CommoditySet demanded = instance.demanded_union();
+  // Determinism audit (omflp-lint nondet-iteration): both unordered
+  // containers in this function are dedup sets only — their contents are
+  // copied into vectors and sorted before any order-dependent use.
   std::unordered_set<CommoditySet, CommoditySetHash> configs;
   demanded.for_each([&](CommodityId e) {
     configs.insert(CommoditySet::singleton(s, e));

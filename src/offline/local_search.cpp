@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "support/assert.hpp"
@@ -130,8 +130,10 @@ class SearchState {
 
 std::vector<PlacedFacility> initial_solution(const Instance& instance) {
   // One facility per distinct request location holding the union of
-  // demands seen there — feasible and a natural starting point.
-  std::unordered_map<PointId, CommoditySet> unions;
+  // demands seen there — feasible and a natural starting point. A
+  // std::map keeps the accumulation pass itself in sorted point order
+  // (the facility list seeds the deterministic search).
+  std::map<PointId, CommoditySet> unions;
   for (const Request& r : instance.requests()) {
     auto [it, inserted] = unions.emplace(r.location, r.commodities);
     if (!inserted) it->second |= r.commodities;
@@ -140,10 +142,6 @@ std::vector<PlacedFacility> initial_solution(const Instance& instance) {
   facilities.reserve(unions.size());
   for (const auto& [point, config] : unions)
     facilities.push_back(PlacedFacility{point, config});
-  std::sort(facilities.begin(), facilities.end(),
-            [](const PlacedFacility& a, const PlacedFacility& b) {
-              return a.point < b.point;
-            });
   return facilities;
 }
 

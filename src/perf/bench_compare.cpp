@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/parse.hpp"
 #include "support/table.hpp"
 
 namespace omflp {
@@ -216,14 +217,23 @@ class JsonParser {
 
   JsonValue parse_number() {
     skip_whitespace();
-    const char* begin = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double number = std::strtod(begin, &end);
-    if (end == begin) fail("expected a value");
-    pos_ += static_cast<std::size_t>(end - begin);
+    // Scan the maximal JSON-number-shaped token, then hand it to the
+    // strict parser: hex floats, "inf"/"nan" and silent ERANGE overflow
+    // (all of which a raw strtod prefix scan would accept) are rejected
+    // with a position instead of smuggled into the comparison.
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E'))
+      ++end;
+    const auto number = parse_double_strict(
+        std::string_view(text_).substr(pos_, end - pos_));
+    if (!number) fail("expected a value");
+    pos_ = end;
     JsonValue value;
     value.kind = JsonValue::Kind::kNumber;
-    value.number = number;
+    value.number = *number;
     return value;
   }
 

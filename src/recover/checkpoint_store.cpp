@@ -22,7 +22,12 @@ namespace {
 constexpr const char* kManifestStem = "MANIFEST.g";
 
 std::string generation_suffix(std::uint64_t generation) {
-  return "g" + std::to_string(generation) + ".ckpt";
+  // Built by append, not operator+ chains: GCC 12's -Wrestrict trips a
+  // false positive on char*-plus-temporary-string concatenation.
+  std::string suffix = "g";
+  suffix += std::to_string(generation);
+  suffix += ".ckpt";
+  return suffix;
 }
 
 /// Serializes a manifest in the same OMFLP-CKPT container as the tenant
@@ -83,9 +88,11 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
 
 std::string CheckpointStore::tenant_path(std::size_t tenant_index,
                                          std::uint64_t generation) const {
-  return (fs::path(dir_) / ("t" + std::to_string(tenant_index) + "." +
-                            generation_suffix(generation)))
-      .string();
+  std::string name = "t";
+  name += std::to_string(tenant_index);
+  name += '.';
+  name += generation_suffix(generation);
+  return (fs::path(dir_) / name).string();
 }
 
 std::string CheckpointStore::manifest_path(std::uint64_t generation) const {
@@ -150,7 +157,8 @@ void CheckpointStore::prune(const std::vector<std::uint64_t>& generations,
     fs::remove(manifest_path(g), ec);
     for (const auto& entry : fs::directory_iterator(dir_, ec)) {
       const std::string name = entry.path().filename().string();
-      const std::string suffix = "." + generation_suffix(g);
+      std::string suffix = ".";
+      suffix += generation_suffix(g);
       if (name.size() > suffix.size() && name.front() == 't' &&
           name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
               0)

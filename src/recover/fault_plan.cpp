@@ -31,6 +31,7 @@ std::string read_file(const std::string& path) {
 void write_file_raw(const std::string& path, const std::string& content) {
   // Deliberately NOT atomic: fault injection simulates the damage a real
   // crash leaves behind, so it writes in place.
+  // omflp-lint: allow(raw-artifact-write) fault injection simulates torn writes
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out << content;
 }

@@ -108,6 +108,10 @@ class StreamVerifier {
   double gross_connection_ = 0.0;
   double retired_connection_ = 0.0;
   /// Recomputed connection cost of each still-active request.
+  /// Determinism audit (omflp-lint nondet-iteration): never iterated
+  /// unordered — finish() only compares size(), serialize() copies into
+  /// a vector and sorts by request id before writing (canonical
+  /// checkpoint form). Keep it that way.
   std::unordered_map<RequestId, double> active_costs_;
   std::optional<VerificationError> error_;
 };

@@ -40,6 +40,7 @@ std::optional<double> parse_double_strict(std::string_view text) noexcept {
   const std::string buffer(text);  // strtod needs NUL termination
   errno = 0;
   char* end = nullptr;
+  // omflp-lint: allow(raw-parse) the sanctioned call: this IS the strict wrapper
   const double value = std::strtod(buffer.c_str(), &end);
   if (end != buffer.c_str() + buffer.size() || end == buffer.c_str())
     return std::nullopt;

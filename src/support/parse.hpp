@@ -17,12 +17,28 @@
 //     (a malformed environment variable must never crash startup).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 
 namespace omflp {
+
+/// Bounded first reservation for a count declared by untrusted input
+/// (trace headers, checkpoint manifests, CLI-supplied files): trust the
+/// declared count only up to `cap`; growth beyond the cap is paid for by
+/// input actually present. Every parse-path `.reserve()` must route its
+/// declared count through this helper — a tampered "count 10^18" costs
+/// its text length, never an allocation (enforced by omflp-lint's
+/// raw-reserve rule; two real heap overflows rode in on trusted counts,
+/// see tests/test_fuzz_parsers.cpp).
+inline std::size_t capped_reserve(std::uint64_t declared,
+                                  std::size_t cap = 4096) noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(declared, static_cast<std::uint64_t>(cap)));
+}
 
 /// Non-negative integer: an optional leading '+', then decimal digits
 /// only. Rejects empty text, any other character (including leading

@@ -1,0 +1,100 @@
+// omflp-lint CLI.
+//
+//   omflp-lint [--json] [--list-rules] <file-or-dir>...
+//
+// Directories are scanned recursively for .cpp/.hpp/.h/.cc (build trees
+// and dot-directories skipped). Exit status: 0 when every finding is
+// suppressed, 1 when any unsuppressed finding remains, 2 on usage or IO
+// errors — so CI can gate on it directly.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using omflp::lint::Diagnostic;
+using omflp::lint::Linter;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+void collect(const fs::path& root, std::vector<std::string>* files) {
+  if (fs::is_regular_file(root)) {
+    files->push_back(root.generic_string());
+    return;
+  }
+  if (!fs::is_directory(root))
+    throw std::runtime_error("omflp-lint: no such file or directory: " +
+                             root.string());
+  for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
+    const std::string name = it->path().filename().string();
+    if (it->is_directory() &&
+        (name == "build" || (!name.empty() && name[0] == '.'))) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path()))
+      files->push_back(it->path().generic_string());
+  }
+}
+
+int usage() {
+  std::cerr << "usage: omflp-lint [--json] [--list-rules] <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    else if (arg == "--list-rules") list_rules = true;
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "omflp-lint: unknown option " << arg << "\n";
+      return usage();
+    } else roots.push_back(arg);
+  }
+
+  Linter linter;
+  if (list_rules) {
+    for (const auto& rule : linter.rules())
+      std::cout << rule.name << " — " << rule.summary << "\n";
+    return 0;
+  }
+  if (roots.empty()) return usage();
+
+  try {
+    std::vector<std::string> files;
+    for (const auto& root : roots) collect(root, &files);
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Diagnostic> diags;
+    for (const auto& file : files) {
+      auto found = linter.lint_file(file);
+      diags.insert(diags.end(), found.begin(), found.end());
+    }
+    if (json) {
+      std::cout << omflp::lint::to_json(diags);
+    } else {
+      std::cout << omflp::lint::to_text(diags);
+      std::cout << files.size() << " files scanned\n";
+    }
+    return omflp::lint::has_unsuppressed(diags) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,332 @@
+// The built-in rule set. Every rule encodes a contract this repo has
+// already paid for violating (or nearly violating) — see the rule
+// summaries and README "Static analysis" for the history.
+#include <cctype>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace omflp::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Word-boundary search: `token` at `pos` with non-identifier (or line
+// edge) neighbours. Returns npos when absent.
+std::size_t find_token(const std::string& line, std::string_view token,
+                       std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+bool contains_token(const std::string& text, std::string_view token) {
+  return find_token(text, token) != std::string::npos;
+}
+
+// True when `text` mentions any identifier containing `fragment`
+// (case-insensitive), e.g. fragment "seed" matches `spec.seed`,
+// `workload_seed`, `Seed`.
+bool mentions_fragment(const std::string& text, std::string_view fragment) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return lower.find(fragment) != std::string::npos;
+}
+
+void report(std::vector<Diagnostic>& out, std::string rule,
+            const SourceFile& file, std::size_t line, std::string message) {
+  out.push_back(Diagnostic{std::move(rule), file.path(), line,
+                           std::move(message), false});
+}
+
+bool rule_applies_outside_tests(const SourceFile& file) {
+  return !path_in_dir(file.path(), "tests");
+}
+
+// ----------------------------------------------------------- raw-reserve ---
+// PR 5's fuzz corpus found two real heap overflows that rode in on
+// counts a parser trusted (CommoditySet word count and the sizeonly cost
+// table, both wrapped in uint32). The discipline since: a parse path may
+// only reserve what capped_reserve() grants — growth beyond the cap is
+// paid for by input actually present.
+void check_raw_reserve(const SourceFile& file, std::vector<Diagnostic>& out) {
+  if (!is_parse_path(file.path()) || path_in_dir(file.path(), "tests"))
+    return;
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    const std::string& line = file.code_line(l);
+    for (std::string_view call : {".reserve(", ".resize("}) {
+      std::size_t pos = 0;
+      while ((pos = line.find(call, pos)) != std::string::npos) {
+        const std::size_t open = pos + call.size() - 1;
+        const std::string args = file.call_arguments(l, open);
+        if (!contains_token(args, "capped_reserve"))
+          report(out, "raw-reserve", file, l,
+                 std::string(call.substr(1, call.size() - 2)) +
+                     "() on a parse path must route the declared count "
+                     "through capped_reserve() — hostile counts fail at "
+                     "parse, never in the allocator");
+        pos = open + 1;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ nondet-iteration ---
+// unordered_map/unordered_set iteration order is unspecified and varies
+// across libstdc++ versions, seeds and loads. Any range-for over one
+// that reaches output, traces, checkpoints or merged totals breaks the
+// bitwise determinism contract (tests/test_engine.cpp). Iterate a
+// sorted copy, or use std::map/std::set.
+void check_nondet_iteration(const SourceFile& file,
+                            std::vector<Diagnostic>& out) {
+  if (!rule_applies_outside_tests(file)) return;
+  // Pass 1: names declared with an unordered container type (same-line
+  // declarations; covers locals and trailing-underscore members).
+  std::set<std::string> unordered_names;
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    const std::string& line = file.code_line(l);
+    for (std::string_view type : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = find_token(line, type);
+      if (pos == std::string::npos) continue;
+      std::size_t i = pos + type.size();
+      if (i >= line.size() || line[i] != '<') continue;
+      int depth = 0;
+      for (; i < line.size(); ++i) {
+        if (line[i] == '<') ++depth;
+        else if (line[i] == '>') {
+          --depth;
+          if (depth == 0) { ++i; break; }
+        }
+      }
+      while (i < line.size() &&
+             (std::isspace(static_cast<unsigned char>(line[i])) ||
+              line[i] == '&' || line[i] == '*'))
+        ++i;
+      std::string name;
+      while (i < line.size() && is_ident_char(line[i]))
+        name.push_back(line[i++]);
+      if (!name.empty()) unordered_names.insert(name);
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Pass 2: range-for statements whose range expression is exactly one
+  // of those names (optionally this->name).
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    const std::string& line = file.code_line(l);
+    std::size_t pos = 0;
+    while ((pos = find_token(line, "for", pos)) != std::string::npos) {
+      std::size_t open = line.find('(', pos + 3);
+      pos += 3;
+      if (open == std::string::npos) continue;
+      const std::string head = file.call_arguments(l, open, 8);
+      // Top-level ':' (ignoring '::') splits declaration from range.
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      for (std::size_t i = 0; i < head.size(); ++i) {
+        const char c = head[i];
+        if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+        else if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+        else if (c == ':' && depth == 0) {
+          if ((i + 1 < head.size() && head[i + 1] == ':') ||
+              (i > 0 && head[i - 1] == ':')) continue;
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      std::string range = head.substr(colon + 1);
+      // Trim whitespace and an optional this-> prefix.
+      const auto first = range.find_first_not_of(" \t");
+      const auto last = range.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      range = range.substr(first, last - first + 1);
+      if (range.rfind("this->", 0) == 0) range = range.substr(6);
+      if (unordered_names.count(range))
+        report(out, "nondet-iteration", file, l,
+               "range-for over unordered container '" + range +
+                   "' — iteration order is unspecified; iterate a sorted "
+                   "copy or use std::map/std::set where the order can "
+                   "reach output, traces or merged totals (determinism "
+                   "contract)");
+    }
+  }
+}
+
+// -------------------------------------------------------------- raw-parse ---
+// strtoull silently wraps negative text ("-5" becomes 2^64−5 — the old
+// `--trials -5` bug), atoi has undefined behavior on overflow, and all
+// of them accept trailing garbage without an end-pointer check. Every
+// numeric field must go through parse_u64_strict / parse_double_strict
+// (support/parse.hpp).
+void check_raw_parse(const SourceFile& file, std::vector<Diagnostic>& out) {
+  if (!rule_applies_outside_tests(file)) return;
+  static const char* kRawParsers[] = {
+      "strtod", "strtof",  "strtold", "strtol",  "strtoll", "strtoul",
+      "strtoull", "atoi",  "atol",    "atoll",   "atof",    "stoi",
+      "stol",   "stoll",   "stoul",   "stoull",  "stod",    "stof",
+      "sscanf", "scanf"};
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    const std::string& line = file.code_line(l);
+    for (const char* fn : kRawParsers) {
+      std::size_t pos = 0;
+      while ((pos = find_token(line, fn, pos)) != std::string::npos) {
+        const std::size_t after = pos + std::string_view(fn).size();
+        std::size_t open = after;
+        while (open < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[open])))
+          ++open;
+        if (open < line.size() && line[open] == '(')
+          report(out, "raw-parse", file, l,
+                 std::string("raw numeric parsing via ") + fn +
+                     "() — use parse_u64_strict/parse_double_strict "
+                     "(support/parse.hpp): the raw functions wrap signs, "
+                     "accept trailing garbage and hide overflow in errno");
+        pos = after;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- raw-artifact-write ---
+// Artifacts (traces, reports, checkpoints, CSV/JSON) must appear
+// atomically: write_file_atomic/AtomicFileWriter stage to a temp file
+// and rename, so a crash mid-write leaves either the old artifact or
+// none — never a torn file a reader half-parses (PR 8 contract; the
+// checkpoint store's recovery correctness depends on it).
+void check_raw_artifact_write(const SourceFile& file,
+                              std::vector<Diagnostic>& out) {
+  if (!rule_applies_outside_tests(file)) return;
+  const std::string& p = file.path();
+  if (p.find("atomic_file") != std::string::npos) return;  // implementation
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    if (contains_token(file.code_line(l), "ofstream"))
+      report(out, "raw-artifact-write", file, l,
+             "direct std::ofstream — route artifact writes through "
+             "write_file_atomic/AtomicFileWriter (support/atomic_file.hpp) "
+             "so a crash mid-write never leaves a torn file");
+  }
+}
+
+// ---------------------------------------------------------- kernel-purity ---
+// src/kernel/ is the auto-vectorized hot-loop layer: no perf hooks (the
+// caller bulk-ticks counters per row — per-element ticks broke
+// vectorization and BENCH counter identity), no allocation (a resize
+// inside a sweep serializes every thread on the heap lock). Setup-time
+// allocations that are deliberate carry a suppression naming why.
+void check_kernel_purity(const SourceFile& file,
+                         std::vector<Diagnostic>& out) {
+  if (!path_in_dir(file.path(), "kernel")) return;
+  static const char* kImpure[] = {
+      "OMFLP_PERF_TICK", "OMFLP_PERF_ADD", "malloc",       "calloc",
+      "realloc",         "push_back",      "emplace_back", "make_unique",
+      "make_shared",     "new"};
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    const std::string& line = file.code_line(l);
+    for (const char* token : kImpure) {
+      if (contains_token(line, token))
+        report(out, "kernel-purity", file, l,
+               std::string("'") + token +
+                   "' in src/kernel/ — hot-loop kernels must stay pure: "
+                   "callers own the perf counters (one bulk add per row) "
+                   "and allocations belong to setup code, not sweeps");
+    }
+    for (std::string_view call : {".reserve(", ".resize("}) {
+      if (line.find(call) != std::string::npos)
+        report(out, "kernel-purity", file, l,
+               std::string(call.substr(1, call.size() - 2)) +
+                   "() in src/kernel/ — hot-loop kernels must not "
+                   "allocate; growth belongs to setup code");
+    }
+    // Container declarations allocate too (vector<T> partial(n)); the
+    // include line itself is exempt.
+    if (line.find('#') == std::string::npos) {
+      const std::size_t vec = find_token(line, "vector");
+      if (vec != std::string::npos && vec + 6 < line.size() &&
+          line[vec + 6] == '<')
+        report(out, "kernel-purity", file, l,
+               "vector construction in src/kernel/ — hot-loop kernels "
+               "must not allocate; per-chunk scratch belongs to the "
+               "parallel orchestration layer and needs a justification");
+    }
+  }
+}
+
+// ----------------------------------------------------------- seed-hygiene ---
+// Workload seeds drive instance generation; algorithm coin flips must
+// come from derive_algorithm_seed(workload_seed) or the two RNG streams
+// correlate (a RAND run could systematically see "lucky" workloads —
+// the PR 1 review bug). The check: an algorithm-registry make() whose
+// arguments mention a seed must mention derive_algorithm_seed too.
+void check_seed_hygiene(const SourceFile& file,
+                        std::vector<Diagnostic>& out) {
+  if (!rule_applies_outside_tests(file)) return;
+  for (std::size_t l = 1; l <= file.num_lines(); ++l) {
+    const std::string& line = file.code_line(l);
+    std::size_t pos = 0;
+    while ((pos = line.find(".make(", pos)) != std::string::npos) {
+      // Receiver heuristic: the ~48 chars before ".make(" must mention
+      // "algorithm" (default_algorithm_registry(), algorithms, ...) —
+      // scenario registries correctly take the raw workload seed.
+      const std::size_t begin = pos > 48 ? pos - 48 : 0;
+      const std::string receiver = line.substr(begin, pos - begin);
+      if (mentions_fragment(receiver, "algorithm")) {
+        const std::string args = file.call_arguments(l, pos + 5);
+        if (mentions_fragment(args, "seed") &&
+            !contains_token(args, "derive_algorithm_seed"))
+          report(out, "seed-hygiene", file, l,
+                 "algorithm constructed from a raw workload seed — wrap "
+                 "it in derive_algorithm_seed() so workload and "
+                 "coin-flip RNG streams stay decorrelated "
+                 "(scenario/registry_util.hpp)");
+      }
+      pos += 6;
+    }
+  }
+}
+
+}  // namespace
+
+void register_builtin_rules(Linter& linter) {
+  linter.register_rule(
+      {"raw-reserve",
+       "reserve/resize on a parse path not routed through capped_reserve()"},
+      check_raw_reserve);
+  linter.register_rule(
+      {"nondet-iteration",
+       "range-for over unordered_map/unordered_set (determinism contract)"},
+      check_nondet_iteration);
+  linter.register_rule(
+      {"raw-parse",
+       "strtod/atoi/stoi-style parsing instead of the strict parsers"},
+      check_raw_parse);
+  linter.register_rule(
+      {"raw-artifact-write",
+       "std::ofstream bypassing write_file_atomic/AtomicFileWriter"},
+      check_raw_artifact_write);
+  linter.register_rule(
+      {"kernel-purity",
+       "counter ticks or allocation inside src/kernel/ hot loops"},
+      check_kernel_purity);
+  linter.register_rule(
+      {"seed-hygiene",
+       "algorithm RNG seeded from a workload seed without "
+       "derive_algorithm_seed()"},
+      check_seed_hygiene);
+}
+
+}  // namespace omflp::lint

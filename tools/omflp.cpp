@@ -15,16 +15,16 @@
 //   omflp run --scenario clustered --algorithm pd --seed 3 --set clusters=8
 //   omflp run --scenario theorem2 --save trace.omflp
 //   omflp replay trace.omflp --algorithm rand --seed 7
-//   omflp sweep --scenarios all --algorithms pd,rand --seeds 8 \
-//               --csv sweep.csv --json sweep.json
+//   omflp sweep --scenarios all --algorithms pd,rand --seeds 8
+//               ... --csv sweep.csv --json sweep.json
 //   omflp stream --scenario churn-uniform --algorithm pd --save churn.omflp
 //   omflp stream --trace churn.omflp --algorithm greedy --batch 4096
 //   omflp serve --tenants 16 --mix mixed --algorithm pd --seq-baseline
 //   omflp bound --scenario theorem2 --algorithm pd --assert-paper-bound
 //   omflp bound --stream churn-uniform --window 4096 --algorithm pd
 //   omflp bench --quick --out BENCH_default.json
-//   omflp compare benchmarks/BENCH_baseline.json BENCH_default.json \
-//               --threshold 1.15
+//   omflp compare benchmarks/BENCH_baseline.json BENCH_default.json
+//               ... --threshold 1.15
 //
 // Every run is a deterministic function of (scenario, parameters, seed):
 // `replay` on a trace saved by `run --save` reproduces the same total
