@@ -21,8 +21,10 @@ void OnlineAlgorithm::serialize_state(CkptWriter& writer) const {
 void OnlineAlgorithm::restore_state(CkptReader& reader) { (void)reader; }
 
 SolutionLedger run_online(OnlineAlgorithm& algorithm, const Instance& instance,
-                          ConnectionChargePolicy policy) {
-  SolutionLedger ledger(instance.metric_ptr(), instance.cost_ptr(), policy);
+                          ConnectionChargePolicy policy,
+                          OverflowPolicy overflow) {
+  SolutionLedger ledger(instance.metric_ptr(), instance.cost_ptr(), policy,
+                        instance.capacities(), overflow);
   ProblemContext context{instance.metric_ptr(), instance.cost_ptr()};
   algorithm.reset(context);
   for (const Request& request : instance.requests()) {

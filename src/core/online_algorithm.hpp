@@ -68,9 +68,13 @@ class OnlineAlgorithm {
 };
 
 /// Replay the instance through the algorithm; returns the priced ledger.
+/// A capacitated instance (Instance::capacities()) gets a capacity-aware
+/// ledger with `overflow` deciding what happens at a full facility.
 SolutionLedger run_online(OnlineAlgorithm& algorithm,
                           const Instance& instance,
                           ConnectionChargePolicy policy =
-                              ConnectionChargePolicy::kPerFacility);
+                              ConnectionChargePolicy::kPerFacility,
+                          OverflowPolicy overflow =
+                              OverflowPolicy::kReassign);
 
 }  // namespace omflp

@@ -48,6 +48,13 @@ std::uint64_t now_ns() {
 
 namespace {
 
+/// An explicit option override beats the source's own capacities; both
+/// null keeps the run uncapacitated.
+CapacityMap session_capacities(EventSource& source,
+                               const StreamRunOptions& options) {
+  return options.capacities ? options.capacities : source.capacities();
+}
+
 /// Validates the source before the ledger is constructed from it, so an
 /// incomplete source fails with the stream-level message (not the
 /// ledger's null-pointer one).
@@ -57,7 +64,9 @@ SolutionLedger make_session_ledger(EventSource& source,
                                         "positive");
   OMFLP_REQUIRE(source.metric() != nullptr && source.cost() != nullptr,
                 "run_stream: incomplete event source");
-  return SolutionLedger(source.metric(), source.cost(), options.policy);
+  return SolutionLedger(source.metric(), source.cost(), options.policy,
+                        session_capacities(source, options),
+                        options.overflow);
 }
 
 }  // namespace
@@ -70,7 +79,8 @@ StreamSession::StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
       result_(make_session_ledger(source, options)) {
   algorithm_.reset(ProblemContext{source_.metric(), source_.cost()});
   if (options_.verify)
-    verifier_.emplace(source_.metric(), source_.cost());
+    verifier_.emplace(source_.metric(), source_.cost(), 1e-6,
+                      session_capacities(source_, options_));
   batch_.reserve(options_.batch_size);
 }
 
@@ -100,6 +110,8 @@ StreamSession::StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
     reader.fail("checkpoint verify flag differs from the session options");
   if (reader.tok() != policy_tag(options_.policy))
     reader.fail("checkpoint connection-charge policy mismatch");
+  if (reader.tok() != overflow_policy_tag(options_.overflow))
+    reader.fail("checkpoint overflow policy mismatch");
   reader.expect("session-stats");
   result_.arrivals = reader.u();
   result_.departures = reader.u();
@@ -141,7 +153,8 @@ StreamSession::StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
   }
 
   if (options_.verify) {
-    verifier_.emplace(source_.metric(), source_.cost());
+    verifier_.emplace(source_.metric(), source_.cost(), 1e-6,
+                      session_capacities(source_, options_));
     verifier_->restore(reader);
   }
   result_.ledger.restore(reader);
@@ -166,7 +179,8 @@ void StreamSession::checkpoint(CkptWriter& writer) const {
       .u(clock_)
       .b(exhausted_)
       .b(options_.verify)
-      .tok(policy_tag(options_.policy));
+      .tok(policy_tag(options_.policy))
+      .tok(overflow_policy_tag(options_.overflow));
   writer.line("session-stats")
       .u(result_.arrivals)
       .u(result_.departures)

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/online_algorithm.hpp"
+#include "instance/capacity.hpp"
 #include "instance/event_stream.hpp"
 #include "solution/verifier.hpp"
 #include "support/assert.hpp"
@@ -55,6 +56,12 @@ struct StreamRunOptions {
   /// Shadow the run with an incremental StreamVerifier; the first
   /// violation is reported in StreamRunResult::violation.
   bool verify = false;
+  /// Per-point facility capacities for the session's ledger (and the
+  /// shadow verifier). Null falls back to the source's own capacities
+  /// (EventSource::capacities()); both null keeps the run uncapacitated.
+  CapacityMap capacities;
+  /// What the ledger does with an assignment to a full facility.
+  OverflowPolicy overflow = OverflowPolicy::kReassign;
 };
 
 struct StreamRunResult {
@@ -103,8 +110,9 @@ class StreamSession {
   /// and seed) — it is reset() and handed its serialized state — and the
   /// source a fresh source of the *same* stream, which is fast-forwarded
   /// to the snapshot's clock. options must match the snapshot (verify
-  /// flag and policy are guarded). The restored session continues
-  /// bitwise identically to one that never stopped.
+  /// flag, connection-charge policy and overflow policy are guarded).
+  /// The restored session continues bitwise identically to one that
+  /// never stopped.
   StreamSession(OnlineAlgorithm& algorithm, EventSource& source,
                 const StreamRunOptions& options, CkptReader& reader);
 

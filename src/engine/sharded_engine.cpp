@@ -77,6 +77,7 @@ EngineResult ShardedEngine::run() const {
   run_options.batch_size = options_.batch_size;
   run_options.compact = options_.compact;
   run_options.verify = options_.verify;
+  run_options.overflow = options_.overflow;
 
   // Per-tenant state, heap-pinned so the session's borrowed references
   // stay valid. Sessions reset their algorithms at construction; the
@@ -139,12 +140,19 @@ EngineResult ShardedEngine::run() const {
   for (std::size_t i = 0; i < num_tenants; ++i) {
     auto algorithm = algorithms.make(specs_[i].algorithm,
                                      derive_algorithm_seed(specs_[i].seed));
+    // A uniform engine-level capacity is sized to each tenant's own
+    // metric (tenants need not share one) and overrides the scenario's.
+    StreamRunOptions tenant_options = run_options;
+    if (options_.capacity > 0)
+      tenant_options.capacities =
+          std::make_shared<const std::vector<std::uint64_t>>(
+              streams_[i].metric().num_points(), options_.capacity);
     states.push_back(
         restored ? std::make_unique<TenantState>(
-                       streams_[i], std::move(algorithm), run_options,
+                       streams_[i], std::move(algorithm), tenant_options,
                        store->tenant_path(i, restored->generation))
                  : std::make_unique<TenantState>(
-                       streams_[i], std::move(algorithm), run_options));
+                       streams_[i], std::move(algorithm), tenant_options));
   }
 
   // Shard placement: round-robin by default (with Zipf-skewed mixes
@@ -335,6 +343,9 @@ EngineResult ShardedEngine::run() const {
     result.total_events += tenant.run.events;
     result.aggregate_gross_cost += tenant.run.ledger.total_cost();
     result.aggregate_active_cost += tenant.run.ledger.active_cost();
+    result.aggregate_shed_requests += tenant.run.ledger.num_shed_requests();
+    result.aggregate_spilled_assignments +=
+        tenant.run.ledger.num_spilled_assignments();
     result.tenants.push_back(std::move(tenant));
   }
   return result;

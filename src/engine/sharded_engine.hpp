@@ -67,6 +67,14 @@ struct EngineOptions {
   /// Compact retired ledger prefixes after each batch.
   bool compact = true;
   ConnectionChargePolicy policy = ConnectionChargePolicy::kPerFacility;
+  /// Uniform per-point facility capacity applied to every tenant; 0 =
+  /// off, keeping whatever capacities each tenant's scenario attached to
+  /// its stream (if any). Nonzero builds a per-tenant map assigning this
+  /// capacity to every point of the tenant's metric, overriding the
+  /// scenario's.
+  std::uint64_t capacity = 0;
+  /// What a capacitated tenant's ledger does at a full facility.
+  OverflowPolicy overflow = OverflowPolicy::kReassign;
   /// Live telemetry (borrowed, may be null): ticked on the calling
   /// thread after every round with cumulative per-shard stats. When
   /// installed the engine keeps per-shard latency histograms, gauge
@@ -123,6 +131,13 @@ struct EngineResult {
   /// Sum over tenants, in tenant order (bitwise deterministic).
   double aggregate_gross_cost = 0.0;
   double aggregate_active_cost = 0.0;
+  /// Admission-control aggregates, summed in tenant order like the
+  /// costs: requests shed (>= 1 rejected commodity) and assignments
+  /// spilled to a non-nearest facility by capacity. Zero on
+  /// uncapacitated runs. Per-tenant figures live on each
+  /// TenantResult's ledger (num_shed_requests / num_spilled_assignments).
+  std::uint64_t aggregate_shed_requests = 0;
+  std::uint64_t aggregate_spilled_assignments = 0;
   /// Per-shard work counters merged in shard order; all-zero unless the
   /// calling thread had a PerfCounters sink installed at run() entry or
   /// a MetricsSampler was attached (the sampler needs the deltas).

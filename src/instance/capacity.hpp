@@ -1,0 +1,66 @@
+// Per-facility capacity for the capacitated serving path.
+//
+// Capacities are keyed by the *point* of the metric space a facility is
+// opened at: a facility inherits the capacity of its location, and
+// occupancy counts the distinct active requests connected to it. The
+// default everywhere is kUncapacitated (infinite), and every layer is
+// written so that a null / all-infinite capacity map takes exactly the
+// uncapacitated code path — bitwise identical ledgers, traces and
+// counters.
+//
+// The map is shared immutably (instances, streams, sessions and
+// verifiers may all hold the same vector), hence shared_ptr<const>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace omflp {
+
+/// Sentinel: no capacity limit at this point.
+inline constexpr std::uint64_t kUncapacitated = ~std::uint64_t{0};
+
+/// Capacity per point of the metric space, indexed by PointId. A null
+/// map, or a point beyond the vector's size, means uncapacitated.
+using CapacityMap = std::shared_ptr<const std::vector<std::uint64_t>>;
+
+/// Capacity at `point` under `map` (kUncapacitated when absent).
+inline std::uint64_t capacity_at(const CapacityMap& map,
+                                 PointId point) noexcept {
+  if (!map || point >= map->size()) return kUncapacitated;
+  return (*map)[point];
+}
+
+/// True when the map constrains at least one point.
+inline bool is_capacitated(const CapacityMap& map) noexcept {
+  if (!map) return false;
+  for (std::uint64_t c : *map)
+    if (c != kUncapacitated) return true;
+  return false;
+}
+
+/// What to do when an assignment would push a facility past capacity.
+enum class OverflowPolicy {
+  /// Reassign the commodity to the nearest feasible facility that
+  /// offers it (opening a fresh singleton facility at the request's
+  /// location as a last resort); reject only if nothing is feasible.
+  kReassign,
+  /// Reject the commodity outright: it joins the request's
+  /// rejected_requests ledger lane and pays no connection cost.
+  kReject,
+};
+
+inline const char* overflow_policy_tag(OverflowPolicy policy) noexcept {
+  switch (policy) {
+    case OverflowPolicy::kReassign:
+      return "reassign";
+    case OverflowPolicy::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+}  // namespace omflp

@@ -112,8 +112,18 @@ Instance EventStream::surviving_instance() const {
     if (keep[arrival]) requests.push_back(e.request);
     ++arrival;
   }
-  return Instance(metric_, cost_, std::move(requests),
-                  name_ + "-surviving");
+  Instance instance(metric_, cost_, std::move(requests),
+                    name_ + "-surviving");
+  instance.set_capacities(capacities_);
+  return instance;
+}
+
+void EventStream::set_capacities(CapacityMap capacities) {
+  if (capacities) {
+    OMFLP_REQUIRE(capacities->size() <= metric_->num_points(),
+                  "EventStream: capacity map larger than the metric space");
+  }
+  capacities_ = std::move(capacities);
 }
 
 std::size_t MaterializedEventSource::next_batch(

@@ -108,8 +108,13 @@ class EventStream {
 
   /// The surviving set as a static Instance (same metric and cost model,
   /// requests in arrival order) — the input OPT is estimated on when
-  /// measuring dynamic competitive ratios.
+  /// measuring dynamic competitive ratios. Carries the stream's
+  /// capacities.
   Instance surviving_instance() const;
+
+  /// Per-point facility capacities (null = uncapacitated everywhere).
+  void set_capacities(CapacityMap capacities);
+  const CapacityMap& capacities() const noexcept { return capacities_; }
 
  private:
   MetricPtr metric_;
@@ -117,6 +122,7 @@ class EventStream {
   std::vector<StreamEvent> events_;
   std::size_t num_arrivals_ = 0;
   std::string name_;
+  CapacityMap capacities_;
 };
 
 /// Batched event supply for the stream runner: materialized streams and
@@ -130,6 +136,10 @@ class EventSource {
   virtual MetricPtr metric() const = 0;
   virtual CostModelPtr cost() const = 0;
   virtual const std::string& name() const = 0;
+
+  /// Per-point facility capacities carried by the stream, if any. The
+  /// default is null (uncapacitated) so existing sources are unchanged.
+  virtual CapacityMap capacities() const { return nullptr; }
 
   /// Appends up to `max_events` further events to `out` (which the
   /// caller clears); returns the number appended — 0 means the stream is
@@ -156,6 +166,7 @@ class MaterializedEventSource final : public EventSource {
   MetricPtr metric() const override { return stream_->metric_ptr(); }
   CostModelPtr cost() const override { return stream_->cost_ptr(); }
   const std::string& name() const override { return stream_->name(); }
+  CapacityMap capacities() const override { return stream_->capacities(); }
   std::size_t next_batch(std::vector<StreamEvent>& out,
                          std::size_t max_events) override;
   void skip_events(std::uint64_t n) override;

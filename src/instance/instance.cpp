@@ -18,6 +18,14 @@ const Request& Instance::request(RequestId i) const {
   return requests_[i];
 }
 
+void Instance::set_capacities(CapacityMap capacities) {
+  if (capacities) {
+    OMFLP_REQUIRE(capacities->size() <= metric_->num_points(),
+                  "Instance: capacity map larger than the metric space");
+  }
+  capacities_ = std::move(capacities);
+}
+
 CommoditySet Instance::demanded_union() const {
   CommoditySet u(num_commodities());
   for (const Request& r : requests_) u |= r.commodities;

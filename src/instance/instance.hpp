@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "instance/capacity.hpp"
 #include "metric/metric_space.hpp"
 #include "support/commodity_set.hpp"
 
@@ -56,6 +57,11 @@ class Instance {
     return opt_;
   }
 
+  /// Per-point facility capacities (null = uncapacitated everywhere).
+  /// Throws if the map names points outside the metric space.
+  void set_capacities(CapacityMap capacities);
+  const CapacityMap& capacities() const noexcept { return capacities_; }
+
   /// Union of all demanded commodity sets (the commodities OPT must cover
   /// at least once somewhere).
   CommoditySet demanded_union() const;
@@ -70,6 +76,7 @@ class Instance {
   std::vector<Request> requests_;
   std::string name_;
   std::optional<OptCertificate> opt_;
+  CapacityMap capacities_;
 };
 
 }  // namespace omflp

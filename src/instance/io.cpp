@@ -28,6 +28,8 @@ void write_instance(std::ostream& os, const Instance& instance) {
   iodetail::write_metric_matrix(os, instance.metric());
   iodetail::write_cost_model(os, instance.cost(), s, "write_instance");
 
+  iodetail::write_capacities(os, instance.capacities());
+
   os << "requests " << instance.num_requests() << '\n';
   for (const Request& r : instance.requests()) {
     os << r.location << ' ' << r.commodities.count();
@@ -66,7 +68,13 @@ Instance read_instance(std::istream& is) {
   MetricPtr metric = iodetail::read_metric_matrix(reader);
   CostModelPtr cost = iodetail::read_cost_model(reader, s);
 
-  std::istringstream requests_line(reader.next("requests"));
+  // Optional capacity section sits between the cost model and the
+  // request block; branch on the already-read line (no pushback).
+  std::string section = reader.next("requests");
+  CapacityMap capacities =
+      iodetail::maybe_read_capacities(reader, section, metric->num_points());
+
+  std::istringstream requests_line(section);
   std::size_t n = 0;
   if (!(requests_line >> word >> n) || word != "requests")
     reader.fail("expected 'requests <n>'");
@@ -92,6 +100,7 @@ Instance read_instance(std::istream& is) {
 
   Instance instance(std::move(metric), std::move(cost), std::move(requests),
                     std::move(name));
+  instance.set_capacities(std::move(capacities));
 
   // Optional trailing opt certificate.
   if (const auto line = reader.try_next()) {

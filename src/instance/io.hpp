@@ -9,6 +9,8 @@
 //   <|M| rows of |M| distances>
 //   cost sizeonly <g(0)> <g(1)> ... <g(|S|)>      (or)
 //   cost linear <w_0> ... <w_{|S|-1}>
+//   capacities <k>                                (optional section)
+//   <point> <cap>                                 (k lines, ascending)
 //   requests <n>
 //   <location> <k> <e_1> ... <e_k>                (n lines)
 //   opt <upper_bound> <exact:0|1> <note...>       (optional)

@@ -153,4 +153,53 @@ CostModelPtr read_cost_model(LineReader& reader, CommodityId s) {
   reader.fail("unknown cost kind '" + cost_kind + "'");
 }
 
+void write_capacities(std::ostream& os, const CapacityMap& capacities) {
+  if (!is_capacitated(capacities)) return;
+  const std::vector<std::uint64_t>& caps = *capacities;
+  std::size_t finite = 0;
+  for (std::uint64_t c : caps)
+    if (c != kUncapacitated) ++finite;
+  os << "capacities " << finite << '\n';
+  for (std::size_t p = 0; p < caps.size(); ++p)
+    if (caps[p] != kUncapacitated) os << p << ' ' << caps[p] << '\n';
+}
+
+CapacityMap maybe_read_capacities(LineReader& reader, std::string& line,
+                                  std::size_t num_points) {
+  std::istringstream header(line);
+  std::string word, count_text;
+  if (!(header >> word) || word != "capacities") return nullptr;
+  std::string trailing;
+  if (!(header >> count_text) || (header >> trailing))
+    reader.fail("expected 'capacities <k>'");
+  const auto k = parse_u64_strict(count_text);
+  if (!k || *k > num_points) reader.fail("bad capacity count");
+  // num_points is bounded by metric rows actually present in the input,
+  // so sizing the map by it is not an untrusted-count allocation.
+  auto caps = std::make_shared<std::vector<std::uint64_t>>(
+      num_points, kUncapacitated);
+  bool first = true;
+  PointId previous = 0;
+  for (std::uint64_t i = 0; i < *k; ++i) {
+    std::istringstream row(reader.next("capacity row"));
+    std::string point_text, cap_text;
+    if (!(row >> point_text >> cap_text) || (row >> trailing))
+      reader.fail("bad capacity row, expected '<point> <cap>'");
+    const auto point = parse_u64_strict(point_text);
+    const auto cap = parse_u64_strict(cap_text);
+    if (!point || !cap || *point >= num_points)
+      reader.fail("bad capacity row, expected '<point> <cap>'");
+    if (*cap == kUncapacitated)
+      reader.fail("capacity row for an uncapacitated point");
+    const PointId p = static_cast<PointId>(*point);
+    if (!first && p <= previous)
+      reader.fail("capacity rows must have strictly ascending points");
+    first = false;
+    previous = p;
+    (*caps)[p] = *cap;
+  }
+  line = reader.next("section after capacities");
+  return caps;
+}
+
 }  // namespace omflp::iodetail

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cost/cost_model.hpp"
+#include "instance/capacity.hpp"
 #include "metric/metric_space.hpp"
 
 namespace omflp::iodetail {
@@ -60,5 +61,20 @@ void write_cost_model(std::ostream& os, const FacilityCostModel& cost,
 /// Reads the section write_cost_model emits.
 CostModelPtr read_cost_model(LineReader& reader,
                              CommodityId num_commodities);
+
+/// Optional capacity section shared by both formats: "capacities <k>"
+/// plus k rows "<point> <cap>" (strictly ascending points, finite caps
+/// only). Written only when the map constrains at least one point, so
+/// uncapacitated files are byte-identical to the pre-capacity formats.
+void write_capacities(std::ostream& os, const CapacityMap& capacities);
+
+/// If `line` is a "capacities <k>" header, consumes the section's rows
+/// from `reader`, replaces `line` with the following content line (the
+/// caller's next expected section) and returns the parsed map over
+/// `num_points` points. Any other `line` is left untouched and nullptr
+/// is returned. The LineReader has no pushback, so optional sections are
+/// parsed by branching on the already-read line.
+CapacityMap maybe_read_capacities(LineReader& reader, std::string& line,
+                                  std::size_t num_points);
 
 }  // namespace omflp::iodetail

@@ -24,6 +24,7 @@ struct StreamHeader {
   CommodityId commodities = 0;
   MetricPtr metric;
   CostModelPtr cost;
+  CapacityMap capacities;
   std::uint64_t num_events = 0;
   std::uint64_t num_arrivals = 0;
 };
@@ -60,7 +61,13 @@ StreamHeader read_header(iodetail::LineReader& reader) {
   header.metric = iodetail::read_metric_matrix(reader);
   header.cost = iodetail::read_cost_model(reader, header.commodities);
 
-  std::istringstream events_line(reader.next("events"));
+  // Optional capacity section between the cost model and the event
+  // block; branch on the already-read line (no pushback).
+  std::string section = reader.next("events");
+  header.capacities = iodetail::maybe_read_capacities(
+      reader, section, header.metric->num_points());
+
+  std::istringstream events_line(section);
   if (!(events_line >> word) || word != "events")
     reader.fail("expected 'events <n> arrivals <k>'");
   header.num_events = take_count(events_line, "event count");
@@ -142,6 +149,7 @@ void write_event_stream(std::ostream& os, const EventStream& stream) {
   os.precision(17);
   iodetail::write_metric_matrix(os, stream.metric());
   iodetail::write_cost_model(os, stream.cost(), s, "write_event_stream");
+  iodetail::write_capacities(os, stream.capacities());
 
   os << "events " << stream.num_events() << " arrivals "
      << stream.num_arrivals() << '\n';
@@ -178,6 +186,7 @@ EventStream read_event_stream(std::istream& is) {
     reader.fail("trailing content after the declared events");
   EventStream stream(std::move(header.metric), std::move(header.cost),
                      std::move(events), std::move(header.name));
+  stream.set_capacities(std::move(header.capacities));
   if (stream.num_arrivals() != header.num_arrivals)
     reader.fail("arrival count does not match the header");
   return stream;
@@ -211,6 +220,9 @@ StreamTraceReader::~StreamTraceReader() = default;
 
 MetricPtr StreamTraceReader::metric() const { return impl_->header.metric; }
 CostModelPtr StreamTraceReader::cost() const { return impl_->header.cost; }
+CapacityMap StreamTraceReader::capacities() const {
+  return impl_->header.capacities;
+}
 const std::string& StreamTraceReader::name() const {
   return impl_->header.name;
 }

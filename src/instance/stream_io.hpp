@@ -10,6 +10,8 @@
 //   <|M| rows of |M| distances>
 //   cost sizeonly <g(0)> ... <g(|S|)>              (or)
 //   cost linear <w_0> ... <w_{|S|-1}>
+//   capacities <k>                                 (optional section)
+//   <k rows of '<point> <cap>', ascending points>
 //   events <n> arrivals <k>
 //   a <location> <j> <e_1> ... <e_j>               arrival, pinned
 //   a <location> <j> <e_1> ... <e_j> L <lease>     arrival with a lease
@@ -48,6 +50,7 @@ class StreamTraceReader final : public EventSource {
 
   MetricPtr metric() const override;
   CostModelPtr cost() const override;
+  CapacityMap capacities() const override;
   const std::string& name() const override;
   std::size_t next_batch(std::vector<StreamEvent>& out,
                          std::size_t max_events) override;

@@ -160,7 +160,7 @@ TraceEventKind parse_kind(LineScanner& scan) {
   if (close == std::string::npos) scan.fail("unterminated kind");
   const std::string_view name =
       std::string_view(scan.line).substr(scan.pos, close - scan.pos);
-  for (int k = 0; k <= 6; ++k) {
+  for (int k = 0; k <= 8; ++k) {
     const auto kind = static_cast<TraceEventKind>(k);
     if (name == trace_event_kind_name(kind)) {
       scan.pos = close + 1;
@@ -263,6 +263,17 @@ TraceEvent parse_event_line(const std::string& line,
       scan.expect(",\"note\":\"");
       event.note = scan.take_string("note");
       break;
+    case TraceEventKind::kRequestReject:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.commodity = id_field("commodity");
+      break;
+    case TraceEventKind::kRequestSpill:
+      event.request = static_cast<RequestId>(u64_field("request"));
+      event.commodity = id_field("commodity");
+      event.facility = static_cast<FacilityId>(u64_field("facility"));
+      event.point = static_cast<PointId>(id_field("point"));
+      event.cost = num_field("cost");
+      break;
   }
   scan.expect("}");
   scan.end_of_line();
@@ -347,6 +358,17 @@ std::string tracelog_event_to_json(const TraceEvent& event,
       out += ",\"note\":\"";
       append_escaped(out, event.note);
       out += '"';
+      break;
+    case TraceEventKind::kRequestReject:
+      u64("request", event.request);
+      u64("commodity", event.commodity);
+      break;
+    case TraceEventKind::kRequestSpill:
+      u64("request", event.request);
+      u64("commodity", event.commodity);
+      u64("facility", event.facility);
+      u64("point", event.point);
+      num("cost", event.cost);
       break;
   }
   out += '}';

@@ -17,7 +17,7 @@ std::uint64_t now_ns() {
 
 constexpr const char* kCsvHeader =
     "round,shard,events_delta,events_total,batches_delta,events_per_sec,"
-    "latency_count,p50_ns,p95_ns,p99_ns,p999_ns,max_ns,facilities_open,"
+    "latency_count,p50_ns,p95_ns,p99_ns,p999_ns,max_ns_cum,facilities_open,"
     "active_requests,resident_records,requests_served_delta,"
     "facilities_opened_delta\n";
 

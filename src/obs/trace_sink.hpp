@@ -41,6 +41,8 @@ enum class TraceEventKind : std::uint8_t {
   kLeaseExpire = 4,    // lease deadline retired a request
   kDualRaise = 5,      // dual variable(s) raised (archive / bound layer)
   kVerifierFlag = 6,   // incremental verifier rejected an invariant
+  kRequestReject = 7,  // admission control shed a demanded commodity
+  kRequestSpill = 8,   // assignment redirected away from a full facility
 };
 
 inline const char* trace_event_kind_name(TraceEventKind kind) noexcept {
@@ -52,6 +54,8 @@ inline const char* trace_event_kind_name(TraceEventKind kind) noexcept {
     case TraceEventKind::kLeaseExpire: return "lease_expire";
     case TraceEventKind::kDualRaise: return "dual_raise";
     case TraceEventKind::kVerifierFlag: return "verifier_flag";
+    case TraceEventKind::kRequestReject: return "request_reject";
+    case TraceEventKind::kRequestSpill: return "request_spill";
   }
   return "unknown";
 }

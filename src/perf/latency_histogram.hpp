@@ -39,6 +39,10 @@ struct LatencySnapshot {
   double p95_ns = 0.0;
   double p99_ns = 0.0;
   double p999_ns = 0.0;
+  /// Set by snapshot_delta(): every other field is per-interval but
+  /// max_ns stays the cumulative maximum, so the JSON field is renamed
+  /// to "max_ns_cum" to keep --metrics-out readers honest.
+  bool max_is_cumulative = false;
 
   double mean_ns() const noexcept {
     return count > 0 ? total_ns / static_cast<double>(count) : 0.0;
@@ -51,9 +55,10 @@ struct LatencySnapshot {
     std::snprintf(buf, sizeof(buf),
                   "{\"count\":%llu,\"mean_ns\":%.17g,\"p50_ns\":%.17g,"
                   "\"p95_ns\":%.17g,\"p99_ns\":%.17g,\"p999_ns\":%.17g,"
-                  "\"max_ns\":%.17g}",
+                  "\"%s\":%.17g}",
                   static_cast<unsigned long long>(count), mean_ns(), p50_ns,
-                  p95_ns, p99_ns, p999_ns, max_ns);
+                  p95_ns, p99_ns, p999_ns,
+                  max_is_cumulative ? "max_ns_cum" : "max_ns", max_ns);
     return std::string(buf);
   }
 };
@@ -100,8 +105,17 @@ class LatencyHistogram {
   }
 
   void record_ns(double ns) noexcept {
-    const std::uint64_t value =
-        ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0;
+    // Clamp before the cast: double -> uint64_t is UB for NaN, negative
+    // or >= 2^63 values (timer glitches, wall-clock steps). NaN and
+    // negatives saturate to 0, oversized values to 2^63 - 1 (the top of
+    // the bucket range).
+    constexpr double kMaxNs = 9223372036854775808.0;  // 2^63
+    std::uint64_t value = 0;
+    if (ns >= kMaxNs) {
+      value = (std::uint64_t{1} << 63) - 1;
+    } else if (ns > 0.0) {  // false for NaN and non-positive values
+      value = static_cast<std::uint64_t>(ns);
+    }
     buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
         1, std::memory_order_relaxed);
     total_ns_.fetch_add(value, std::memory_order_relaxed);
@@ -135,7 +149,9 @@ class LatencyHistogram {
   /// MetricsSampler's interval view), then advances the baseline to now.
   /// max_ns remains the cumulative maximum — the histogram keeps no
   /// per-interval extremum, and an interval max would understate tail
-  /// spikes that straddle sample boundaries anyway.
+  /// spikes that straddle sample boundaries anyway. The snapshot is
+  /// flagged max_is_cumulative so to_json() names the field
+  /// "max_ns_cum" instead of passing it off as an interval value.
   LatencySnapshot snapshot_delta(LatencyBaseline& baseline) const noexcept {
     std::array<std::uint64_t, kNumBuckets> delta;
     LatencySnapshot snap;
@@ -153,6 +169,7 @@ class LatencyHistogram {
     baseline.total_ns = total_now;
     snap.max_ns =
         static_cast<double>(max_ns_.load(std::memory_order_relaxed));
+    snap.max_is_cumulative = true;
     fill_quantiles(delta, snap);
     return snap;
   }
@@ -162,10 +179,15 @@ class LatencyHistogram {
       const std::array<std::uint64_t, kNumBuckets>& counts,
       LatencySnapshot& snap) noexcept {
     if (snap.count == 0) return;
-    const auto quantile = [&](double q) {
+    // target = ceil(q * count) computed exactly as (num*count + den - 1)
+    // / den over integers: the old `+ 0.9999999` float hack overshoots
+    // whenever q*count lands within 1e-7 below an integer (e.g. p999 of
+    // exactly 1000 samples).
+    const auto quantile = [&](std::uint64_t q_num, std::uint64_t q_den) {
+      const auto product =
+          static_cast<unsigned __int128>(q_num) * snap.count;
       const std::uint64_t target = std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(
-                 q * static_cast<double>(snap.count) + 0.9999999));
+          1, static_cast<std::uint64_t>((product + q_den - 1) / q_den));
       std::uint64_t cumulative = 0;
       for (int b = 0; b < kNumBuckets; ++b) {
         cumulative += counts[static_cast<std::size_t>(b)];
@@ -173,10 +195,10 @@ class LatencyHistogram {
       }
       return snap.max_ns;
     };
-    snap.p50_ns = quantile(0.50);
-    snap.p95_ns = quantile(0.95);
-    snap.p99_ns = quantile(0.99);
-    snap.p999_ns = quantile(0.999);
+    snap.p50_ns = quantile(1, 2);
+    snap.p95_ns = quantile(19, 20);
+    snap.p99_ns = quantile(99, 100);
+    snap.p999_ns = quantile(999, 1000);
   }
 
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};

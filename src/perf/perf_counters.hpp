@@ -44,6 +44,8 @@ struct PerfCounters {
   std::uint64_t facilities_opened = 0;  // ledger facility openings
   std::uint64_t duals_raised = 0;       // bound-layer dual variables raised
   std::uint64_t trace_events_emitted = 0;  // obs-layer trace events sunk
+  std::uint64_t requests_shed = 0;      // requests with >=1 rejected item
+  std::uint64_t assignments_spilled = 0;  // capacity-redirected assignments
 
   void reset() noexcept { *this = PerfCounters{}; }
 
@@ -58,6 +60,8 @@ struct PerfCounters {
     facilities_opened += o.facilities_opened;
     duals_raised += o.duals_raised;
     trace_events_emitted += o.trace_events_emitted;
+    requests_shed += o.requests_shed;
+    assignments_spilled += o.assignments_spilled;
     return *this;
   }
 
@@ -66,7 +70,8 @@ struct PerfCounters {
            bids_updated == 0 && facilities_probed == 0 && coin_flips == 0 &&
            verifier_checks == 0 && requests_served == 0 &&
            facilities_opened == 0 && duals_raised == 0 &&
-           trace_events_emitted == 0;
+           trace_events_emitted == 0 && requests_shed == 0 &&
+           assignments_spilled == 0;
   }
 
   /// Visit every (name, value) pair in a fixed order — the single source
@@ -83,6 +88,8 @@ struct PerfCounters {
     fn("facilities_opened", self.facilities_opened);
     fn("duals_raised", self.duals_raised);
     fn("trace_events_emitted", self.trace_events_emitted);
+    fn("requests_shed", self.requests_shed);
+    fn("assignments_spilled", self.assignments_spilled);
   }
 };
 

@@ -101,6 +101,97 @@ Request sample_line_request(const ScenarioParams& p, std::size_t points,
   return r;
 }
 
+/// Shared generator for the hotspot-grid family. `capacity` == 0 leaves
+/// the stream uncapacitated; nonzero attaches a uniform per-point
+/// capacity map *after* all RNG draws, so the capped variant replays the
+/// exact event sequence of the uncapped one for the same seed.
+EventStream make_hotspot_grid(const ScenarioParams& p, std::uint64_t seed,
+                              std::uint64_t capacity, const char* name) {
+  Rng rng(seed);
+  const std::size_t side = p.size_t_at("side");
+  if (side < 2)
+    throw std::invalid_argument(std::string(name) +
+                                ": side must be at least 2");
+  const double extent = p.at("extent");
+  const CommodityId commodities = p.commodity_at("commodities");
+  const std::size_t num_events = p.size_t_at("events");
+  const std::size_t hotspots = p.size_t_at("hotspots");
+  if (hotspots == 0)
+    throw std::invalid_argument(std::string(name) +
+                                ": at least one hotspot is required");
+  const double hot_exponent = p.at("hot_exponent");
+  const double spread = p.at("spread");
+  const double churn = p.at("churn");
+  const double mean_lease = p.at("mean_lease");
+  const std::size_t warmup = p.size_t_at("warmup");
+
+  const double step = extent / static_cast<double>(side - 1);
+  std::vector<double> coords;
+  coords.reserve(side * side * 2);
+  for (std::size_t r = 0; r < side; ++r)
+    for (std::size_t c = 0; c < side; ++c) {
+      coords.push_back(static_cast<double>(c) * step);
+      coords.push_back(static_cast<double>(r) * step);
+    }
+  auto metric = std::make_shared<EuclideanMetric>(2, std::move(coords));
+
+  std::vector<std::pair<std::size_t, std::size_t>> centers;
+  centers.reserve(hotspots);
+  for (std::size_t h = 0; h < hotspots; ++h)
+    centers.emplace_back(rng.uniform_index(side), rng.uniform_index(side));
+
+  const auto clamp_cell = [&](double cell) {
+    const auto rounded = static_cast<long long>(std::llround(cell));
+    return static_cast<std::size_t>(std::clamp<long long>(
+        rounded, 0, static_cast<long long>(side) - 1));
+  };
+
+  std::vector<StreamEvent> events;
+  events.reserve(num_events);
+  // (id, lease deadline) — deletions may only target arrivals still
+  // alive under the timeline semantics, so entries whose lease fires at
+  // or before this event are purged first.
+  std::vector<std::pair<RequestId, std::uint64_t>> active;
+  RequestId next_id = 0;
+  for (std::size_t t = 0; t < num_events; ++t) {
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [t](const auto& entry) {
+                                  return entry.second <= t;
+                                }),
+                 active.end());
+    if (active.size() > warmup && rng.bernoulli(churn)) {
+      const std::size_t pick = rng.uniform_index(active.size());
+      events.push_back(StreamEvent::departure(active[pick].first));
+      active[pick] = active.back();
+      active.pop_back();
+      continue;
+    }
+    const auto [center_r, center_c] =
+        centers[rng.zipf(hotspots, hot_exponent)];
+    const std::size_t row =
+        clamp_cell(static_cast<double>(center_r) + rng.normal() * spread);
+    const std::size_t col =
+        clamp_cell(static_cast<double>(center_c) + rng.normal() * spread);
+    Request r;
+    r.location = static_cast<PointId>(row * side + col);
+    r.commodities = sample_demand(p, commodities, rng);
+    const std::uint64_t lease =
+        mean_lease > 0.0
+            ? 1 + static_cast<std::uint64_t>(
+                      rng.exponential(1.0 / mean_lease))
+            : 0;
+    events.push_back(StreamEvent::arrival(std::move(r), lease));
+    active.emplace_back(next_id++, lease > 0 ? lease_deadline(t, lease)
+                                             : ~std::uint64_t{0});
+  }
+  EventStream stream(std::move(metric), poly_cost(p, commodities),
+                     std::move(events), name);
+  if (capacity > 0)
+    stream.set_capacities(std::make_shared<const std::vector<std::uint64_t>>(
+        side * side, capacity));
+  return stream;
+}
+
 void register_streams(StreamScenarioRegistry& registry) {
   {
     std::vector<ScenarioParam> params = {
@@ -234,114 +325,58 @@ void register_streams(StreamScenarioRegistry& registry) {
          }});
   }
   {
-    std::vector<ScenarioParam> params = {
-        {"side", 12, "grid side; |M| = side^2 points in the plane"},
-        {"extent", 100, "grid extent per axis"},
-        {"events", 4096, "total events (arrivals + departures)"},
-        {"commodities", 12, "|S|"},
-        {"min_demand", 1, "smallest demand-set size"},
-        {"max_demand", 4, "largest demand-set size"},
-        {"popularity_exponent", 0.8, "Zipf exponent for commodity choice"},
-        {"hotspots", 4, "number of Zipf-weighted traffic hotspots"},
-        {"hot_exponent", 1.0, "Zipf exponent over hotspot popularity"},
-        {"spread", 1.5, "gaussian spread around a hotspot, in cells"},
-        {"churn", 0.25,
-         "per-event probability of deleting a random active request"},
-        {"mean_lease", 0,
-         "mean exponential lease in events (0 = pinned arrivals)"},
-        {"warmup", 32, "active requests before churn kicks in"}};
-    append(params, cost_params(2.0));
+    const auto hotspot_params = [] {
+      std::vector<ScenarioParam> params = {
+          {"side", 12, "grid side; |M| = side^2 points in the plane"},
+          {"extent", 100, "grid extent per axis"},
+          {"events", 4096, "total events (arrivals + departures)"},
+          {"commodities", 12, "|S|"},
+          {"min_demand", 1, "smallest demand-set size"},
+          {"max_demand", 4, "largest demand-set size"},
+          {"popularity_exponent", 0.8,
+           "Zipf exponent for commodity choice"},
+          {"hotspots", 4, "number of Zipf-weighted traffic hotspots"},
+          {"hot_exponent", 1.0, "Zipf exponent over hotspot popularity"},
+          {"spread", 1.5, "gaussian spread around a hotspot, in cells"},
+          {"churn", 0.25,
+           "per-event probability of deleting a random active request"},
+          {"mean_lease", 0,
+           "mean exponential lease in events (0 = pinned arrivals)"},
+          {"warmup", 32, "active requests before churn kicks in"}};
+      append(params, cost_params(2.0));
+      return params;
+    };
     registry.add(
         {.name = "hotspot-grid",
          .description = "2-D Euclidean grid arrivals clustered around "
                         "Zipf-weighted hotspots, with churn deletions and "
                         "optional exponential leases (planar city traffic)",
-         .params = std::move(params),
+         .params = hotspot_params(),
          .make = [](const ScenarioParams& p, std::uint64_t seed) {
-           Rng rng(seed);
-           const std::size_t side = p.size_t_at("side");
-           if (side < 2)
+           return make_hotspot_grid(p, seed, /*capacity=*/0,
+                                    "hotspot-grid");
+         }});
+    // The capacity-stressed sibling: the identical event sequence per
+    // (seed, shared params) — the capacity only annotates the stream, it
+    // never perturbs a single RNG draw — so capped-vs-uncapped diffs
+    // isolate admission control.
+    std::vector<ScenarioParam> capped = hotspot_params();
+    capped.push_back({"capacity", 6,
+                      "per-point facility capacity (distinct active "
+                      "requests per facility)"});
+    registry.add(
+        {.name = "hotspot-grid-capped",
+         .description = "hotspot-grid with a uniform per-point facility "
+                        "capacity tight enough that hotspot traffic "
+                        "overflows (admission-control stress)",
+         .params = std::move(capped),
+         .make = [](const ScenarioParams& p, std::uint64_t seed) {
+           const std::size_t capacity = p.size_t_at("capacity");
+           if (capacity == 0)
              throw std::invalid_argument(
-                 "hotspot-grid: side must be at least 2");
-           const double extent = p.at("extent");
-           const CommodityId commodities = p.commodity_at("commodities");
-           const std::size_t num_events = p.size_t_at("events");
-           const std::size_t hotspots = p.size_t_at("hotspots");
-           if (hotspots == 0)
-             throw std::invalid_argument(
-                 "hotspot-grid: at least one hotspot is required");
-           const double hot_exponent = p.at("hot_exponent");
-           const double spread = p.at("spread");
-           const double churn = p.at("churn");
-           const double mean_lease = p.at("mean_lease");
-           const std::size_t warmup = p.size_t_at("warmup");
-
-           const double step = extent / static_cast<double>(side - 1);
-           std::vector<double> coords;
-           coords.reserve(side * side * 2);
-           for (std::size_t r = 0; r < side; ++r)
-             for (std::size_t c = 0; c < side; ++c) {
-               coords.push_back(static_cast<double>(c) * step);
-               coords.push_back(static_cast<double>(r) * step);
-             }
-           auto metric =
-               std::make_shared<EuclideanMetric>(2, std::move(coords));
-
-           std::vector<std::pair<std::size_t, std::size_t>> centers;
-           centers.reserve(hotspots);
-           for (std::size_t h = 0; h < hotspots; ++h)
-             centers.emplace_back(rng.uniform_index(side),
-                                  rng.uniform_index(side));
-
-           const auto clamp_cell = [&](double cell) {
-             const auto rounded = static_cast<long long>(std::llround(cell));
-             return static_cast<std::size_t>(std::clamp<long long>(
-                 rounded, 0, static_cast<long long>(side) - 1));
-           };
-
-           std::vector<StreamEvent> events;
-           events.reserve(num_events);
-           // (id, lease deadline) — deletions may only target arrivals
-           // still alive under the timeline semantics, so entries whose
-           // lease fires at or before this event are purged first.
-           std::vector<std::pair<RequestId, std::uint64_t>> active;
-           RequestId next_id = 0;
-           for (std::size_t t = 0; t < num_events; ++t) {
-             active.erase(
-                 std::remove_if(active.begin(), active.end(),
-                                [t](const auto& entry) {
-                                  return entry.second <= t;
-                                }),
-                 active.end());
-             if (active.size() > warmup && rng.bernoulli(churn)) {
-               const std::size_t pick = rng.uniform_index(active.size());
-               events.push_back(
-                   StreamEvent::departure(active[pick].first));
-               active[pick] = active.back();
-               active.pop_back();
-               continue;
-             }
-             const auto [center_r, center_c] =
-                 centers[rng.zipf(hotspots, hot_exponent)];
-             const std::size_t row = clamp_cell(
-                 static_cast<double>(center_r) + rng.normal() * spread);
-             const std::size_t col = clamp_cell(
-                 static_cast<double>(center_c) + rng.normal() * spread);
-             Request r;
-             r.location = static_cast<PointId>(row * side + col);
-             r.commodities = sample_demand(p, commodities, rng);
-             const std::uint64_t lease =
-                 mean_lease > 0.0
-                     ? 1 + static_cast<std::uint64_t>(
-                               rng.exponential(1.0 / mean_lease))
-                     : 0;
-             events.push_back(StreamEvent::arrival(std::move(r), lease));
-             active.emplace_back(next_id++,
-                                 lease > 0 ? lease_deadline(t, lease)
-                                           : ~std::uint64_t{0});
-           }
-           return EventStream(std::move(metric), poly_cost(p, commodities),
-                              std::move(events), "hotspot-grid");
+                 "hotspot-grid-capped: capacity must be at least 1");
+           return make_hotspot_grid(p, seed, capacity,
+                                    "hotspot-grid-capped");
          }});
   }
 }

@@ -10,10 +10,21 @@
 namespace omflp {
 
 SolutionLedger::SolutionLedger(MetricPtr metric, CostModelPtr cost,
-                               ConnectionChargePolicy policy)
-    : metric_(std::move(metric)), cost_(std::move(cost)), policy_(policy) {
+                               ConnectionChargePolicy policy,
+                               CapacityMap capacities,
+                               OverflowPolicy overflow)
+    : metric_(std::move(metric)),
+      cost_(std::move(cost)),
+      policy_(policy),
+      capacities_(std::move(capacities)),
+      overflow_(overflow),
+      capacitated_(is_capacitated(capacities_)) {
   OMFLP_REQUIRE(metric_ != nullptr, "SolutionLedger: null metric");
   OMFLP_REQUIRE(cost_ != nullptr, "SolutionLedger: null cost model");
+  if (capacities_) {
+    OMFLP_REQUIRE(capacities_->size() <= metric_->num_points(),
+                  "SolutionLedger: capacity map larger than the metric");
+  }
 }
 
 RequestId SolutionLedger::begin_request(const Request& request) {
@@ -54,6 +65,7 @@ FacilityId SolutionLedger::open_facility(PointId location,
   if (config.count() == 1) ++num_small_;
   if (config.is_full()) ++num_large_;
   facilities_.push_back(std::move(record));
+  occupancy_.push_back(0);
   OMFLP_PERF_COUNT(facilities_opened);
   return facilities_.back().id;
 }
@@ -67,13 +79,92 @@ void SolutionLedger::assign(CommodityId e, FacilityId f) {
                 "demand");
   OMFLP_REQUIRE(facilities_[f].config.contains(e),
                 "SolutionLedger: facility does not offer the commodity");
-  for (const ServedCommodity& sc : record.served)
+  bool already_connected = false;
+  for (const ServedCommodity& sc : record.served) {
     OMFLP_REQUIRE(sc.commodity != e,
                   "SolutionLedger: commodity assigned twice");
+    if (sc.facility == f) already_connected = true;
+  }
+  for (const CommodityId r : record.rejected)
+    OMFLP_REQUIRE(r != e, "SolutionLedger: commodity already rejected");
+
+  // Uncapacitated, already occupying f, or room left: the plain path —
+  // bitwise identical to the pre-capacity ledger when capacities_ does
+  // not constrain anything.
+  if (!capacitated_ || already_connected ||
+      occupancy_[f] < capacity_at(capacities_, facilities_[f].location)) {
+    serve_at(e, f, /*spilled=*/false);
+    return;
+  }
+
+  // f is full and this request does not already occupy it: admission
+  // control decides.
+  if (overflow_ == OverflowPolicy::kReject) {
+    reject_commodity(e);
+    return;
+  }
+
+  // kReassign: nearest feasible open facility offering e. Feasible =
+  // this request already occupies it (no new occupancy needed) or it is
+  // under capacity. The ascending scan with a strict < keeps ties on
+  // the lowest facility id — deterministic across shards and threads.
+  FacilityId best = kInvalidFacility;
+  double best_distance = kInfiniteDistance;
+  for (FacilityId g = 0; g < facilities_.size(); ++g) {
+    if (g == f || !facilities_[g].config.contains(e)) continue;
+    bool occupies = false;
+    for (const ServedCommodity& sc : record.served) {
+      if (sc.facility == g) {
+        occupies = true;
+        break;
+      }
+    }
+    if (!occupies &&
+        occupancy_[g] >= capacity_at(capacities_, facilities_[g].location))
+      continue;
+    const double distance =
+        metric_->distance(record.request.location, facilities_[g].location);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = g;
+    }
+  }
+  if (best != kInvalidFacility) {
+    ++num_spilled_;
+    OMFLP_PERF_COUNT(assignments_spilled);
+    serve_at(e, best, /*spilled=*/true);
+    return;
+  }
+  // Last resort: a fresh singleton facility at the request's location —
+  // a new facility has its own capacity budget and occupancy 0, so it
+  // is feasible whenever the location's capacity is at least 1.
+  if (capacity_at(capacities_, record.request.location) >= 1) {
+    const FacilityId fresh = open_facility(
+        record.request.location,
+        CommoditySet::singleton(cost_->num_commodities(), e));
+    ++num_spilled_;
+    OMFLP_PERF_COUNT(assignments_spilled);
+    serve_at(e, fresh, /*spilled=*/true);
+    return;
+  }
+  reject_commodity(e);
+}
+
+void SolutionLedger::serve_at(CommodityId e, FacilityId f, bool spilled) {
+  RequestRecord& record = requests_.back();
+  bool already_connected = false;
+  for (const ServedCommodity& sc : record.served) {
+    if (sc.facility == f) {
+      already_connected = true;
+      break;
+    }
+  }
+  if (!already_connected) ++occupancy_[f];
   record.served.push_back(ServedCommodity{e, f});
   if (obs::tracing()) {
     TraceEvent event;
-    event.kind = TraceEventKind::kRequestAssign;
+    event.kind = spilled ? TraceEventKind::kRequestSpill
+                         : TraceEventKind::kRequestAssign;
     event.request = num_requests() - 1;
     event.commodity = e;
     event.facility = f;
@@ -84,11 +175,33 @@ void SolutionLedger::assign(CommodityId e, FacilityId f) {
   }
 }
 
+void SolutionLedger::reject_commodity(CommodityId e) {
+  RequestRecord& record = requests_.back();
+  record.rejected.push_back(e);
+  ++num_rejected_;
+  if (obs::tracing()) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRequestReject;
+    event.request = num_requests() - 1;
+    event.commodity = e;
+    obs::emit(event);
+  }
+}
+
 void SolutionLedger::finish_request() {
   OMFLP_REQUIRE(in_flight_, "SolutionLedger: no request in flight");
   RequestRecord& record = requests_.back();
-  OMFLP_REQUIRE(record.served.size() == record.request.commodities.count(),
+  // served + rejected partition the demand set (assign() enforces both
+  // disjointness and membership; rejections only happen under admission
+  // control, so uncapacitated runs keep the old exact-coverage check).
+  OMFLP_REQUIRE(record.served.size() + record.rejected.size() ==
+                    record.request.commodities.count(),
                 "SolutionLedger: request not fully covered at finish");
+  if (!record.rejected.empty()) {
+    std::sort(record.rejected.begin(), record.rejected.end());
+    ++num_shed_;
+    OMFLP_PERF_COUNT(requests_shed);
+  }
 
   record.connected.reserve(record.served.size());
   for (const ServedCommodity& sc : record.served)
@@ -129,6 +242,12 @@ void SolutionLedger::retire_request(RequestId id,
   record.retired_at = event_index;
   active_connection_cost_ -= record.connection_cost;
   --num_active_;
+  // Release the request's occupancy (departures and lease expiries both
+  // land here): capacity headroom returns to every facility it occupied.
+  for (const FacilityId f : record.connected) {
+    OMFLP_REQUIRE(occupancy_[f] > 0, "SolutionLedger: occupancy underflow");
+    --occupancy_[f];
+  }
 }
 
 std::size_t SolutionLedger::compact_retired_prefix() {
@@ -154,6 +273,16 @@ const OpenFacilityRecord& SolutionLedger::facility(FacilityId f) const {
   return facilities_[f];
 }
 
+std::uint64_t SolutionLedger::facility_capacity(FacilityId f) const {
+  OMFLP_REQUIRE(f < facilities_.size(), "SolutionLedger: unknown facility");
+  return capacity_at(capacities_, facilities_[f].location);
+}
+
+std::uint64_t SolutionLedger::occupancy(FacilityId f) const {
+  OMFLP_REQUIRE(f < occupancy_.size(), "SolutionLedger: unknown facility");
+  return occupancy_[f];
+}
+
 void SolutionLedger::serialize(CkptWriter& writer) const {
   OMFLP_REQUIRE(!in_flight_,
                 "SolutionLedger::serialize: request in flight");
@@ -166,6 +295,7 @@ void SolutionLedger::serialize(CkptWriter& writer) const {
       .u(num_active_)
       .u(num_small_)
       .u(num_large_);
+  writer.line("ledger-adm").u(num_shed_).u(num_rejected_).u(num_spilled_);
   for (const OpenFacilityRecord& f : facilities_) {
     writer.line("facility")
         .u(f.id)
@@ -183,6 +313,8 @@ void SolutionLedger::serialize(CkptWriter& writer) const {
     writer.line("served").u(r.served.size());
     for (const ServedCommodity& s : r.served)
       writer.u(s.commodity).u(s.facility);
+    writer.line("rejected").u(r.rejected.size());
+    for (const CommodityId e : r.rejected) writer.u(e);
     writer.line("connected").u(r.connected.size());
     for (const FacilityId f : r.connected) writer.u(f);
   }
@@ -202,6 +334,10 @@ void SolutionLedger::restore(CkptReader& reader) {
   num_active_ = reader.u();
   num_small_ = reader.u();
   num_large_ = reader.u();
+  reader.expect("ledger-adm");
+  num_shed_ = reader.u();
+  num_rejected_ = reader.u();
+  num_spilled_ = reader.u();
   facilities_.reserve(capped_reserve(num_facilities));
   for (std::uint64_t i = 0; i < num_facilities; ++i) {
     reader.expect("facility");
@@ -241,6 +377,15 @@ void SolutionLedger::restore(CkptReader& reader) {
         reader.fail("served entry references an unknown facility");
       r.served.push_back(s);
     }
+    reader.expect("rejected");
+    const std::uint64_t num_rejected = reader.u();
+    r.rejected.reserve(capped_reserve(num_rejected));
+    for (std::uint64_t k = 0; k < num_rejected; ++k) {
+      const auto e = static_cast<CommodityId>(reader.u());
+      if (!r.request.commodities.contains(e))
+        reader.fail("rejected entry is not a demanded commodity");
+      r.rejected.push_back(e);
+    }
     reader.expect("connected");
     const std::uint64_t num_connected = reader.u();
     r.connected.reserve(capped_reserve(num_connected));
@@ -251,6 +396,14 @@ void SolutionLedger::restore(CkptReader& reader) {
       r.connected.push_back(f);
     }
     requests_.push_back(std::move(r));
+  }
+  // Occupancy is derived state: every active record is resident
+  // (compaction only drops all-retired prefixes), so the per-facility
+  // occupancy counts are recomputed rather than serialized.
+  occupancy_.assign(facilities_.size(), 0);
+  for (const RequestRecord& r : requests_) {
+    if (!r.active()) continue;
+    for (const FacilityId f : r.connected) ++occupancy_[f];
   }
 }
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "instance/capacity.hpp"
 #include "instance/instance.hpp"
 
 namespace omflp {
@@ -60,7 +61,12 @@ inline constexpr std::uint64_t kNeverRetired = ~std::uint64_t{0};
 
 struct RequestRecord {
   Request request;
-  std::vector<ServedCommodity> served;   // one entry per demanded commodity
+  std::vector<ServedCommodity> served;   // one entry per served commodity
+  /// Demanded commodities shed by admission control (capacitated runs
+  /// under OverflowPolicy::kReject, or kReassign with nothing feasible).
+  /// served + rejected partition the demand set; rejected commodities
+  /// pay no connection cost. Always empty on uncapacitated runs.
+  std::vector<CommodityId> rejected;
   std::vector<FacilityId> connected;     // distinct facilities, sorted
   double connection_cost = 0.0;
   /// Stream-event index at which the request departed (kNeverRetired
@@ -72,9 +78,17 @@ struct RequestRecord {
 
 class SolutionLedger {
  public:
+  /// `capacities` limits how many distinct active requests each facility
+  /// may serve (per-point capacity; null = uncapacitated, the default —
+  /// all existing call sites and code paths are bitwise unchanged).
+  /// `overflow` picks what assign() does when the target facility is
+  /// full: reassign to the nearest feasible facility or reject the
+  /// commodity into the rejected ledger lane.
   SolutionLedger(MetricPtr metric, CostModelPtr cost,
                  ConnectionChargePolicy policy =
-                     ConnectionChargePolicy::kPerFacility);
+                     ConnectionChargePolicy::kPerFacility,
+                 CapacityMap capacities = nullptr,
+                 OverflowPolicy overflow = OverflowPolicy::kReassign);
 
   /// Start processing the next request. Only one request may be in flight.
   RequestId begin_request(const Request& request);
@@ -87,10 +101,18 @@ class SolutionLedger {
   /// Record that commodity e of the in-flight request is served by
   /// facility f. f must be open and must offer e. Each demanded commodity
   /// must be assigned exactly once.
+  ///
+  /// Capacitated runs apply admission control here: if f is full (its
+  /// occupancy — distinct active requests connected — has reached its
+  /// capacity) and this request is not already connected to it, the
+  /// commodity is spilled to the nearest feasible open facility offering
+  /// it (ties to the lowest id; a fresh singleton facility at the
+  /// request's location as a last resort) under kReassign, or rejected
+  /// under kReject. Spills emit kRequestSpill, rejections kRequestReject.
   void assign(CommodityId e, FacilityId f);
 
-  /// Validates coverage of the in-flight request and accrues its
-  /// connection cost.
+  /// Validates coverage of the in-flight request (served + rejected must
+  /// partition the demand set) and accrues its connection cost.
   void finish_request();
 
   // ---- dynamic streams ----------------------------------------------------
@@ -163,6 +185,26 @@ class SolutionLedger {
 
   bool request_in_flight() const noexcept { return in_flight_; }
 
+  // ---- capacity / admission control ---------------------------------------
+
+  const CapacityMap& capacities() const noexcept { return capacities_; }
+  OverflowPolicy overflow_policy() const noexcept { return overflow_; }
+  bool capacitated() const noexcept { return capacitated_; }
+  /// Capacity of facility f (the capacity of its location point).
+  std::uint64_t facility_capacity(FacilityId f) const;
+  /// Distinct active requests currently connected to facility f.
+  std::uint64_t occupancy(FacilityId f) const;
+  /// Requests finished with at least one rejected commodity.
+  std::size_t num_shed_requests() const noexcept { return num_shed_; }
+  /// Total commodities rejected across all requests.
+  std::size_t num_rejected_commodities() const noexcept {
+    return num_rejected_;
+  }
+  /// Assignments redirected away from a full facility under kReassign.
+  std::size_t num_spilled_assignments() const noexcept {
+    return num_spilled_;
+  }
+
   // ---- checkpoint/restore (instance/checkpoint_io.hpp) --------------------
 
   /// Writes every resident record and accumulator in canonical form.
@@ -175,11 +217,24 @@ class SolutionLedger {
   void restore(CkptReader& reader);
 
  private:
+  /// Serve e at f for the in-flight record: occupancy bump when f is
+  /// newly connected, served entry, trace event (`spilled` picks the
+  /// kind and is only true on capacitated redirects).
+  void serve_at(CommodityId e, FacilityId f, bool spilled);
+  void reject_commodity(CommodityId e);
+
   MetricPtr metric_;
   CostModelPtr cost_;
   ConnectionChargePolicy policy_;
+  CapacityMap capacities_;
+  OverflowPolicy overflow_;
+  bool capacitated_ = false;
 
   std::vector<OpenFacilityRecord> facilities_;
+  /// Distinct active requests connected to each facility; parallel to
+  /// facilities_. Maintained unconditionally (cheap), enforced only when
+  /// capacitated_.
+  std::vector<std::uint64_t> occupancy_;
   std::vector<RequestRecord> requests_;
   RequestId first_record_id_ = 0;  // ids below this were compacted away
   bool in_flight_ = false;
@@ -190,6 +245,9 @@ class SolutionLedger {
   std::size_t num_active_ = 0;
   std::size_t num_small_ = 0;
   std::size_t num_large_ = 0;
+  std::size_t num_shed_ = 0;
+  std::size_t num_rejected_ = 0;
+  std::size_t num_spilled_ = 0;
 };
 
 }  // namespace omflp

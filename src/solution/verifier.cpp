@@ -73,6 +73,18 @@ std::optional<std::string> check_record(const MetricSpace& metric,
       return "commodity covered twice in one request";
     covered.add(sc.commodity);
   }
+  // Admission control may have rejected commodities; served + rejected
+  // must still partition the demand set exactly (sorted, no overlap).
+  for (std::size_t k = 0; k < rec.rejected.size(); ++k) {
+    const CommodityId e = rec.rejected[k];
+    if (!expected.commodities.contains(e))
+      return "rejected commodity the request does not demand";
+    if (covered.contains(e))
+      return "commodity both served and rejected";
+    if (k > 0 && rec.rejected[k - 1] >= e)
+      return "rejected list not sorted and distinct";
+    covered.add(e);
+  }
   if (!(covered == expected.commodities)) {
     os << "request " << id << " not exactly covered: got "
        << covered.to_string() << ", demanded "
@@ -175,6 +187,18 @@ std::optional<VerificationError> verify_solution(const Instance& instance,
         return fail("commodity covered twice in one request");
       covered.add(sc.commodity);
     }
+    for (std::size_t k = 0; k < rec.rejected.size(); ++k) {
+      const CommodityId e = rec.rejected[k];
+      if (!is_capacitated(instance.capacities()))
+        return fail("rejected commodity on an uncapacitated instance");
+      if (!expected.commodities.contains(e))
+        return fail("rejected commodity the request does not demand");
+      if (covered.contains(e))
+        return fail("commodity both served and rejected");
+      if (k > 0 && rec.rejected[k - 1] >= e)
+        return fail("rejected list not sorted and distinct");
+      covered.add(e);
+    }
     if (!(covered == expected.commodities)) {
       std::ostringstream os;
       os << "request " << i << " not exactly covered: got "
@@ -214,6 +238,32 @@ std::optional<VerificationError> verify_solution(const Instance& instance,
   if (std::abs(connection - ledger.connection_cost()) >
       tolerance * (1.0 + connection))
     return fail("total connection cost mismatch");
+
+  // Capacity feasibility: a static run never retires anyone, so each
+  // facility's occupancy is simply the number of distinct requests that
+  // connect to it — re-derived from the served lists, not the ledger's
+  // own occupancy bookkeeping.
+  if (is_capacitated(instance.capacities())) {
+    const CapacityMap& caps = instance.capacities();
+    std::vector<std::uint64_t> occupancy(ledger.num_facilities(), 0);
+    for (const RequestRecord& rec : ledger.request_records()) {
+      std::vector<FacilityId> distinct;
+      for (const ServedCommodity& sc : rec.served)
+        distinct.push_back(sc.facility);
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      for (const FacilityId f : distinct) ++occupancy[f];
+    }
+    for (const OpenFacilityRecord& f : ledger.facilities()) {
+      if (occupancy[f.id] > capacity_at(caps, f.location)) {
+        std::ostringstream os;
+        os << "facility " << f.id << " occupancy " << occupancy[f.id]
+           << " exceeds capacity " << capacity_at(caps, f.location);
+        return fail(os.str());
+      }
+    }
+  }
 
   return std::nullopt;
 }
@@ -294,6 +344,8 @@ std::optional<VerificationError> verify_stream(const EventStream& stream,
     if (auto error = check_record(metric, cost, ledger, id, *arrivals[id],
                                   rec, tolerance, connection))
       return fail(*error);
+    if (!rec.rejected.empty() && !is_capacitated(stream.capacities()))
+      return fail("rejected commodity on an uncapacitated stream");
     gross += connection;
     if (rec.active()) {
       active += connection;
@@ -307,14 +359,69 @@ std::optional<VerificationError> verify_stream(const EventStream& stream,
     return fail("active connection cost mismatch");
   if (active_count != ledger.num_active_requests())
     return fail("active request count mismatch");
+
+  // Capacity feasibility over the whole timeline: replay arrivals and
+  // retirements in event order and check that no facility's occupancy
+  // (distinct active requests connected to it) ever exceeds its
+  // location's capacity. Occupancy is re-derived from the served lists
+  // validated above, independent of the ledger's own counts.
+  if (is_capacitated(stream.capacities())) {
+    const CapacityMap& caps = stream.capacities();
+    std::vector<std::uint64_t> occupancy(ledger.num_facilities(), 0);
+    const auto connected_of = [&](RequestId id) {
+      std::vector<FacilityId> distinct;
+      for (const ServedCommodity& sc : ledger.request_records()[id].served)
+        distinct.push_back(sc.facility);
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      return distinct;
+    };
+    const auto release = [&](RequestId id) {
+      for (const FacilityId f : connected_of(id)) --occupancy[f];
+    };
+    std::priority_queue<Expiry, std::vector<Expiry>, std::greater<Expiry>>
+        pending;
+    std::vector<bool> live;
+    RequestId next_arrival = 0;
+    for (std::size_t t = 0; t < events.size(); ++t) {
+      while (!pending.empty() && pending.top().first <= t) {
+        const RequestId id = pending.top().second;
+        pending.pop();
+        if (live[id]) {
+          live[id] = false;
+          release(id);
+        }
+      }
+      const StreamEvent& e = events[t];
+      if (e.kind == StreamEvent::Kind::kArrival) {
+        const RequestId id = next_arrival++;
+        live.push_back(true);
+        for (const FacilityId f : connected_of(id)) {
+          if (++occupancy[f] >
+              capacity_at(caps, ledger.facility(f).location)) {
+            std::ostringstream os;
+            os << "facility " << f << " over capacity at event " << t;
+            return fail(os.str());
+          }
+        }
+        if (e.lease > 0) pending.emplace(lease_deadline(t, e.lease), id);
+      } else {
+        live[e.target] = false;
+        release(e.target);
+      }
+    }
+  }
   return std::nullopt;
 }
 
 StreamVerifier::StreamVerifier(MetricPtr metric, CostModelPtr cost,
-                               double tolerance)
+                               double tolerance, CapacityMap capacities)
     : metric_(std::move(metric)),
       cost_(std::move(cost)),
-      tolerance_(tolerance) {
+      tolerance_(tolerance),
+      capacities_(std::move(capacities)),
+      capacitated_(is_capacitated(capacities_)) {
   OMFLP_PERF_COUNT(verifier_checks);
 }
 
@@ -349,6 +456,7 @@ void StreamVerifier::on_arrival(RequestId id, const Request& request,
       return;
     }
     opening_ += cost_->open_cost(f.location, f.config);
+    occupancy_.push_back(0);
     ++facilities_seen_;
   }
 
@@ -363,8 +471,34 @@ void StreamVerifier::on_arrival(RequestId id, const Request& request,
     fail_check(*error);
     return;
   }
+  if (!rec.rejected.empty() && !capacitated_) {
+    fail_check("rejected commodity without capacities");
+    return;
+  }
+  // Occupancy re-derived from the served list (independent of the
+  // ledger's own counters); a capacitated verifier flags any facility
+  // this arrival pushes past its location's capacity.
+  ActiveRequest entry;
+  entry.connection = connection;
+  for (const ServedCommodity& sc : rec.served)
+    entry.connected.push_back(sc.facility);
+  std::sort(entry.connected.begin(), entry.connected.end());
+  entry.connected.erase(
+      std::unique(entry.connected.begin(), entry.connected.end()),
+      entry.connected.end());
+  for (const FacilityId f : entry.connected) {
+    ++occupancy_[f];
+    if (capacitated_ &&
+        occupancy_[f] >
+            capacity_at(capacities_, ledger.facility(f).location)) {
+      std::ostringstream os;
+      os << "facility " << f << " over capacity serving request " << id;
+      fail_check(os.str());
+      return;
+    }
+  }
   gross_connection_ += connection;
-  active_costs_.emplace(id, connection);
+  active_costs_.emplace(id, std::move(entry));
 }
 
 void StreamVerifier::on_retire(RequestId id, std::uint64_t event_index,
@@ -383,7 +517,10 @@ void StreamVerifier::on_retire(RequestId id, std::uint64_t event_index,
     fail_check(os.str());
     return;
   }
-  retired_connection_ += it->second;
+  retired_connection_ += it->second.connection;
+  for (const FacilityId f : it->second.connected) {
+    if (f < occupancy_.size() && occupancy_[f] > 0) --occupancy_[f];
+  }
   active_costs_.erase(it);
 }
 
@@ -419,11 +556,16 @@ void StreamVerifier::serialize(CkptWriter& writer) const {
       .d(gross_connection_)
       .d(retired_connection_);
   // Canonical form: the unordered map serialized sorted by request id.
-  std::vector<std::pair<RequestId, double>> active(active_costs_.begin(),
-                                                   active_costs_.end());
-  std::sort(active.begin(), active.end());
+  std::vector<std::pair<RequestId, const ActiveRequest*>> active;
+  active.reserve(active_costs_.size());
+  for (const auto& [id, entry] : active_costs_) active.emplace_back(id, &entry);
+  std::sort(active.begin(), active.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   writer.line("verifier-active").u(active.size());
-  for (const auto& [id, cost] : active) writer.u(id).d(cost);
+  for (const auto& [id, entry] : active) {
+    writer.u(id).d(entry->connection).u(entry->connected.size());
+    for (const FacilityId f : entry->connected) writer.u(f);
+  }
   writer.line("verifier-error").b(error_.has_value());
   if (error_) writer.bytes(error_->what);
 }
@@ -438,10 +580,21 @@ void StreamVerifier::restore(CkptReader& reader) {
   reader.expect("verifier-active");
   const std::uint64_t num_active = reader.u();
   active_costs_.reserve(capped_reserve(num_active));
+  occupancy_.assign(facilities_seen_, 0);
   for (std::uint64_t i = 0; i < num_active; ++i) {
     const auto id = static_cast<RequestId>(reader.u());
-    const double cost = reader.d();
-    if (!active_costs_.emplace(id, cost).second)
+    ActiveRequest entry;
+    entry.connection = reader.d();
+    const std::uint64_t num_connected = reader.u();
+    entry.connected.reserve(capped_reserve(num_connected));
+    for (std::uint64_t k = 0; k < num_connected; ++k) {
+      const auto f = static_cast<FacilityId>(reader.u());
+      if (f >= facilities_seen_)
+        reader.fail("verifier active entry references an unknown facility");
+      entry.connected.push_back(f);
+      ++occupancy_[f];
+    }
+    if (!active_costs_.emplace(id, std::move(entry)).second)
       reader.fail("duplicate verifier active-request id");
   }
   reader.expect("verifier-error");

@@ -19,7 +19,9 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "instance/capacity.hpp"
 #include "instance/event_stream.hpp"
 #include "instance/instance.hpp"
 #include "solution/solution.hpp"
@@ -42,7 +44,11 @@ struct VerificationError {
 ///    causality: facility.opened_during <= request index);
 ///  * recomputed opening and connection costs match the ledger's totals
 ///    (within `tolerance` for floating-point accumulation);
-///  * facility open costs match the cost model.
+///  * facility open costs match the cost model;
+///  * capacity feasibility when the instance is capacitated: served +
+///    rejected partition each demand set, re-derived facility occupancy
+///    never exceeds the location's capacity, and uncapacitated instances
+///    admit no rejections at all.
 std::optional<VerificationError> verify_solution(const Instance& instance,
                                                  const SolutionLedger& ledger,
                                                  double tolerance = 1e-6);
@@ -55,7 +61,10 @@ std::optional<VerificationError> verify_solution(const Instance& instance,
 ///    timeline — explicit departures and lease expiries at the exact
 ///    event indices, survivors still active;
 ///  * the active/gross accounting: connection_cost() sums all records,
-///    active_connection_cost() sums the surviving ones.
+///    active_connection_cost() sums the surviving ones;
+///  * capacity feasibility when the stream is capacitated: re-derived
+///    occupancy (distinct active requests per facility) stays within the
+///    location's capacity at every point of the timeline.
 /// Requires an uncompacted ledger (first_record_id() == 0); compacted
 /// stream runs are verified incrementally by StreamVerifier instead.
 std::optional<VerificationError> verify_stream(const EventStream& stream,
@@ -70,8 +79,13 @@ std::optional<VerificationError> verify_stream(const EventStream& stream,
 /// later checks. Holds O(active requests) state.
 class StreamVerifier {
  public:
+  /// `capacities` enables the capacity-feasibility check: the verifier
+  /// re-derives each facility's occupancy from the records it sees and
+  /// flags any arrival that pushes a facility past its location's
+  /// capacity (and any rejection when no capacities are given). Null
+  /// keeps the uncapacitated behavior.
   StreamVerifier(MetricPtr metric, CostModelPtr cost,
-                 double tolerance = 1e-6);
+                 double tolerance = 1e-6, CapacityMap capacities = nullptr);
 
   /// Arrival `id` (== ledger request id) was just served with `request`.
   void on_arrival(RequestId id, const Request& request,
@@ -96,23 +110,36 @@ class StreamVerifier {
   void restore(CkptReader& reader);
 
  private:
+  struct ActiveRequest {
+    /// Recomputed connection cost (independent of the ledger's figure).
+    double connection = 0.0;
+    /// Distinct facilities the request occupies — released from the
+    /// occupancy tally on retirement.
+    std::vector<FacilityId> connected;
+  };
+
   void fail_check(const std::string& what);
 
   MetricPtr metric_;
   CostModelPtr cost_;
   double tolerance_;
+  CapacityMap capacities_;
+  bool capacitated_ = false;
 
   RequestId next_expected_ = 0;
   std::size_t facilities_seen_ = 0;
   double opening_ = 0.0;
   double gross_connection_ = 0.0;
   double retired_connection_ = 0.0;
-  /// Recomputed connection cost of each still-active request.
+  /// Independently re-derived occupancy per facility (parallel to the
+  /// first facilities_seen_ facilities).
+  std::vector<std::uint64_t> occupancy_;
+  /// Recomputed state of each still-active request.
   /// Determinism audit (omflp-lint nondet-iteration): never iterated
   /// unordered — finish() only compares size(), serialize() copies into
   /// a vector and sorts by request id before writing (canonical
   /// checkpoint form). Keep it that way.
-  std::unordered_map<RequestId, double> active_costs_;
+  std::unordered_map<RequestId, ActiveRequest> active_costs_;
   std::optional<VerificationError> error_;
 };
 

@@ -255,6 +255,67 @@ TEST(ShardedEngine, VerifierOffDoesNotChangeResults) {
   EXPECT_EQ(a.aggregate_active_cost, b.aggregate_active_cost);
 }
 
+// Admission control under a uniform per-tenant capacity: the per-tenant
+// shed/spill tables and the aggregates must be bitwise identical across
+// shard counts and OMFLP_THREADS — shedding is part of the determinism
+// contract, not a best-effort statistic.
+TEST(ShardedEngine, CapacityShedTablesAreBitwiseAcrossShardsAndThreads) {
+  const std::size_t kTenants = 4;
+  EngineOptions base;
+  base.batch_size = 256;
+  base.verify = true;
+  base.capacity = 1;  // one distinct active request per facility
+  base.overflow = OverflowPolicy::kReject;
+  base.shards = 1;
+
+  const std::vector<TenantSpec> specs =
+      small_mixed_tenants(kTenants, "pd");
+  const EngineResult reference = ShardedEngine(specs, base).run();
+  EXPECT_EQ(reference.first_violation(), nullptr);
+  // Capacity 1 under reject has to actually shed, or this test is
+  // vacuous.
+  EXPECT_GT(reference.aggregate_shed_requests, 0u);
+  std::uint64_t shed_sum = 0;
+  std::uint64_t spill_sum = 0;
+  for (const TenantResult& tenant : reference.tenants) {
+    shed_sum += tenant.run.ledger.num_shed_requests();
+    spill_sum += tenant.run.ledger.num_spilled_assignments();
+  }
+  EXPECT_EQ(reference.aggregate_shed_requests, shed_sum);
+  EXPECT_EQ(reference.aggregate_spilled_assignments, spill_sum);
+
+  for (const std::size_t shards : {std::size_t{2}, kTenants}) {
+    for (const char* threads : {"1", "4"}) {
+      EngineOptions options = base;
+      options.shards = shards;
+      ::setenv("OMFLP_THREADS", threads, 1);
+      const EngineResult result = ShardedEngine(specs, options).run();
+      ::unsetenv("OMFLP_THREADS");
+      EXPECT_EQ(result.first_violation(), nullptr);
+      ASSERT_EQ(result.tenants.size(), kTenants);
+      EXPECT_EQ(result.aggregate_shed_requests,
+                reference.aggregate_shed_requests);
+      EXPECT_EQ(result.aggregate_spilled_assignments,
+                reference.aggregate_spilled_assignments);
+      for (std::size_t i = 0; i < kTenants; ++i) {
+        const std::string label = "shards=" + std::to_string(shards) +
+                                  " threads=" + threads + " tenant " +
+                                  specs[i].name;
+        SCOPED_TRACE(label);
+        const SolutionLedger& got = result.tenants[i].run.ledger;
+        const SolutionLedger& want = reference.tenants[i].run.ledger;
+        EXPECT_EQ(got.num_shed_requests(), want.num_shed_requests());
+        EXPECT_EQ(got.num_spilled_assignments(),
+                  want.num_spilled_assignments());
+        EXPECT_EQ(got.num_rejected_commodities(),
+                  want.num_rejected_commodities());
+        expect_bitwise_identical(result.tenants[i].run,
+                                 reference.tenants[i].run, label);
+      }
+    }
+  }
+}
+
 // -------------------------------------------------------------- aggregates ---
 
 TEST(ShardedEngine, AggregatesAndStatsAreConsistent) {

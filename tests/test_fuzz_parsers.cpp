@@ -219,6 +219,63 @@ TEST(FuzzParsers, InstanceTraceMutationsNeverCrash) {
   run_corpus(valid_instance_trace(), feed_instance_reader);
 }
 
+std::string valid_capacitated_instance() {
+  Instance instance = default_scenario_registry().make(
+      "uniform-line", /*seed=*/2, {{"requests", 16}});
+  auto caps = std::make_shared<std::vector<std::uint64_t>>(
+      instance.metric().num_points(), kUncapacitated);
+  (*caps)[0] = 3;
+  (*caps)[2] = 1;
+  instance.set_capacities(std::move(caps));
+  std::ostringstream os;
+  write_instance(os, instance);
+  return os.str();
+}
+
+TEST(FuzzParsers, CapacitatedInstanceMutationsNeverCrash) {
+  run_corpus(valid_capacitated_instance(), feed_instance_reader);
+}
+
+// Targeted mutations of the capacities section itself: every malformed
+// variant must be rejected with an ordinary exception, never accepted
+// with a silently-wrong capacity map.
+TEST(FuzzParsers, InstanceCapacityLineTamperingIsRejected) {
+  const std::string base = valid_capacitated_instance();
+  ASSERT_EQ(feed_instance_reader(base), ParseOutcome::kAccepted);
+  const std::string section = "capacities 2\n0 3\n2 1\n";
+  const std::size_t at = base.find(section);
+  ASSERT_NE(at, std::string::npos) << base;
+  const auto with_section = [&](const std::string& replacement) {
+    return base.substr(0, at) + replacement +
+           base.substr(at + section.size());
+  };
+
+  const char* const kBadSections[] = {
+      "capacities 3\n0 3\n2 1\n",   // count overruns the rows present
+      "capacities 99\n0 3\n2 1\n",  // count exceeds the point count
+      "capacities 2\n2 1\n0 3\n",   // rows not strictly ascending
+      "capacities 2\n0 3\n0 1\n",   // duplicate point
+      // a stored cap equal to the in-memory infinity sentinel
+      "capacities 2\n0 3\n2 18446744073709551615\n",
+      "capacities 2\n0 3\n2 1 junk\n",  // trailing garbage on a row
+      "capacities 2\n0 3\n999 1\n",     // point outside the metric
+      "capacities 2\n0 3\n2 -1\n",      // negative capacity
+      "capacities two\n0 3\n2 1\n",     // non-numeric count
+      "capacities 2 extra\n0 3\n2 1\n",  // trailing garbage on header
+  };
+  for (const char* bad : kBadSections)
+    EXPECT_EQ(feed_instance_reader(with_section(bad)),
+              ParseOutcome::kRejected)
+        << bad;
+
+  // Truncation mid-section: header plus one of two declared rows.
+  EXPECT_EQ(feed_instance_reader(base.substr(0, at + section.find("\n2"))),
+            ParseOutcome::kRejected);
+  // Dropping the whole section is fine — capacities are optional.
+  EXPECT_EQ(feed_instance_reader(with_section("")),
+            ParseOutcome::kAccepted);
+}
+
 TEST(FuzzParsers, CertificateMutationsNeverCrash) {
   run_corpus(valid_certificate(), feed_certificate_reader);
 }

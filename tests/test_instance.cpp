@@ -273,6 +273,47 @@ TEST(InstanceIo, LinearCostRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded.cost().open_cost(1, probe), 2.75);
 }
 
+TEST(InstanceIo, CapacityMapRoundTripsAndStaysOptional) {
+  auto metric = LineMetric::uniform_grid(4, 6.0);
+  Instance original(metric, sqrt_cost(3),
+                    {Request{0, CommoditySet(3, {0, 2})},
+                     Request{3, CommoditySet(3, {1})}},
+                    "capacity-io");
+  // Sparse map: finite caps at two points, the rest uncapacitated —
+  // only the finite rows are written.
+  auto caps =
+      std::make_shared<std::vector<std::uint64_t>>(4, kUncapacitated);
+  (*caps)[1] = 2;
+  (*caps)[3] = 7;
+  original.set_capacities(caps);
+
+  const std::string text = instance_to_string(original);
+  EXPECT_NE(text.find("capacities 2\n1 2\n3 7\n"), std::string::npos)
+      << text;
+  const Instance loaded = instance_from_string(text);
+  ASSERT_NE(loaded.capacities(), nullptr);
+  EXPECT_TRUE(*loaded.capacities() == *original.capacities());
+  EXPECT_EQ(instance_to_string(loaded), text);
+
+  // Uncapacitated instances write no capacities section: existing
+  // files and their byte-identical round-trips are untouched.
+  Instance plain(metric, sqrt_cost(3),
+                 {Request{0, CommoditySet(3, {0})}}, "plain-io");
+  const std::string plain_text = instance_to_string(plain);
+  EXPECT_EQ(plain_text.find("capacities"), std::string::npos);
+  EXPECT_EQ(instance_from_string(plain_text).capacities(), nullptr);
+
+  // An all-infinite map is semantically uncapacitated and serializes
+  // to nothing, so it too round-trips to a null map.
+  Instance infinite(metric, sqrt_cost(3),
+                    {Request{0, CommoditySet(3, {0})}}, "inf-io");
+  infinite.set_capacities(std::make_shared<std::vector<std::uint64_t>>(
+      4, kUncapacitated));
+  const std::string infinite_text = instance_to_string(infinite);
+  EXPECT_EQ(infinite_text.find("capacities"), std::string::npos);
+  EXPECT_EQ(instance_from_string(infinite_text).capacities(), nullptr);
+}
+
 TEST(InstanceIo, MalformedInputsThrowWithContext) {
   EXPECT_THROW(instance_from_string("garbage"), std::invalid_argument);
   EXPECT_THROW(instance_from_string("OMFLP-INSTANCE v1\nname x\n"),

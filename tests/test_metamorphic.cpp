@@ -237,5 +237,112 @@ TEST(Metamorphic, RollbackThenReplayEqualsNeverArrived) {
   EXPECT_GE(compared, 6u);
 }
 
+// Capacity relations: attaching capacities that can never bind (all
+// infinite, or a finite uniform cap no facility can reach) must leave
+// every algorithm's run bitwise unchanged — admission control lives in
+// the ledger, so the only difference is a branch that never fires.
+TEST(Metamorphic, NonBindingCapacitiesReproduceUncapacitatedRunBitwise) {
+  const AlgorithmRegistry& registry = default_algorithm_registry();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const GeneratedInstance gen = random_instance(seed);
+    const std::size_t points = gen.instance.metric().num_points();
+    // A request occupies at most one facility, so num_requests is an
+    // unreachable per-point cap: finite, yet never binding.
+    const std::uint64_t loose_cap = gen.instance.num_requests();
+    for (const std::string& name : registry.names()) {
+      auto base_algo = default_algorithm_registry().make(
+          name, derive_algorithm_seed(seed));
+      const SolutionLedger base = run_online(*base_algo, gen.instance);
+
+      for (const std::uint64_t cap : {kUncapacitated, loose_cap}) {
+        Instance capped = gen.instance;
+        capped.set_capacities(
+            std::make_shared<const std::vector<std::uint64_t>>(points,
+                                                               cap));
+        auto algo = default_algorithm_registry().make(
+            name, derive_algorithm_seed(seed));
+        const SolutionLedger run = run_online(*algo, capped);
+
+        EXPECT_EQ(run.num_shed_requests(), 0u) << name << " seed " << seed;
+        EXPECT_EQ(run.num_spilled_assignments(), 0u)
+            << name << " seed " << seed;
+        EXPECT_EQ(run.total_cost(), base.total_cost())
+            << name << " seed " << seed << " cap " << cap;
+        EXPECT_EQ(run.opening_cost(), base.opening_cost())
+            << name << " seed " << seed << " cap " << cap;
+        EXPECT_EQ(run.active_cost(), base.active_cost())
+            << name << " seed " << seed << " cap " << cap;
+        ASSERT_EQ(run.num_facilities(), base.num_facilities())
+            << name << " seed " << seed << " cap " << cap;
+        for (std::size_t f = 0; f < run.num_facilities(); ++f) {
+          EXPECT_EQ(run.facilities()[f].location,
+                    base.facilities()[f].location);
+          EXPECT_EQ(run.facilities()[f].open_cost,
+                    base.facilities()[f].open_cost);
+          EXPECT_TRUE(run.facilities()[f].config ==
+                      base.facilities()[f].config);
+        }
+        ASSERT_EQ(run.num_requests(), base.num_requests());
+        for (std::size_t r = 0; r < run.num_requests(); ++r) {
+          const RequestRecord& got =
+              run.request_record(static_cast<RequestId>(r));
+          const RequestRecord& want =
+              base.request_record(static_cast<RequestId>(r));
+          EXPECT_EQ(got.connection_cost, want.connection_cost)
+              << name << " seed " << seed << " request " << r;
+          EXPECT_TRUE(got.rejected.empty());
+        }
+      }
+    }
+  }
+}
+
+// Starving a single facility location under the reassign policy can only
+// push requests to farther (feasible) facilities or shed them outright —
+// the served work gets strictly harder, so the total cost of what the
+// run *does* pay never drops below the uncapacitated baseline.
+TEST(Metamorphic, LoweringOneCapacityNeverDecreasesCostUnderReassign) {
+  std::size_t tightened = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const GeneratedInstance gen = random_instance(seed);
+    const std::size_t points = gen.instance.metric().num_points();
+    auto base_algo = default_algorithm_registry().make(
+        "greedy", derive_algorithm_seed(seed));
+    const SolutionLedger base = run_online(*base_algo, gen.instance);
+    ASSERT_GT(base.num_facilities(), 0u);
+
+    // Starve the busiest location: the one serving the most requests.
+    std::vector<std::size_t> load(points, 0);
+    for (std::size_t r = 0; r < base.num_requests(); ++r) {
+      const RequestRecord& record =
+          base.request_record(static_cast<RequestId>(r));
+      for (const FacilityId f : record.connected)
+        ++load[base.facilities()[f].location];
+    }
+    const PointId victim = static_cast<PointId>(std::distance(
+        load.begin(), std::max_element(load.begin(), load.end())));
+    if (load[victim] <= 1) continue;  // cap of 1 would not bind
+
+    auto caps = std::make_shared<std::vector<std::uint64_t>>(
+        points, kUncapacitated);
+    (*caps)[victim] = 1;
+    Instance capped = gen.instance;
+    capped.set_capacities(std::move(caps));
+
+    auto algo = default_algorithm_registry().make(
+        "greedy", derive_algorithm_seed(seed));
+    const SolutionLedger run =
+        run_online(*algo, capped, ConnectionChargePolicy::kPerFacility,
+                   OverflowPolicy::kReassign);
+    const auto violation = verify_solution(capped, run);
+    EXPECT_FALSE(violation.has_value())
+        << "seed " << seed << ": " << (violation ? violation->what : "");
+    EXPECT_GE(run.total_cost(), base.total_cost()) << "seed " << seed;
+    ++tightened;
+  }
+  // The cap has to actually bind on most seeds for this to test anything.
+  EXPECT_GE(tightened, 4u);
+}
+
 }  // namespace
 }  // namespace omflp

@@ -376,6 +376,9 @@ TEST(MetricsSampler, EngineEmitsCsvRowsPerShardPerRound) {
   std::string header;
   ASSERT_TRUE(std::getline(is, header));
   EXPECT_EQ(header.substr(0, 12), "round,shard,");
+  // Sampler rows are interval deltas, but the histogram's max is
+  // cumulative — the column says so.
+  EXPECT_NE(header.find(",max_ns_cum,"), std::string::npos) << header;
   std::size_t rows = 0;
   for (std::string line; std::getline(is, line);) ++rows;
   EXPECT_EQ(rows, result.rounds * result.shards);
@@ -403,6 +406,10 @@ TEST(MetricsSampler, JsonlRowsCarryLatencyObjects) {
     EXPECT_EQ(line.substr(0, 9), "{\"round\":") << line;
     EXPECT_NE(line.find("\"latency\":{\"count\":"), std::string::npos)
         << line;
+    // Delta snapshots must label the cumulative max honestly: the field
+    // is "max_ns_cum", never a plain "max_ns" masquerading as a delta.
+    EXPECT_NE(line.find("\"max_ns_cum\":"), std::string::npos) << line;
+    EXPECT_EQ(line.find("\"max_ns\":"), std::string::npos) << line;
   }
   EXPECT_GT(rows, 0u);
 }

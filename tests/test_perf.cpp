@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -447,6 +450,67 @@ TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
   const LatencySnapshot snap = histogram.snapshot();
   EXPECT_EQ(snap.count,
             static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogram, RecordClampsNonFiniteAndOutOfRangeValues) {
+  // double -> uint64_t casts are UB for NaN, negative and >= 2^63 inputs
+  // (timer glitches, wall-clock steps); record_ns must clamp them all.
+  LatencyHistogram histogram;
+  histogram.record_ns(std::nan(""));
+  histogram.record_ns(-42.0);
+  histogram.record_ns(-std::numeric_limits<double>::infinity());
+  histogram.record_ns(std::numeric_limits<double>::infinity());
+  histogram.record_ns(1e30);
+  const LatencySnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  // NaN / negatives saturate to 0, oversized values to 2^63 - 1.
+  constexpr double kTop =
+      static_cast<double>((std::uint64_t{1} << 63) - 1);
+  EXPECT_DOUBLE_EQ(snap.max_ns, kTop);
+  EXPECT_EQ(snap.p50_ns, 0.0);
+}
+
+TEST(LatencyHistogram, QuantileTargetsAreExactIntegers) {
+  // p99.9 of exactly 1000 samples must pick rank ceil(0.999*1000) = 999,
+  // not rank 1000: with 999 fast samples and one slow outlier the p999
+  // still reports the fast value. The old float-ceil hack (+0.9999999)
+  // overshot to rank 1000 here and returned the outlier.
+  LatencyHistogram histogram;
+  for (int i = 0; i < 999; ++i) histogram.record_ns(1000.0);
+  histogram.record_ns(1e6);
+  const LatencySnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.p999_ns, 1000.0, 0.13 * 1000.0);
+  EXPECT_DOUBLE_EQ(snap.max_ns, 1e6);
+
+  // And the rank-1 floor: p50 of two samples is the smaller one
+  // (ceil(0.5 * 2) = 1).
+  LatencyHistogram two;
+  two.record_ns(100.0);
+  two.record_ns(1e6);
+  const LatencySnapshot pair = two.snapshot();
+  EXPECT_NEAR(pair.p50_ns, 100.0, 0.13 * 100.0);
+}
+
+TEST(LatencyHistogram, DeltaSnapshotsFlagTheCumulativeMax) {
+  LatencyHistogram histogram;
+  histogram.record_ns(5000.0);
+  const LatencySnapshot cumulative = histogram.snapshot();
+  EXPECT_FALSE(cumulative.max_is_cumulative);
+  EXPECT_NE(cumulative.to_json().find("\"max_ns\":"), std::string::npos);
+
+  LatencyBaseline baseline;
+  const LatencySnapshot delta = histogram.snapshot_delta(baseline);
+  EXPECT_TRUE(delta.max_is_cumulative);
+  const std::string json = delta.to_json();
+  EXPECT_NE(json.find("\"max_ns_cum\":"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"max_ns\":"), std::string::npos) << json;
+
+  // A second interval with no new samples: counts are per-interval (0)
+  // but the max keeps reporting the lifetime extremum.
+  const LatencySnapshot idle = histogram.snapshot_delta(baseline);
+  EXPECT_EQ(idle.count, 0u);
+  EXPECT_DOUBLE_EQ(idle.max_ns, 5000.0);
 }
 
 // ---------------------------------------------------------- sweep timing ---

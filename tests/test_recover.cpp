@@ -331,6 +331,77 @@ TEST(SessionRecovery, PolicyAndVerifyGuardsAreEnforced) {
   }
 }
 
+// A capacitated session (facility occupancy, shed/spill counters,
+// rejected lanes) restores bitwise: occupancy is derived state, rebuilt
+// from the resident active records, so the drained run must match an
+// uninterrupted one exactly — and the overflow policy is guarded like
+// the charge policy and verify flag.
+TEST(SessionRecovery, CapacitatedRestoreIsBitwiseAndOverflowIsGuarded) {
+  const std::uint64_t seed = 12;
+  const EventStream stream = default_stream_scenario_registry().make(
+      "hotspot-grid-capped", seed, {{"events", 256}, {"capacity", 2}});
+  ASSERT_NE(stream.capacities(), nullptr);
+  const AlgorithmRegistry& algorithms = default_algorithm_registry();
+
+  for (const OverflowPolicy overflow :
+       {OverflowPolicy::kReassign, OverflowPolicy::kReject}) {
+    SCOPED_TRACE(overflow_policy_tag(overflow));
+    StreamRunOptions options = test_options();
+    options.overflow = overflow;
+
+    auto ref_algorithm = algorithms.make("pd", derive_algorithm_seed(seed));
+    MaterializedEventSource ref_source(stream);
+    StreamSession ref_session(*ref_algorithm, ref_source, options);
+    while (ref_session.step_batch() != 0) {
+    }
+    StreamRunResult reference = ref_session.finish();
+
+    std::string snapshot;
+    {
+      auto algorithm = algorithms.make("pd", derive_algorithm_seed(seed));
+      MaterializedEventSource source(stream);
+      StreamSession session(*algorithm, source, options);
+      for (int i = 0; i < 2; ++i) (void)session.step_batch();
+      std::ostringstream os;
+      CkptWriter writer(os);
+      session.checkpoint(writer);
+      writer.finish();
+      snapshot = os.str();
+    }
+
+    auto algorithm = algorithms.make("pd", derive_algorithm_seed(seed));
+    MaterializedEventSource source(stream);
+    std::istringstream is(snapshot);
+    CkptReader reader(is);
+    StreamSession session(*algorithm, source, options, reader);
+    reader.finish();
+    while (session.step_batch() != 0) {
+    }
+    StreamRunResult restored = session.finish();
+
+    expect_results_identical(restored, reference, "capacitated restore");
+    EXPECT_EQ(restored.ledger.num_shed_requests(),
+              reference.ledger.num_shed_requests());
+    EXPECT_EQ(restored.ledger.num_spilled_assignments(),
+              reference.ledger.num_spilled_assignments());
+    EXPECT_EQ(restored.ledger.num_rejected_commodities(),
+              reference.ledger.num_rejected_commodities());
+
+    {  // overflow policy mismatch is refused, like the other guards
+      StreamRunOptions other = options;
+      other.overflow = overflow == OverflowPolicy::kReassign
+                           ? OverflowPolicy::kReject
+                           : OverflowPolicy::kReassign;
+      auto a = algorithms.make("pd", derive_algorithm_seed(seed));
+      MaterializedEventSource s(stream);
+      std::istringstream guard_is(snapshot);
+      CkptReader guard_reader(guard_is);
+      EXPECT_THROW(StreamSession(*a, s, other, guard_reader),
+                   std::invalid_argument);
+    }
+  }
+}
+
 // ------------------------------------------------- checkpoint store ---
 
 /// Fresh scratch directory under the system temp dir, removed on

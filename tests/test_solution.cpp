@@ -195,5 +195,246 @@ TEST(Verifier, RejectsInFlightRequest) {
   EXPECT_TRUE(verify_solution(inst, ledger).has_value());
 }
 
+// ----------------------------------------------- capacity / admission ---
+
+CapacityMap uniform_caps(std::size_t points, std::uint64_t cap) {
+  return std::make_shared<const std::vector<std::uint64_t>>(points, cap);
+}
+
+TEST(CapacitatedLedger, ReassignSpillsToNextNearestFeasible) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 1), OverflowPolicy::kReassign);
+  ASSERT_TRUE(ledger.capacitated());
+
+  // Request 0 fills the facility at point 1.
+  ledger.begin_request(fx.request(1, {0}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+  EXPECT_EQ(ledger.occupancy(f0), 1u);
+  EXPECT_EQ(ledger.facility_capacity(f0), 1u);
+
+  // Request 1 also wants f0; the open facility at point 2 offering the
+  // same commodity is the next-nearest feasible target.
+  ledger.begin_request(fx.request(1, {0}));
+  const FacilityId f1 = ledger.open_facility(2, CommoditySet(4, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+
+  EXPECT_EQ(ledger.num_spilled_assignments(), 1u);
+  EXPECT_EQ(ledger.num_shed_requests(), 0u);
+  EXPECT_EQ(ledger.occupancy(f0), 1u);
+  EXPECT_EQ(ledger.occupancy(f1), 1u);
+  // Connection: request 0 paid 0 (at f0); request 1 paid d(1,2) = 10.
+  EXPECT_DOUBLE_EQ(ledger.connection_cost(), 10.0);
+  const RequestRecord& spilled = ledger.request_record(1);
+  ASSERT_EQ(spilled.served.size(), 1u);
+  EXPECT_EQ(spilled.served[0].facility, f1);
+  EXPECT_TRUE(spilled.rejected.empty());
+}
+
+TEST(CapacitatedLedger, ReassignOpensSingletonWhenNothingFeasible) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 1), OverflowPolicy::kReassign);
+  ledger.begin_request(fx.request(1, {0}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+
+  // No other facility exists: the ledger opens a fresh singleton at the
+  // request's own location (point 3) and serves there.
+  ledger.begin_request(fx.request(3, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+
+  EXPECT_EQ(ledger.num_facilities(), 2u);
+  EXPECT_EQ(ledger.num_spilled_assignments(), 1u);
+  const RequestRecord& rec = ledger.request_record(1);
+  ASSERT_EQ(rec.served.size(), 1u);
+  EXPECT_EQ(ledger.facility(rec.served[0].facility).location, PointId{3});
+  // Served at its own location: no connection cost for request 1.
+  EXPECT_DOUBLE_EQ(ledger.connection_cost(), 0.0);
+}
+
+TEST(CapacitatedLedger, RejectPolicyShedsAtFullFacility) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 1), OverflowPolicy::kReject);
+  ledger.begin_request(fx.request(1, {0}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+
+  ledger.begin_request(fx.request(2, {0, 1}));
+  const FacilityId f1 = ledger.open_facility(2, CommoditySet(4, {1}));
+  ledger.assign(0, f0);  // full -> rejected, not served
+  ledger.assign(1, f1);
+  ledger.finish_request();
+
+  EXPECT_EQ(ledger.num_shed_requests(), 1u);
+  EXPECT_EQ(ledger.num_rejected_commodities(), 1u);
+  EXPECT_EQ(ledger.num_spilled_assignments(), 0u);
+  const RequestRecord& rec = ledger.request_record(1);
+  ASSERT_EQ(rec.rejected.size(), 1u);
+  EXPECT_EQ(rec.rejected[0], CommodityId{0});
+  ASSERT_EQ(rec.served.size(), 1u);
+  // The rejected commodity pays no connection cost; only commodity 1 at
+  // its own point does (distance 0).
+  EXPECT_DOUBLE_EQ(ledger.connection_cost(), 0.0);
+  EXPECT_EQ(ledger.occupancy(f0), 1u);
+}
+
+TEST(CapacitatedLedger, RetirementReleasesOccupancy) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 1), OverflowPolicy::kReject);
+  ledger.begin_request(fx.request(1, {0}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+  EXPECT_EQ(ledger.occupancy(f0), 1u);
+
+  ledger.retire_request(0, 1);
+  EXPECT_EQ(ledger.occupancy(f0), 0u);
+
+  // The freed slot admits the next request without shedding.
+  ledger.begin_request(fx.request(1, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+  EXPECT_EQ(ledger.occupancy(f0), 1u);
+  EXPECT_EQ(ledger.num_shed_requests(), 0u);
+}
+
+TEST(CapacitatedLedger, SameRequestReusesItsSlot) {
+  // A request already connected to a full facility may route more of its
+  // own commodities there — occupancy counts distinct requests, not
+  // assignments.
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 1), OverflowPolicy::kReject);
+  ledger.begin_request(fx.request(1, {0, 1}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0, 1}));
+  ledger.assign(0, f0);
+  ledger.assign(1, f0);
+  ledger.finish_request();
+  EXPECT_EQ(ledger.occupancy(f0), 1u);
+  EXPECT_EQ(ledger.num_rejected_commodities(), 0u);
+}
+
+TEST(CapacitatedLedger, ZeroCapacityLocationShedsEvenUnderReassign) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 0), OverflowPolicy::kReassign);
+  ledger.begin_request(fx.request(1, {0}));
+  const FacilityId f0 = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f0);
+  ledger.finish_request();
+
+  EXPECT_EQ(ledger.num_shed_requests(), 1u);
+  EXPECT_EQ(ledger.num_rejected_commodities(), 1u);
+  EXPECT_EQ(ledger.occupancy(f0), 0u);
+  EXPECT_TRUE(ledger.request_record(0).served.empty());
+}
+
+TEST(CapacitatedLedger, InfiniteCapacityBehavesUncapacitated) {
+  Fixture fx;
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, kUncapacitated),
+                        OverflowPolicy::kReject);
+  // Every entry infinite -> the map does not count as capacitated.
+  EXPECT_FALSE(ledger.capacitated());
+  ledger.begin_request(fx.request(0, {0}));
+  const FacilityId f = ledger.open_facility(0, CommoditySet(4, {0}));
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) ledger.begin_request(fx.request(0, {0}));
+    ledger.assign(0, f);
+    ledger.finish_request();
+  }
+  EXPECT_EQ(ledger.num_shed_requests(), 0u);
+  EXPECT_EQ(ledger.occupancy(f), 3u);
+}
+
+TEST(CapacitatedVerifier, FlagsHandTamperedOverCapacityLedger) {
+  // The ledger is built uncapacitated (so it happily over-subscribes);
+  // the instance carries tight capacities. The static verifier must
+  // re-derive occupancy and reject — this is the "hand-tampered ledger"
+  // path the ledger's own bookkeeping cannot see.
+  Fixture fx;
+  Instance inst(fx.metric, fx.cost,
+                {Request{1, CommoditySet(4, {0})},
+                 Request{1, CommoditySet(4, {0})}},
+                "tampered");
+  inst.set_capacities(uniform_caps(4, 1));
+
+  SolutionLedger ledger(fx.metric, fx.cost);
+  ledger.begin_request(inst.request(0));
+  const FacilityId f = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f);
+  ledger.finish_request();
+  ledger.begin_request(inst.request(1));
+  ledger.assign(0, f);
+  ledger.finish_request();
+
+  const auto violation = verify_solution(inst, ledger);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->what.find("capacity"), std::string::npos);
+}
+
+TEST(CapacitatedVerifier, RejectsShedOnUncapacitatedInstance) {
+  Fixture fx;
+  const Instance inst = Instance(fx.metric, fx.cost,
+                                 {Request{1, CommoditySet(4, {0})},
+                                  Request{1, CommoditySet(4, {0})}},
+                                 "uncapped");
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility,
+                        uniform_caps(4, 1), OverflowPolicy::kReject);
+  ledger.begin_request(inst.request(0));
+  const FacilityId f = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f);
+  ledger.finish_request();
+  ledger.begin_request(inst.request(1));
+  ledger.assign(0, f);  // rejected by the capacitated ledger
+  ledger.finish_request();
+
+  // Verified against the *uncapacitated* instance, the rejection itself
+  // is the violation.
+  const auto violation = verify_solution(inst, ledger);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->what.find("uncapacitated"), std::string::npos);
+}
+
+TEST(CapacitatedVerifier, AcceptsCapacityFeasibleRun) {
+  Fixture fx;
+  Instance inst(fx.metric, fx.cost,
+                {Request{1, CommoditySet(4, {0})},
+                 Request{1, CommoditySet(4, {0})}},
+                "feasible");
+  const CapacityMap caps = uniform_caps(4, 1);
+  inst.set_capacities(caps);
+
+  SolutionLedger ledger(fx.metric, fx.cost,
+                        ConnectionChargePolicy::kPerFacility, caps,
+                        OverflowPolicy::kReject);
+  ledger.begin_request(inst.request(0));
+  const FacilityId f = ledger.open_facility(1, CommoditySet(4, {0}));
+  ledger.assign(0, f);
+  ledger.finish_request();
+  ledger.begin_request(inst.request(1));
+  ledger.assign(0, f);  // shed
+  ledger.finish_request();
+
+  EXPECT_FALSE(verify_solution(inst, ledger).has_value());
+}
+
 }  // namespace
 }  // namespace omflp

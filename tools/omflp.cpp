@@ -117,6 +117,8 @@ int usage(std::ostream& os, int exit_code) {
         "(default: 8192)\n"
         "    --no-verify               skip the incremental stream "
         "verifier\n"
+        "    --overflow POLICY         reassign | reject at a full "
+        "facility (capacitated streams; default: reassign)\n"
         "    --trace-out FILE          write the decision trace "
         "(OMFLP-TRACELOG v1 jsonl)\n"
         "    --latency-csv FILE        write per-batch latency CSV "
@@ -167,6 +169,10 @@ int usage(std::ostream& os, int exit_code) {
         "(default: 1)\n"
         "    --no-verify               skip the per-tenant incremental "
         "verifiers\n"
+        "    --capacity N              uniform per-point facility capacity "
+        "for every tenant (default: 0 = scenario's own)\n"
+        "    --overflow POLICY         reassign | reject at a full "
+        "facility (default: reassign)\n"
         "    --seq-baseline            also run the tenants sequentially "
         "and report the speedup\n"
         "    --metrics-out FILE        live per-shard telemetry "
@@ -235,6 +241,13 @@ void parse_set(const std::string& text,
                                 "'");
   const std::string key = text.substr(0, eq);
   overrides[key] = parse_double_arg(text.substr(eq + 1), "--set " + key);
+}
+
+OverflowPolicy parse_overflow_arg(const std::string& value) {
+  if (value == "reassign") return OverflowPolicy::kReassign;
+  if (value == "reject") return OverflowPolicy::kReject;
+  throw std::invalid_argument(
+      "--overflow expects reassign or reject, got '" + value + "'");
 }
 
 // ------------------------------------------------------------------ list ---
@@ -307,6 +320,20 @@ void report_run(const Instance& instance, const std::string& algorithm_name,
             << "facilities " << ledger.num_facilities() << " ("
             << ledger.num_small_facilities() << " small, "
             << ledger.num_large_facilities() << " large)\n";
+  if (ledger.capacitated()) {
+    const double shed_rate =
+        instance.num_requests() > 0
+            ? static_cast<double>(ledger.num_shed_requests()) /
+                  static_cast<double>(instance.num_requests())
+            : 0.0;
+    std::cout << "admission  "
+              << overflow_policy_tag(ledger.overflow_policy()) << ": "
+              << ledger.num_shed_requests() << " requests shed ("
+              << shed_rate * 100.0 << "% of requests), "
+              << ledger.num_rejected_commodities() << " items rejected, "
+              << ledger.num_spilled_assignments()
+              << " assignments spilled\n";
+  }
   OptEstimateOptions opt_options;
   opt_options.compute_lower = true;
   const OptEstimate opt = estimate_opt(instance, opt_options);
@@ -422,6 +449,18 @@ void report_stream(const std::string& stream_name,
             << "memory     peak " << result.peak_resident_records
             << " resident records (peak active " << result.peak_active
             << ")\n";
+  if (ledger.capacitated()) {
+    const double shed_rate =
+        result.arrivals > 0
+            ? static_cast<double>(ledger.num_shed_requests()) /
+                  static_cast<double>(result.arrivals)
+            : 0.0;
+    std::cout << "admission  " << overflow_policy_tag(ledger.overflow_policy())
+              << ": " << ledger.num_shed_requests() << " requests shed ("
+              << shed_rate * 100.0 << "% of arrivals), "
+              << ledger.num_rejected_commodities() << " items rejected, "
+              << ledger.num_spilled_assignments() << " assignments spilled\n";
+  }
   if (verified)
     std::cout << "verified   active-interval ledger OK\n";
 
@@ -578,6 +617,8 @@ int cmd_stream(const std::vector<std::string>& args) {
     else if (args[i] == "--batch")
       options.batch_size = parse_u64_arg(take_value(args, i), "--batch");
     else if (args[i] == "--no-verify") options.verify = false;
+    else if (args[i] == "--overflow")
+      options.overflow = parse_overflow_arg(take_value(args, i));
     else if (args[i] == "--trace-out") trace_out = take_value(args, i);
     else if (args[i] == "--latency-csv") latency_csv = take_value(args, i);
     else if (args[i] == "--ratio") force_ratio = true;
@@ -651,7 +692,8 @@ struct VecTraceSink final : TraceSink {
 // and thread counts and across fault-injected runs.
 std::string tenant_report(const EngineResult& result, bool verify) {
   TableWriter table({"tenant", "scenario", "events", "gross cost",
-                     "active cost", "facilities", "verified"});
+                     "active cost", "facilities", "shed", "spilled",
+                     "verified"});
   table.set_precision(17);
   for (const TenantResult& tenant : result.tenants) {
     table.begin_row()
@@ -661,6 +703,9 @@ std::string tenant_report(const EngineResult& result, bool verify) {
         .add(tenant.run.ledger.total_cost())
         .add(tenant.run.ledger.active_cost())
         .add(static_cast<long long>(tenant.run.ledger.num_facilities()))
+        .add(static_cast<long long>(tenant.run.ledger.num_shed_requests()))
+        .add(static_cast<long long>(
+            tenant.run.ledger.num_spilled_assignments()))
         .add(!verify ? "off" : (tenant.run.violation ? "FAIL" : "ok"));
   }
   std::ostringstream os;
@@ -698,6 +743,10 @@ int cmd_serve(const std::vector<std::string>& args) {
     else if (args[i] == "--scale")
       scale = parse_double_arg(take_value(args, i), "--scale");
     else if (args[i] == "--no-verify") options.verify = false;
+    else if (args[i] == "--capacity")
+      options.capacity = parse_u64_arg(take_value(args, i), "--capacity");
+    else if (args[i] == "--overflow")
+      options.overflow = parse_overflow_arg(take_value(args, i));
     else if (args[i] == "--seq-baseline") seq_baseline = true;
     else if (args[i] == "--metrics-out") metrics_out = take_value(args, i);
     else if (args[i] == "--sample-every")
@@ -852,6 +901,15 @@ int cmd_serve(const std::vector<std::string>& args) {
             << " ms (" << latency.count << " batches)\n"
             << "aggregate  gross " << result.aggregate_gross_cost
             << " active " << result.aggregate_active_cost << "\n";
+  if (options.capacity > 0 || result.aggregate_shed_requests > 0 ||
+      result.aggregate_spilled_assignments > 0)
+    std::cout << "admission  " << overflow_policy_tag(options.overflow)
+              << (options.capacity > 0
+                      ? " (capacity " + std::to_string(options.capacity) + ")"
+                      : "")
+              << ": " << result.aggregate_shed_requests
+              << " requests shed, " << result.aggregate_spilled_assignments
+              << " assignments spilled\n";
 
   const std::string report = tenant_report(result, options.verify);
   std::cout << report;
@@ -877,6 +935,7 @@ int cmd_serve(const std::vector<std::string>& args) {
     StreamRunOptions run_options;
     run_options.batch_size = options.batch_size;
     run_options.verify = options.verify;
+    run_options.overflow = options.overflow;
     std::vector<EventStream> streams;
     std::vector<std::unique_ptr<OnlineAlgorithm>> algorithms;
     streams.reserve(engine->tenants().size());
@@ -889,23 +948,38 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
     BenchTimer timer;
     std::uint64_t events = 0;
-    std::vector<std::pair<double, double>> costs;  // (gross, active)
+    struct SeqTotals {
+      double gross, active;
+      std::uint64_t shed, spilled;
+    };
+    std::vector<SeqTotals> totals;
     for (std::size_t i = 0; i < streams.size(); ++i) {
+      // Mirror the engine's per-tenant uniform capacity override.
+      if (options.capacity > 0)
+        run_options.capacities =
+            std::make_shared<const std::vector<std::uint64_t>>(
+                streams[i].metric().num_points(), options.capacity);
       const StreamRunResult sequential =
           run_stream(*algorithms[i], streams[i], run_options);
       events += sequential.events;
-      costs.emplace_back(sequential.ledger.total_cost(),
-                         sequential.ledger.active_cost());
+      totals.push_back({sequential.ledger.total_cost(),
+                        sequential.ledger.active_cost(),
+                        sequential.ledger.num_shed_requests(),
+                        sequential.ledger.num_spilled_assignments()});
     }
     const double wall_ns = timer.elapsed_ns();
     const double seq_events_per_sec =
         wall_ns > 0.0 ? static_cast<double>(events) * 1e9 / wall_ns : 0.0;
-    for (std::size_t i = 0; i < costs.size(); ++i)
-      if (costs[i].first != result.tenants[i].run.ledger.total_cost() ||
-          costs[i].second != result.tenants[i].run.ledger.active_cost())
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      const SolutionLedger& engine_ledger = result.tenants[i].run.ledger;
+      if (totals[i].gross != engine_ledger.total_cost() ||
+          totals[i].active != engine_ledger.active_cost() ||
+          totals[i].shed != engine_ledger.num_shed_requests() ||
+          totals[i].spilled != engine_ledger.num_spilled_assignments())
         throw std::logic_error(
             "serve: sequential baseline diverged from the engine on "
             "tenant '" + result.tenants[i].name + "'");
+    }
     std::cout << "sequential " << seq_events_per_sec << " events/s ("
               << wall_ns / 1e6 << " ms wall); engine speedup "
               << (seq_events_per_sec > 0.0
